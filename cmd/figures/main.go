@@ -1,0 +1,295 @@
+// Command figures regenerates the paper's evaluation: the availability
+// curves of Figures 2–7 (plus the fully-connected topology described in
+// text), the §5.3 endpoint checks, the §5.4 write-constraint worked
+// example, and the §5.5 optima classification.
+//
+// Usage:
+//
+//	figures [flags]
+//
+//	-topology N   run only the topology with N chords (default: all)
+//	-accesses N   simulation horizon in expected accesses (default 400000)
+//	-seed N       simulation seed (default 1)
+//	-step N       print every Nth read quorum in curve tables (default 7)
+//	-csv DIR      also write each figure's curves as CSV files
+//	-check        print the §5.3 endpoint checks
+//	-writeconstraint  print the §5.4 worked example (Figure 4 topology)
+//	-optima       print the §5.5 optima classification
+//	-dynamic      run the §4.3 dynamic-vs-static comparison
+//	-surv         run the §3 SURV-vs-ACC metric comparison
+//	-crossover    print the §5.5 crossover read fractions
+//	-benefit      print the replication-benefit study (ref. [15])
+//	-protocols    print the paired five-protocol comparison
+//	-all          enable every analysis section
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"quorumkit/internal/experiments"
+	"quorumkit/internal/sim"
+)
+
+func main() {
+	var (
+		topology = flag.Int("topology", -1, "chord count of a single topology to run (-1 = all)")
+		accesses = flag.Int64("accesses", 400_000, "simulation horizon in expected accesses")
+		seed     = flag.Uint64("seed", 1, "simulation seed")
+		step     = flag.Int("step", 7, "print every Nth read quorum")
+		check    = flag.Bool("check", false, "print §5.3 endpoint checks")
+		writeCon = flag.Bool("writeconstraint", false, "print the §5.4 worked example")
+		optima   = flag.Bool("optima", false, "print the §5.5 optima classification")
+		dynamic  = flag.Bool("dynamic", false, "run the §4.3 dynamic-vs-static comparison")
+		surv     = flag.Bool("surv", false, "run the §3 SURV-vs-ACC metric comparison")
+		cross    = flag.Bool("crossover", false, "print the §5.5 crossover read fractions")
+		benefit  = flag.Bool("benefit", false, "print the replication-benefit study (ref. [15])")
+		protos   = flag.Bool("protocols", false, "print the paired protocol comparison")
+		csvDir   = flag.String("csv", "", "also write each figure's curves as CSV into this directory")
+		runAll   = flag.Bool("all", false, "enable every analysis section")
+	)
+	flag.Parse()
+	if *runAll {
+		*check, *writeCon, *optima, *dynamic, *surv = true, true, true, true, true
+		*cross, *benefit, *protos = true, true, true
+	}
+
+	cfg := sim.CollectConfig{
+		Mode:     sim.TimeWeighted,
+		Accesses: *accesses,
+		Warmup:   *accesses / 20,
+		Seed:     *seed,
+	}
+	params := sim.PaperParams()
+
+	specs := experiments.Figures
+	if *topology >= 0 {
+		spec, err := experiments.FigureByChords(*topology)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		specs = []experiments.FigureSpec{spec}
+	}
+
+	// Run the topologies concurrently (each is an independent simulation),
+	// then print in order.
+	results := make([]experiments.FigureResult, len(specs))
+	errs := make([]error, len(specs))
+	var wg sync.WaitGroup
+	for i, spec := range specs {
+		wg.Add(1)
+		go func(i int, spec experiments.FigureSpec) {
+			defer wg.Done()
+			results[i], errs[i] = experiments.RunFigure(spec, params, cfg)
+		}(i, spec)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		printFigure(results[i], *step)
+		if *check {
+			printChecks(results[i])
+		}
+		if *csvDir != "" {
+			if err := writeCSVFile(*csvDir, results[i]); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+	}
+
+	if *writeCon {
+		printWriteConstraint(results)
+	}
+	if *optima {
+		printOptima(results)
+	}
+	if *dynamic {
+		printDynamic(*seed)
+	}
+	if *surv {
+		printSurv(*accesses, *seed)
+	}
+	if *cross {
+		printCrossover(cfg)
+	}
+	if *benefit {
+		printBenefit(cfg)
+	}
+	if *protos {
+		printProtocols(*seed)
+	}
+}
+
+func printProtocols(seed uint64) {
+	fmt.Printf("\npaired protocol comparison on topology 4 (one schedule, all arms):\n")
+	fmt.Printf("%-6s %-10s %-10s %-22s %-12s %-12s\n",
+		"α", "majority", "ROWA", "Fig.1 optimal", "dyn voting", "QR dynamic")
+	for _, alpha := range []float64{0.1, 0.5, 0.9} {
+		res, err := experiments.CompareProtocols(4, alpha, 100_000, seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return
+		}
+		fmt.Printf("%-6.2f %-10.4f %-10.4f %-8.4f %v %-12.4f %-12.4f\n",
+			alpha, res.StaticMajority, res.StaticROWA,
+			res.StaticOptimal, res.OptimalAssign, res.DynamicVoting, res.QRDynamic)
+	}
+}
+
+func printCrossover(cfg sim.CollectConfig) {
+	fmt.Printf("\n§5.5 crossover: majority stays optimal up to read fraction α*:\n")
+	rows, err := experiments.CrossoverTable(sim.PaperParams(), cfg, []int{0, 1, 2, 4, 16, 256})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return
+	}
+	for _, r := range rows {
+		fmt.Printf("  %-34s α* = %.3f\n", r.Topology, r.Alpha)
+	}
+}
+
+func printBenefit(cfg sim.CollectConfig) {
+	fmt.Printf("\nreplication benefit (vs best primary copy), α = 0.75:\n")
+	for _, chords := range []int{0, 16, 256} {
+		res, err := experiments.ReplicationBenefit(chords, 0.75, sim.PaperParams(), cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return
+		}
+		fmt.Printf("  ring+%-9d replicated %v A=%.4f vs primary(site %d) A=%.4f → ×%.3f (ceiling p=%.2f)\n",
+			chords, res.Replicated.Assignment, res.Replicated.Availability,
+			res.BestPrimary, res.SingleCopy, res.Ratio, res.SiteReliabilty)
+	}
+}
+
+func printDynamic(seed uint64) {
+	cfg := experiments.DefaultDynamicConfig()
+	cfg.Seed = seed
+	res, err := experiments.DynamicVsStatic(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return
+	}
+	fmt.Printf("\n§4.3 dynamic reassignment vs static assignments\n")
+	fmt.Printf("(topology %d, %d phases alternating α=%.2f / α=%.2f, %d accesses each)\n",
+		cfg.Chords, cfg.Phases, cfg.AlphaHigh, cfg.AlphaLow, cfg.AccessesPerPhase)
+	fmt.Printf("  static majority:         A = %.4f\n", res.StaticMajority)
+	fmt.Printf("  static optimal (avg α):  A = %.4f  %v\n", res.StaticOptimal, res.StaticOptimalAssignment)
+	fmt.Printf("  dynamic (QR protocol):   A = %.4f  (%d reassignments, %d stale reads)\n",
+		res.Dynamic, res.Reassignments, res.StaleReads)
+}
+
+func printSurv(accesses int64, seed uint64) {
+	fmt.Printf("\n§3 metric comparison (SURV vs ACC), α = 0.50:\n")
+	fmt.Printf("%-14s %-22s %-22s %-14s\n", "topology", "ACC optimum", "SURV optimum", "ACC(SURV pick)")
+	for _, chords := range []int{0, 4, 16, 256} {
+		res, err := experiments.SurvVsAcc(chords, 0.5, accesses, seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return
+		}
+		fmt.Printf("ring+%-9d %v A=%.4f  %v A=%.4f  %.4f\n",
+			chords,
+			res.ACCOptimal.Assignment, res.ACCOptimal.Availability,
+			res.SURVOptimal.Assignment, res.SURVOptimal.Availability,
+			res.ACCofSURVChoice)
+	}
+}
+
+func writeCSVFile(dir string, res experiments.FigureResult) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	path := filepath.Join(dir, fmt.Sprintf("topology-%d.csv", res.Spec.Chords))
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := experiments.WriteCSV(f, res); err != nil {
+		return err
+	}
+	fmt.Printf("  (curves written to %s)\n", path)
+	return nil
+}
+
+func printFigure(res experiments.FigureResult, step int) {
+	fmt.Printf("\n%s — %s (availability vs read quorum, ACC metric)\n", res.Spec.ID, res.Name)
+	fmt.Printf("%-6s", "q_r")
+	for _, s := range res.Series {
+		fmt.Printf("  α=%-5.2f", s.Alpha)
+	}
+	fmt.Println()
+	n := len(res.Series[0].Avail)
+	for qr := 1; qr <= n; qr++ {
+		if qr != 1 && qr != n && (qr-1)%step != 0 {
+			continue
+		}
+		fmt.Printf("%-6d", qr)
+		for _, s := range res.Series {
+			fmt.Printf("  %7.4f", s.Avail[qr-1])
+		}
+		fmt.Println()
+	}
+	for _, s := range res.Series {
+		qr, a := s.Best()
+		fmt.Printf("  optimum for α=%.2f: q_r=%d, q_w=%d, A=%.4f\n",
+			s.Alpha, qr, 101-qr+1, a)
+	}
+}
+
+func printChecks(res experiments.FigureResult) {
+	c := experiments.CheckEndpoints(res)
+	fmt.Printf("  §5.3 checks for %s:\n", res.Name)
+	for i, alpha := range experiments.Alphas {
+		fmt.Printf("    A(%.2f, 1) = %.4f (paper: 0.96·α = %.4f)\n",
+			alpha, c.AtQR1[i], 0.96*alpha)
+	}
+	fmt.Printf("    convergence at q_r=50: spread %.4f (paper: curves coincide)\n", c.Spread)
+	fmt.Printf("    endpoint optima: %d of %d curves (majority endpoint: %d)\n",
+		c.EndpointOptima, c.Curves, c.MajorityOptima)
+}
+
+func printWriteConstraint(results []experiments.FigureResult) {
+	for _, res := range results {
+		if res.Spec.Chords != 2 {
+			continue
+		}
+		row, err := experiments.WriteConstraint(res, 0.75, 0.20)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return
+		}
+		fmt.Printf("\n§5.4 write constraint on %s, α = 0.75:\n", res.Name)
+		fmt.Printf("  unconstrained optimum: %v  A = %.4f (paper: q_r=1, A = 0.72)\n",
+			row.Unconstrained.Assignment, row.Unconstrained.Availability)
+		fmt.Printf("  with A_w ≥ %.0f%%:       %v  A = %.4f, write A = %.4f\n",
+			row.MinWrite*100, row.Constrained.Assignment,
+			row.Constrained.Availability, row.WriteAvailAtOpt)
+		fmt.Printf("  (paper: q_r=28 yields A = 0.50 under the same constraint)\n")
+		return
+	}
+	fmt.Println("\n§5.4 write constraint: run with -topology 2 or all topologies")
+}
+
+func printOptima(results []experiments.FigureResult) {
+	fmt.Printf("\n§5.5 optima classification:\n")
+	fmt.Printf("%-34s %-6s %-8s %-10s %-10s %s\n",
+		"topology", "α", "best qr", "best A", "majority A", "class")
+	counts := map[string]int{}
+	for _, row := range experiments.OptimaTable(results) {
+		fmt.Printf("%-34s %-6.2f %-8d %-10.4f %-10.4f %s\n",
+			row.Topology, row.Alpha, row.BestQR, row.BestA, row.MajorityA, row.Class)
+		counts[row.Class]++
+	}
+	fmt.Printf("summary: q_r=1: %d, majority: %d, interior: %d\n",
+		counts["q_r=1"], counts["majority"], counts["interior"])
+}

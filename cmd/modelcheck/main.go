@@ -1,0 +1,61 @@
+// Command modelcheck exhaustively explores the quorum consensus + QR
+// reassignment protocol's reachable state space on a small network and
+// verifies the safety invariants (single writer; reads see the latest
+// write) in every state. On violation it prints a counterexample trace.
+//
+// Usage:
+//
+//	modelcheck -net path -n 4
+//	modelcheck -net ring -n 4 -versioncap 2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"quorumkit/internal/check"
+	"quorumkit/internal/graph"
+	"quorumkit/internal/quorum"
+)
+
+func main() {
+	var (
+		net        = flag.String("net", "path", "topology: path | ring | star | complete")
+		n          = flag.Int("n", 4, "number of sites (keep ≤ 5)")
+		versionCap = flag.Int64("versioncap", 3, "max reassignment version explored")
+		maxStates  = flag.Int("maxstates", 2_000_000, "state budget")
+	)
+	flag.Parse()
+
+	var g *graph.Graph
+	switch *net {
+	case "path":
+		g = graph.Path(*n)
+	case "ring":
+		g = graph.Ring(*n)
+	case "star":
+		g = graph.Star(*n)
+	case "complete":
+		g = graph.Complete(*n)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -net %q\n", *net)
+		os.Exit(2)
+	}
+
+	cfg := check.DefaultConfig(*n)
+	cfg.VersionCap = *versionCap
+	cfg.MaxStates = *maxStates
+
+	fmt.Printf("exploring %s with %d sites, %d links; assignments %v, version cap %d\n",
+		*net, g.N(), g.M(), cfg.Assignments, cfg.VersionCap)
+	start := time.Now()
+	states, err := check.ExploreQR(g, quorum.Majority(*n), cfg)
+	elapsed := time.Since(start)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "VIOLATION after %d states (%v): %v\n", states, elapsed, err)
+		os.Exit(1)
+	}
+	fmt.Printf("verified %d reachable states in %v: both invariants hold\n", states, elapsed)
+}

@@ -1,0 +1,115 @@
+// Command quorumopt computes optimal quorum assignments analytically from
+// the closed-form component-size densities of §4.2 (ring, fully-connected,
+// single-bus), for any network size, reliability, read fraction, and
+// optional minimum write throughput.
+//
+// Usage:
+//
+//	quorumopt -net ring -n 101 -p 0.96 -r 0.96 -alpha 0.75
+//	quorumopt -net complete -n 101 -alpha 0.75 -minwrite 0.2
+//	quorumopt -net bus-kills -n 51 -curve
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"quorumkit/internal/core"
+	"quorumkit/internal/dist"
+	"quorumkit/internal/experiments"
+)
+
+func main() {
+	var (
+		net      = flag.String("net", "complete", "topology: ring | complete | bus-kills | bus-indep")
+		n        = flag.Int("n", 101, "number of sites (one copy, one vote each)")
+		p        = flag.Float64("p", 0.96, "site reliability")
+		r        = flag.Float64("r", 0.96, "link (or bus) reliability")
+		alpha    = flag.Float64("alpha", 0.75, "fraction of accesses that are reads")
+		minWrite = flag.Float64("minwrite", 0, "minimum write availability (0 = unconstrained)")
+		curve    = flag.Bool("curve", false, "print the full A(α, q_r) curve")
+		sweep    = flag.Bool("sweep", false, "emit CSV of A(α, q_r) over a grid of α (for plotting)")
+		omega    = flag.Bool("omega", false, "trace the §5.4 weighted-objective path over ω")
+	)
+	flag.Parse()
+
+	var f dist.PMF
+	switch *net {
+	case "ring":
+		f = dist.Ring(*n, *p, *r)
+	case "complete":
+		f = dist.Complete(*n, *p, *r)
+	case "bus-kills":
+		f = dist.BusKillsSites(*n, *p, *r)
+	case "bus-indep":
+		f = dist.BusIndependentSites(*n, *p, *r)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -net %q\n", *net)
+		os.Exit(2)
+	}
+
+	m, err := core.ModelFromSingleDensity(f)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	if *sweep {
+		// CSV: one row per q_r, one column per α — ready for any plotter.
+		alphas := []float64{0, 0.25, 0.5, 0.75, 1}
+		fmt.Print("q_r")
+		for _, a := range alphas {
+			fmt.Printf(",alpha=%.2f", a)
+		}
+		fmt.Println()
+		for qr := 1; qr <= m.MaxReadQuorum(); qr++ {
+			fmt.Print(qr)
+			for _, a := range alphas {
+				fmt.Printf(",%.6f", m.Availability(a, qr))
+			}
+			fmt.Println()
+		}
+		return
+	}
+
+	fmt.Printf("network: %s, n=%d, p=%g, r=%g, α=%g\n", *net, *n, *p, *r, *alpha)
+	if *curve {
+		fmt.Printf("%-6s %-10s %-10s %-10s\n", "q_r", "A(α,q_r)", "read A", "write A")
+		for qr := 1; qr <= m.MaxReadQuorum(); qr++ {
+			fmt.Printf("%-6d %-10.4f %-10.4f %-10.4f\n",
+				qr, m.Availability(*alpha, qr), m.ReadAvail(qr), m.WriteAvailForReadQuorum(qr))
+		}
+	}
+
+	if *minWrite > 0 {
+		res, err := m.OptimizeConstrained(*alpha, *minWrite)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("optimal with A_w ≥ %.2f: %v  A = %.4f (write A = %.4f)\n",
+			*minWrite, res.Assignment, res.Availability,
+			m.Availability(0, res.Assignment.QR))
+	} else {
+		res := m.Optimize(*alpha)
+		fmt.Printf("optimal: %v  A = %.4f (read A = %.4f, write A = %.4f)\n",
+			res.Assignment, res.Availability,
+			m.ReadAvail(res.Assignment.QR), m.WriteAvailForReadQuorum(res.Assignment.QR))
+	}
+
+	if *omega {
+		fmt.Printf("\n§5.4 weighted objective: optimum as the write weight ω grows\n")
+		fmt.Printf("%-8s %-18s %-10s %-10s\n", "ω", "assignment", "read A", "write A")
+		for _, row := range experiments.OmegaSweep(m, *alpha,
+			[]float64{0, 0.25, 0.5, 1, 2, 4, 8, 16, 64}) {
+			fmt.Printf("%-8g %-18v %-10.4f %-10.4f\n",
+				row.Omega, row.Assignment, row.ReadAvail, row.WriteAvail)
+		}
+	}
+
+	// Reference points the paper discusses.
+	maj := m.MaxReadQuorum()
+	fmt.Printf("majority  (q_r=%d): A = %.4f\n", maj, m.Availability(*alpha, maj))
+	fmt.Printf("read-one  (q_r=1):  A = %.4f\n", m.Availability(*alpha, 1))
+}

@@ -1,0 +1,90 @@
+// Command tracegen generates, validates and summarizes failure/repair
+// traces for the study's networks. Traces are JSON and replay
+// deterministically, so an experiment's exact failure schedule can be
+// archived with its results.
+//
+// Usage:
+//
+//	tracegen -topology 4 -horizon 10000 -seed 7 > trace.json
+//	tracegen -inspect trace.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"quorumkit/internal/graph"
+	"quorumkit/internal/sim"
+	"quorumkit/internal/topo"
+	"quorumkit/internal/trace"
+)
+
+func main() {
+	var (
+		topology = flag.Int("topology", 0, "paper topology chord count")
+		horizon  = flag.Float64("horizon", 10_000, "trace horizon in time units")
+		seed     = flag.Uint64("seed", 1, "generation seed")
+		inspect  = flag.String("inspect", "", "validate and summarize a trace file instead of generating")
+	)
+	flag.Parse()
+
+	if *inspect != "" {
+		f, err := os.Open(*inspect)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		tr, err := trace.Read(f)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		summarize(tr)
+		return
+	}
+
+	g := topo.Paper(*topology)
+	p := sim.PaperParams()
+	tr := trace.Generate(g.N(), g.M(), p.FailMean, p.RepairMean, *horizon, *seed)
+	if err := tr.Write(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "generated %d events for %s over %g time units\n",
+		len(tr.Events), topo.Name(*topology), *horizon)
+}
+
+func summarize(tr *trace.Trace) {
+	fmt.Printf("trace: %d sites, %d links, horizon %g, seed %d, %d events\n",
+		tr.N, tr.M, tr.Horizon, tr.Seed, len(tr.Events))
+	counts := map[trace.EventKind]int{}
+	for _, e := range tr.Events {
+		counts[e.Kind]++
+	}
+	for _, k := range []trace.EventKind{trace.SiteFail, trace.SiteRepair, trace.LinkFail, trace.LinkRepair} {
+		fmt.Printf("  %-12s %d\n", k, counts[k])
+	}
+	// Replay to report the mean number of components over event times
+	// (needs a graph: assume a ring when M == N, otherwise skip replay).
+	if tr.M == tr.N {
+		g := graph.Ring(tr.N)
+		st := graph.NewState(g, nil)
+		r, err := trace.NewReplayer(tr, st)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return
+		}
+		sum, steps := 0, 0
+		for !r.Done() {
+			r.Step()
+			sum += st.NumComponents()
+			steps++
+		}
+		if steps > 0 {
+			fmt.Printf("  mean components across events (ring replay): %.2f\n",
+				float64(sum)/float64(steps))
+		}
+	}
+}

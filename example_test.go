@@ -1,0 +1,102 @@
+package quorumkit_test
+
+import (
+	"fmt"
+
+	"quorumkit"
+)
+
+// The package-level example: compute the optimal quorum assignment for a
+// fully-connected network from its closed-form component-size density.
+func Example() {
+	f := quorumkit.CompleteDensity(101, 0.96, 0.96)
+	m, err := quorumkit.ModelFromDensity(f)
+	if err != nil {
+		panic(err)
+	}
+	res := m.Optimize(0.75) // 75% of accesses are reads
+	fmt.Printf("%v A=%.2f\n", res.Assignment, res.Availability)
+	// Output: (q_r=29, q_w=73) A=0.96
+}
+
+// Evaluating named fixed policies against the optimizer's choice.
+func ExampleModel_AvailabilityFor() {
+	f := quorumkit.RingDensity(101, 0.96, 0.96)
+	m, err := quorumkit.ModelFromDensity(f)
+	if err != nil {
+		panic(err)
+	}
+	const alpha = 0.75
+	fmt.Printf("majority: %.3f\n", m.AvailabilityFor(alpha, quorumkit.Majority(101)))
+	fmt.Printf("ROWA:     %.3f\n", m.AvailabilityFor(alpha, quorumkit.ReadOneWriteAll(101)))
+	// Output:
+	// majority: 0.082
+	// ROWA:     0.720
+}
+
+// The §5.4 write-throughput constraint: maximize availability subject to a
+// minimum write availability.
+func ExampleModel_OptimizeConstrained() {
+	f := quorumkit.RingDensity(101, 0.96, 0.96)
+	m, err := quorumkit.ModelFromDensity(f)
+	if err != nil {
+		panic(err)
+	}
+	res, err := m.OptimizeConstrained(0.75, 0.05)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("write availability at optimum: %.2f\n", m.Availability(0, res.Assignment.QR))
+	// Output: write availability at optimum: 0.05
+}
+
+// The on-line estimator of §4.2: feed observed component vote totals,
+// produce a model, optimize.
+func ExampleEstimator() {
+	est := quorumkit.NewEstimator(5, 5)
+	// Site 0 mostly sees the full component, occasionally a fragment.
+	for i := 0; i < 90; i++ {
+		for s := 0; s < 5; s++ {
+			est.Observe(s, 5)
+		}
+	}
+	for i := 0; i < 10; i++ {
+		for s := 0; s < 5; s++ {
+			est.Observe(s, 2)
+		}
+	}
+	m, err := est.Model(nil, nil)
+	if err != nil {
+		panic(err)
+	}
+	res := m.Optimize(0.5)
+	fmt.Println(res.Assignment)
+	// Output: (q_r=1, q_w=5)
+}
+
+// A replicated object surviving a partition under quorum consensus, then
+// changing its quorum assignment through the QR protocol.
+func ExampleObject() {
+	g := quorumkit.Ring(5)
+	st := quorumkit.NewNetworkState(g, nil)
+	obj, err := quorumkit.NewObject(st, quorumkit.Majority(5))
+	if err != nil {
+		panic(err)
+	}
+	obj.Write(0, 42)
+
+	st.FailSite(3) // 4 of 5 sites remain: reads and writes still succeed
+	if v, _, ok := obj.Read(1); ok {
+		fmt.Println("read:", v)
+	}
+
+	// Reassign to read-one/write-all inside the write-quorum component.
+	if err := obj.Reassign(0, quorumkit.ReadOneWriteAll(5)); err != nil {
+		panic(err)
+	}
+	a, version, _ := obj.EffectiveAssignment(0)
+	fmt.Printf("now %v at version %d\n", a, version)
+	// Output:
+	// read: 42
+	// now (q_r=1, q_w=5) at version 2
+}

@@ -1,0 +1,79 @@
+// Multi-object database demo: several replicated data items share one
+// failing network, each with its own read-write mix, and each item's
+// quorum assignment is optimized independently from its own on-line
+// statistics — the per-data-item deployment the paper's algorithm is
+// designed for.
+//
+//	go run ./examples/multiobject
+package main
+
+import (
+	"fmt"
+
+	"quorumkit"
+	"quorumkit/internal/db"
+	"quorumkit/internal/rng"
+)
+
+func main() {
+	g := quorumkit.PaperTopology(16)
+	n := g.N()
+	s := quorumkit.NewSimulator(g, nil, quorumkit.PaperParams(), 21)
+	d := db.New(s.State())
+
+	// Three data items with very different workloads.
+	items := []struct {
+		name  string
+		alpha float64
+	}{
+		{"catalog", 0.98},  // almost read-only
+		{"sessions", 0.50}, // mixed
+		{"ledger", 0.05},   // write-heavy
+	}
+	for _, it := range items {
+		if err := d.Create(it.name, quorumkit.Majority(n)); err != nil {
+			panic(err)
+		}
+		if err := d.EnableDynamic(it.name, it.alpha, 0.10); err != nil {
+			panic(err)
+		}
+	}
+
+	src := rng.New(5)
+	s.OnAccess = func(site, votesInComp int, at float64) {
+		// Each arriving access targets a random item with that item's
+		// read-write mix.
+		it := items[src.Intn(len(items))]
+		if src.Bernoulli(it.alpha) {
+			if _, _, err := d.Read(it.name, site); err != nil {
+				panic(err)
+			}
+		} else {
+			if _, err := d.Write(it.name, site, int64(at)); err != nil {
+				panic(err)
+			}
+		}
+		if s.AccessCount()%5000 == 0 {
+			if _, err := d.Tick(); err != nil {
+				panic(err)
+			}
+		}
+	}
+	const accesses = 150_000
+	fmt.Printf("running %d accesses over 3 data items on topology 16...\n\n", accesses)
+	s.RunAccesses(accesses)
+
+	fmt.Printf("%-10s %-8s %-18s %-14s\n", "item", "α(seen)", "assignment", "availability")
+	s.State().SetAll(true) // reconnect to inspect the latest assignments
+	as := d.Assignments(0)
+	for _, it := range items {
+		st, err := d.Stats(it.name)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("%-10s %-8.2f %-18v %-14.4f\n",
+			it.name, st.ReadFraction(), as[it.name], st.Availability())
+	}
+	fmt.Println("\nread-heavy items end at small read quorums, write-heavy items")
+	fmt.Println("near majority — each optimized from its own measured workload.")
+}

@@ -1,0 +1,42 @@
+// Quickstart: compute an optimal quorum assignment from a closed-form
+// component-size density, exactly as a deployment with a known symmetric
+// topology would.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"quorumkit"
+)
+
+func main() {
+	// A 101-site fully-connected network, each site and link 96% reliable —
+	// the densest topology of the paper's study.
+	f := quorumkit.CompleteDensity(101, 0.96, 0.96)
+
+	m, err := quorumkit.ModelFromDensity(f)
+	if err != nil {
+		panic(err)
+	}
+
+	fmt.Println("optimal quorum assignments, 101-site fully-connected network:")
+	fmt.Printf("%-8s %-18s %-12s %-10s %-10s\n", "α", "assignment", "A(α,q_r)", "read A", "write A")
+	for _, alpha := range []float64{0, 0.25, 0.5, 0.75, 1} {
+		res := m.Optimize(alpha)
+		fmt.Printf("%-8.2f %-18v %-12.4f %-10.4f %-10.4f\n",
+			alpha, res.Assignment, res.Availability,
+			m.ReadAvail(res.Assignment.QR), m.WriteAvailForReadQuorum(res.Assignment.QR))
+	}
+
+	// Compare the classic fixed policies at a 75% read workload.
+	const alpha = 0.75
+	maj := quorumkit.Majority(101)
+	rowa := quorumkit.ReadOneWriteAll(101)
+	fmt.Printf("\nfixed policies at α=%.2f:\n", alpha)
+	fmt.Printf("  majority consensus %v: A = %.4f\n", maj, m.AvailabilityFor(alpha, maj))
+	fmt.Printf("  read-one/write-all %v: A = %.4f\n", rowa, m.AvailabilityFor(alpha, rowa))
+	fmt.Printf("  optimal            %v: A = %.4f\n",
+		m.Optimize(alpha).Assignment, m.Optimize(alpha).Availability)
+}

@@ -1,0 +1,53 @@
+// Vote-weight study: on asymmetric topologies the uniform one-vote-per-copy
+// assignment the paper uses (justified by its symmetric topologies) is not
+// optimal — concentrating votes at well-connected sites can buy real
+// availability. This example optimizes vote assignments jointly with the
+// quorum assignment on a star and a path, the companion problem of the
+// paper's reference [7].
+//
+//	go run ./examples/voteweights
+package main
+
+import (
+	"fmt"
+
+	"quorumkit/internal/graph"
+	"quorumkit/internal/votes"
+)
+
+func main() {
+	cfg := votes.Config{P: 0.9, R: 0.7, Alpha: 0.5, MaxVotesPerSite: 3}
+
+	study := []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"star (hub + 5 leaves)", graph.Star(6)},
+		{"path of 6", graph.Path(6)},
+		{"ring of 6", graph.Ring(6)},
+	}
+
+	for _, s := range study {
+		uni, err := votes.Uniform(s.g, cfg)
+		if err != nil {
+			panic(err)
+		}
+		deg, err := votes.Evaluate(s.g, votes.DegreeHeuristic(s.g, cfg.MaxVotesPerSite), cfg)
+		if err != nil {
+			panic(err)
+		}
+		hc, err := votes.HillClimb(s.g, cfg)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("%s  (p=%.2f, r=%.2f, α=%.2f)\n", s.name, cfg.P, cfg.R, cfg.Alpha)
+		fmt.Printf("  uniform votes   %v  %v  A = %.4f\n", uni.Votes, uni.Assignment, uni.Availability)
+		fmt.Printf("  degree heuristic%v  %v  A = %.4f\n", deg.Votes, deg.Assignment, deg.Availability)
+		fmt.Printf("  hill-climbed    %v  %v  A = %.4f  (+%.4f over uniform)\n\n",
+			hc.Votes, hc.Assignment, hc.Availability, hc.Availability-uni.Availability)
+	}
+
+	fmt.Println("On the symmetric ring the climb stays (essentially) uniform —")
+	fmt.Println("matching the paper's choice of one vote per copy for its")
+	fmt.Println("symmetric topologies. On the star, votes concentrate at the hub.")
+}

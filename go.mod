@@ -1,0 +1,3 @@
+module quorumkit
+
+go 1.22

@@ -1,0 +1,310 @@
+package cluster
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"quorumkit/internal/dist"
+	"quorumkit/internal/graph"
+	"quorumkit/internal/quorum"
+	"quorumkit/internal/stats"
+)
+
+// Async is a concurrent implementation of the same protocol as Cluster:
+// every node runs as a goroutine draining an inbox, and a client operation
+// is a scatter/gather round — the coordinator fans vote requests out to the
+// peers reachable in its component and gathers their replies in parallel.
+//
+// Concurrency model: one client operation is in flight at a time (the
+// paper's accesses are instantaneous and never overlap), but within an
+// operation all peer work — vote evaluation, state merging, write
+// application — happens concurrently across nodes, and topology mutations
+// are excluded only during the reachability snapshot. The implementation is
+// exercised under -race, and its observable behaviour is cross-checked
+// against the deterministic Cluster.
+type Async struct {
+	st *graph.State
+	// topoMu guards the network state: operations take RLock to snapshot
+	// reachability; topology mutations take Lock.
+	topoMu sync.RWMutex
+	// opMu serializes client operations.
+	opMu  sync.Mutex
+	nodes []*asyncNode
+	wg    sync.WaitGroup
+
+	sent      atomic.Int64
+	delivered atomic.Int64
+}
+
+// asyncNode is one site's goroutine-owned state.
+type asyncNode struct {
+	id       int
+	mu       sync.Mutex
+	state    node
+	histBins int // T+1, for lazy histogram allocation
+	inbox    chan asyncMsg
+	quit     chan struct{}
+	wg       *sync.WaitGroup
+}
+
+// asyncMsg is a delivered message plus an optional reply sink.
+type asyncMsg struct {
+	body  payload
+	reply chan<- payload // non-nil when the sender awaits a response
+	ack   *sync.WaitGroup
+}
+
+// NewAsync starts one goroutine per site. Call Close to stop them.
+func NewAsync(st *graph.State, initial quorum.Assignment) (*Async, error) {
+	if err := initial.Validate(st.TotalVotes()); err != nil {
+		return nil, fmt.Errorf("cluster: initial assignment: %w", err)
+	}
+	a := &Async{st: st, nodes: make([]*asyncNode, st.Graph().N())}
+	for i := range a.nodes {
+		n := &asyncNode{
+			id:       i,
+			state:    node{id: i, votes: st.Votes(i), version: 1, assign: initial},
+			histBins: st.TotalVotes() + 1,
+			inbox:    make(chan asyncMsg, 64),
+			quit:     make(chan struct{}),
+			wg:       &a.wg,
+		}
+		a.nodes[i] = n
+		a.wg.Add(1)
+		go n.run()
+	}
+	return a, nil
+}
+
+// Close stops all node goroutines and waits for them to exit.
+func (a *Async) Close() {
+	for _, n := range a.nodes {
+		close(n.quit)
+	}
+	a.wg.Wait()
+}
+
+// run is the node goroutine: drain the inbox until quit.
+func (n *asyncNode) run() {
+	defer n.wg.Done()
+	for {
+		select {
+		case <-n.quit:
+			return
+		case m := <-n.inbox:
+			n.handle(m)
+		}
+	}
+}
+
+// handle processes one message under the node lock.
+func (n *asyncNode) handle(m asyncMsg) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	switch b := m.body.(type) {
+	case voteRequest:
+		if m.reply != nil {
+			m.reply <- voteReply{
+				from: n.id, votes: n.state.votes,
+				value: n.state.value, stamp: n.state.stamp,
+				version: n.state.version, assign: n.state.assign,
+			}
+		}
+	case syncState:
+		n.state.adopt(b.assign, b.version, b.stamp, b.value)
+		if b.votesSeen > 0 {
+			if n.state.hist == nil {
+				n.state.hist = stats.NewHistogram(n.histBins)
+			}
+			n.state.hist.Add(b.votesSeen, 1)
+		}
+	case applyWrite:
+		if b.stamp > n.state.stamp {
+			n.state.stamp, n.state.value = b.stamp, b.value
+		}
+	case installAssign:
+		n.state.adopt(b.assign, b.version, b.stamp, b.value)
+	}
+	if m.ack != nil {
+		m.ack.Done()
+	}
+}
+
+// FailSite / RepairSite / FailLink / RepairLink mutate the topology under
+// the exclusive lock, so snapshots never observe a half-applied change.
+func (a *Async) FailSite(i int) {
+	a.topoMu.Lock()
+	defer a.topoMu.Unlock()
+	a.st.FailSite(i)
+}
+
+// RepairSite marks a site up.
+func (a *Async) RepairSite(i int) {
+	a.topoMu.Lock()
+	defer a.topoMu.Unlock()
+	a.st.RepairSite(i)
+}
+
+// FailLink marks a link down.
+func (a *Async) FailLink(l int) {
+	a.topoMu.Lock()
+	defer a.topoMu.Unlock()
+	a.st.FailLink(l)
+}
+
+// RepairLink marks a link up.
+func (a *Async) RepairLink(l int) {
+	a.topoMu.Lock()
+	defer a.topoMu.Unlock()
+	a.st.RepairLink(l)
+}
+
+// MessagesSent returns the cumulative message count.
+func (a *Async) MessagesSent() int64 { return a.sent.Load() }
+
+// LocalDensity returns node x's §4.2 on-line density estimate, built from
+// the vote totals it observed during rounds it joined (nil before any
+// observation). Thread-safe.
+func (a *Async) LocalDensity(x int) dist.PMF {
+	n := a.nodes[x]
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.state.hist == nil || n.state.hist.Total() == 0 {
+		return nil
+	}
+	return dist.PMF(n.state.hist.Normalize())
+}
+
+// peersOf snapshots the up peers reachable from x (excluding x).
+func (a *Async) peersOf(x int) []int {
+	a.topoMu.RLock()
+	defer a.topoMu.RUnlock()
+	if !a.st.SiteUp(x) {
+		return nil
+	}
+	rep := a.st.ComponentOf(x)
+	members := a.st.Members(rep, nil)
+	peers := members[:0]
+	for _, m := range members {
+		if m != x {
+			peers = append(peers, m)
+		}
+	}
+	return peers
+}
+
+// collect is the scatter/gather round: request votes from every reachable
+// peer concurrently, gather all replies, merge, and push the merged view
+// back (awaiting acknowledgement so the round is complete on return).
+// ok is false when the coordinator is down.
+func (a *Async) collect(x int) (votes int, peers []int, eff node, ok bool) {
+	a.topoMu.RLock()
+	up := a.st.SiteUp(x)
+	a.topoMu.RUnlock()
+	if !up {
+		return 0, nil, node{}, false
+	}
+	peers = a.peersOf(x)
+
+	replies := make(chan payload, len(peers))
+	for _, p := range peers {
+		a.sent.Add(1)
+		a.nodes[p].inbox <- asyncMsg{body: voteRequest{op: OpRead}, reply: replies}
+	}
+
+	self := a.nodes[x]
+	self.mu.Lock()
+	eff = self.state
+	self.mu.Unlock()
+	votes = eff.votes
+
+	for range peers {
+		r := (<-replies).(voteReply)
+		a.delivered.Add(1)
+		votes += r.votes
+		if r.version > eff.version {
+			eff.version, eff.assign = r.version, r.assign
+		}
+		if r.stamp > eff.stamp {
+			eff.stamp, eff.value = r.stamp, r.value
+		}
+	}
+
+	// Push the merged view back, including to self, and wait for all acks.
+	// The sync carries the round's vote total, so every participant records
+	// the §4.2 observation.
+	var ack sync.WaitGroup
+	sync1 := syncState{value: eff.value, stamp: eff.stamp, version: eff.version,
+		assign: eff.assign, votesSeen: votes}
+	targets := append([]int{x}, peers...)
+	ack.Add(len(targets))
+	for _, p := range targets {
+		a.sent.Add(1)
+		a.nodes[p].inbox <- asyncMsg{body: sync1, ack: &ack}
+	}
+	ack.Wait()
+	a.delivered.Add(int64(len(targets)))
+	return votes, peers, eff, true
+}
+
+// Read performs a quorum read at node x.
+func (a *Async) Read(x int) (value int64, stamp int64, granted bool) {
+	a.opMu.Lock()
+	defer a.opMu.Unlock()
+	votes, _, eff, ok := a.collect(x)
+	if !ok || votes < eff.assign.QR {
+		return 0, 0, false
+	}
+	return eff.value, eff.stamp, true
+}
+
+// Write performs a quorum write at node x, applying the new value at every
+// reachable node concurrently.
+func (a *Async) Write(x int, value int64) bool {
+	a.opMu.Lock()
+	defer a.opMu.Unlock()
+	votes, peers, eff, ok := a.collect(x)
+	if !ok || votes < eff.assign.QW {
+		return false
+	}
+	stamp := eff.stamp + 1
+	var ack sync.WaitGroup
+	targets := append([]int{x}, peers...)
+	ack.Add(len(targets))
+	msg := applyWrite{value: value, stamp: stamp}
+	for _, p := range targets {
+		a.sent.Add(1)
+		a.nodes[p].inbox <- asyncMsg{body: msg, ack: &ack}
+	}
+	ack.Wait()
+	a.delivered.Add(int64(len(targets)))
+	return true
+}
+
+// Reassign installs a new assignment through the QR protocol.
+func (a *Async) Reassign(x int, newAssign quorum.Assignment) error {
+	if err := newAssign.Validate(a.st.TotalVotes()); err != nil {
+		return fmt.Errorf("cluster: reassign: %w", err)
+	}
+	a.opMu.Lock()
+	defer a.opMu.Unlock()
+	votes, peers, eff, ok := a.collect(x)
+	if !ok {
+		return fmt.Errorf("cluster: reassign: node %d is down", x)
+	}
+	if votes < eff.assign.QW {
+		return fmt.Errorf("cluster: reassign: collected %d votes, need %d", votes, eff.assign.QW)
+	}
+	var ack sync.WaitGroup
+	targets := append([]int{x}, peers...)
+	ack.Add(len(targets))
+	msg := installAssign{assign: newAssign, version: eff.version + 1, value: eff.value, stamp: eff.stamp}
+	for _, p := range targets {
+		a.sent.Add(1)
+		a.nodes[p].inbox <- asyncMsg{body: msg, ack: &ack}
+	}
+	ack.Wait()
+	a.delivered.Add(int64(len(targets)))
+	return nil
+}

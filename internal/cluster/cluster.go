@@ -1,0 +1,366 @@
+// Package cluster is a message-level implementation of the quorum consensus
+// protocol and the paper's dynamic quorum reassignment protocol: every
+// access is an explicit vote-collection round between a coordinator node
+// and its reachable peers, with messages that cross a partition boundary
+// silently dropped.
+//
+// Where the replica package models a component as a unit (the paper's
+// simulation-level abstraction), this package demonstrates that the same
+// decisions arise from a purely distributed exchange — each node holds only
+// its own copy state, learns newer quorum assignments exclusively through
+// messages, and the coordinator decides from the votes it actually
+// collected. The two implementations are cross-checked operation-for-
+// operation in the tests.
+//
+// The runtime is deterministic: an operation drains its own message queue
+// to completion (the paper's events are instantaneous, so an access never
+// overlaps a failure), and delivery order is the enqueue order.
+package cluster
+
+import (
+	"fmt"
+
+	"quorumkit/internal/graph"
+	"quorumkit/internal/quorum"
+	"quorumkit/internal/stats"
+)
+
+// OpKind distinguishes the three vote-collection rounds.
+type OpKind uint8
+
+// Operation kinds.
+const (
+	OpRead OpKind = iota
+	OpWrite
+	OpReassign
+)
+
+// String implements fmt.Stringer.
+func (k OpKind) String() string {
+	switch k {
+	case OpRead:
+		return "read"
+	case OpWrite:
+		return "write"
+	case OpReassign:
+		return "reassign"
+	default:
+		return fmt.Sprintf("OpKind(%d)", uint8(k))
+	}
+}
+
+// payload is implemented by all message payloads.
+type payload interface{ kind() string }
+
+// voteRequest asks a peer for its vote and copy state.
+type voteRequest struct{ op OpKind }
+
+// voteReply carries the peer's votes and complete copy state back to the
+// coordinator.
+type voteReply struct {
+	from    int
+	votes   int
+	value   int64
+	stamp   int64
+	version int64
+	assign  quorum.Assignment
+}
+
+// syncState pushes the coordinator's merged view (newest assignment and
+// freshest value) to every peer that answered — the paper's rule that a
+// component updates assignments and version vectors on contact. It also
+// carries the round's collected vote total so every participant can record
+// it for the §4.2 on-line density estimate.
+type syncState struct {
+	value     int64
+	stamp     int64
+	version   int64
+	assign    quorum.Assignment
+	votesSeen int
+}
+
+// applyWrite installs a new value at a peer.
+type applyWrite struct {
+	value int64
+	stamp int64
+}
+
+// installAssign installs a new quorum assignment at a peer, together with
+// the current value (the refresh that makes extreme reassignments safe).
+type installAssign struct {
+	assign  quorum.Assignment
+	version int64
+	value   int64
+	stamp   int64
+}
+
+func (voteRequest) kind() string   { return "voteRequest" }
+func (voteReply) kind() string     { return "voteReply" }
+func (syncState) kind() string     { return "syncState" }
+func (applyWrite) kind() string    { return "applyWrite" }
+func (installAssign) kind() string { return "installAssign" }
+
+// message is an addressed payload.
+type message struct {
+	from, to int
+	body     payload
+}
+
+// node is the per-site state machine. It holds only local state; everything
+// else arrives by message.
+type node struct {
+	id      int
+	votes   int
+	value   int64
+	stamp   int64
+	version int64
+	assign  quorum.Assignment
+
+	// hist accumulates the component vote totals this node has witnessed
+	// (the §4.2 on-line record); allocated lazily.
+	hist *stats.Histogram
+}
+
+// adopt merges newer remote state into the local copy.
+func (n *node) adopt(assign quorum.Assignment, version, stamp, value int64) {
+	if version > n.version {
+		n.version, n.assign = version, assign
+	}
+	if stamp > n.stamp {
+		n.stamp, n.value = stamp, value
+	}
+}
+
+// Stats counts message traffic.
+type Stats struct {
+	Sent      int64
+	Delivered int64
+	Dropped   int64 // lost to partitions or down nodes
+}
+
+// Cluster is the deterministic message-passing runtime. Reachability is
+// delegated to a graph.State shared with the failure generator.
+type Cluster struct {
+	st    *graph.State
+	nodes []node
+	queue []message
+	stats Stats
+
+	// wireMode round-trips every delivered payload through the binary
+	// codec (see wire.go).
+	wireMode bool
+
+	// collected replies for the operation in flight
+	replies       []voteReply
+	gossipReplies []histReply
+}
+
+// New creates a cluster over the network state with the given initial
+// assignment at version 1. Votes are taken from the state.
+func New(st *graph.State, initial quorum.Assignment) (*Cluster, error) {
+	if err := initial.Validate(st.TotalVotes()); err != nil {
+		return nil, fmt.Errorf("cluster: initial assignment: %w", err)
+	}
+	c := &Cluster{st: st, nodes: make([]node, st.Graph().N())}
+	for i := range c.nodes {
+		c.nodes[i] = node{id: i, votes: st.Votes(i), version: 1, assign: initial}
+	}
+	return c, nil
+}
+
+// Stats returns cumulative message statistics.
+func (c *Cluster) Stats() Stats { return c.stats }
+
+// NodeVersion returns node i's assignment version (for invariant checks).
+func (c *Cluster) NodeVersion(i int) int64 { return c.nodes[i].version }
+
+// NodeStamp returns node i's value stamp.
+func (c *Cluster) NodeStamp(i int) int64 { return c.nodes[i].stamp }
+
+// send enqueues a message.
+func (c *Cluster) send(from, to int, body payload) {
+	c.stats.Sent++
+	c.queue = append(c.queue, message{from: from, to: to, body: body})
+}
+
+// broadcast enqueues a message to every other node. Partition filtering
+// happens at delivery time.
+func (c *Cluster) broadcast(from int, body payload) {
+	for to := range c.nodes {
+		if to != from {
+			c.send(from, to, body)
+		}
+	}
+}
+
+// deliverable reports whether a message can currently be delivered: both
+// endpoints up and in the same component.
+func (c *Cluster) deliverable(m message) bool {
+	return c.st.SiteUp(m.from) && c.st.SiteUp(m.to) && c.st.SameComponent(m.from, m.to)
+}
+
+// drain delivers queued messages until the queue is empty. Undeliverable
+// messages are dropped (the partition ate them).
+func (c *Cluster) drain(coordinator int) {
+	for len(c.queue) > 0 {
+		m := c.queue[0]
+		c.queue = c.queue[1:]
+		if !c.deliverable(m) {
+			c.stats.Dropped++
+			continue
+		}
+		c.stats.Delivered++
+		if c.wireMode {
+			m.body = roundTrip(m.body)
+		}
+		c.handle(coordinator, m)
+	}
+}
+
+// handle processes one delivered message.
+func (c *Cluster) handle(coordinator int, m message) {
+	n := &c.nodes[m.to]
+	switch b := m.body.(type) {
+	case voteRequest:
+		c.send(m.to, m.from, voteReply{
+			from: m.to, votes: n.votes,
+			value: n.value, stamp: n.stamp,
+			version: n.version, assign: n.assign,
+		})
+	case voteReply:
+		if m.to == coordinator {
+			c.replies = append(c.replies, b)
+		}
+	case syncState:
+		n.adopt(b.assign, b.version, b.stamp, b.value)
+		if b.votesSeen > 0 {
+			c.recordObservation(m.to, b.votesSeen)
+		}
+	case applyWrite:
+		if b.stamp > n.stamp {
+			n.stamp, n.value = b.stamp, b.value
+		}
+	case installAssign:
+		n.adopt(b.assign, b.version, b.stamp, b.value)
+	case histRequest:
+		var weights []float64
+		if h := n.hist; h != nil {
+			weights = make([]float64, c.st.TotalVotes()+1)
+			for v := range weights {
+				weights[v] = h.Weight(v)
+			}
+		}
+		c.send(m.to, m.from, histReply{from: m.to, weights: weights})
+	case histReply:
+		if m.to == coordinator {
+			c.gossipReplies = append(c.gossipReplies, b)
+		}
+	default:
+		panic(fmt.Sprintf("cluster: unknown payload %T", m.body))
+	}
+}
+
+// collect runs a vote-collection round from coordinator x and returns the
+// votes gathered (including x's own), the responding peers, and the merged
+// effective state. It also pushes the merged view back to all responders.
+func (c *Cluster) collect(x int, op OpKind) (votes int, responders []int, eff node) {
+	self := &c.nodes[x]
+	c.replies = c.replies[:0]
+	c.broadcast(x, voteRequest{op: op})
+	c.drain(x)
+
+	votes = self.votes
+	eff = *self
+	responders = responders[:0]
+	for _, r := range c.replies {
+		votes += r.votes
+		responders = append(responders, r.from)
+		if r.version > eff.version {
+			eff.version, eff.assign = r.version, r.assign
+		}
+		if r.stamp > eff.stamp {
+			eff.stamp, eff.value = r.stamp, r.value
+		}
+	}
+	// Merge into self and push the merged view to the responders, so every
+	// contacted node ends the round with the newest assignment and value.
+	self.adopt(eff.assign, eff.version, eff.stamp, eff.value)
+	c.recordObservation(x, votes)
+	sync := syncState{value: eff.value, stamp: eff.stamp, version: eff.version,
+		assign: eff.assign, votesSeen: votes}
+	for _, to := range responders {
+		c.send(x, to, sync)
+	}
+	c.drain(x)
+	return votes, responders, eff
+}
+
+// Read submits a read at node x: collect votes from the component, grant if
+// they meet the effective read quorum, and return the freshest collected
+// value.
+func (c *Cluster) Read(x int) (value int64, stamp int64, granted bool) {
+	if !c.st.SiteUp(x) {
+		return 0, 0, false
+	}
+	votes, _, eff := c.collect(x, OpRead)
+	if votes < eff.assign.QR {
+		return 0, 0, false
+	}
+	return eff.value, eff.stamp, true
+}
+
+// Write submits a write at node x. When the effective write quorum is met,
+// the new value is applied at every responding node.
+func (c *Cluster) Write(x int, value int64) bool {
+	if !c.st.SiteUp(x) {
+		return false
+	}
+	votes, responders, eff := c.collect(x, OpWrite)
+	if votes < eff.assign.QW {
+		return false
+	}
+	stamp := eff.stamp + 1
+	self := &c.nodes[x]
+	self.value, self.stamp = value, stamp
+	for _, to := range responders {
+		c.send(x, to, applyWrite{value: value, stamp: stamp})
+	}
+	c.drain(x)
+	return true
+}
+
+// Reassign attempts to install a new assignment from node x under the QR
+// protocol: permitted only when the component meets the effective (old)
+// write quorum. The new assignment and the current value are installed at
+// every responding node.
+func (c *Cluster) Reassign(x int, a quorum.Assignment) error {
+	if err := a.Validate(c.st.TotalVotes()); err != nil {
+		return fmt.Errorf("cluster: reassign: %w", err)
+	}
+	if !c.st.SiteUp(x) {
+		return fmt.Errorf("cluster: reassign: node %d is down", x)
+	}
+	votes, responders, eff := c.collect(x, OpReassign)
+	if votes < eff.assign.QW {
+		return fmt.Errorf("cluster: reassign: collected %d votes, need %d", votes, eff.assign.QW)
+	}
+	version := eff.version + 1
+	self := &c.nodes[x]
+	self.assign, self.version = a, version
+	inst := installAssign{assign: a, version: version, value: eff.value, stamp: eff.stamp}
+	for _, to := range responders {
+		c.send(x, to, inst)
+	}
+	c.drain(x)
+	return nil
+}
+
+// EffectiveAssignment runs a vote round to discover the assignment in
+// effect at node x's component.
+func (c *Cluster) EffectiveAssignment(x int) (quorum.Assignment, int64, bool) {
+	if !c.st.SiteUp(x) {
+		return quorum.Assignment{}, 0, false
+	}
+	_, _, eff := c.collect(x, OpRead)
+	return eff.assign, eff.version, true
+}

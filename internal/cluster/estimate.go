@@ -1,0 +1,148 @@
+package cluster
+
+import (
+	"fmt"
+
+	"quorumkit/internal/core"
+	"quorumkit/internal/dist"
+	"quorumkit/internal/quorum"
+	"quorumkit/internal/stats"
+)
+
+// This file realizes §4.2–4.3 at message level: each node records the vote
+// total of its component whenever it participates in a vote-collection
+// round ("site i can record the totals received while performing other
+// functions required by the consistency control algorithm"), a gossip
+// round collects the per-site histograms, and any node can then run the
+// Figure-1 optimization and install the result through the QR protocol —
+// the complete distributed on-line pipeline.
+
+// histRequest asks a peer for its local observation histogram.
+type histRequest struct{}
+
+// histReply carries the peer's histogram row.
+type histReply struct {
+	from    int
+	weights []float64
+}
+
+func (histRequest) kind() string { return "histRequest" }
+func (histReply) kind() string   { return "histReply" }
+
+// recordObservation stores a vote-total observation at a node. Lazily
+// allocates the histogram (T+1 bins).
+func (c *Cluster) recordObservation(nodeID, votes int) {
+	n := &c.nodes[nodeID]
+	if n.hist == nil {
+		n.hist = stats.NewHistogram(c.st.TotalVotes() + 1)
+	}
+	n.hist.Add(votes, 1)
+}
+
+// LocalDensity returns node x's own on-line estimate of f_x — built purely
+// from the vote totals it saw during rounds it took part in. Returns nil
+// when the node has no observations yet.
+func (c *Cluster) LocalDensity(x int) dist.PMF {
+	h := c.nodes[x].hist
+	if h == nil || h.Total() == 0 {
+		return nil
+	}
+	return dist.PMF(h.Normalize())
+}
+
+// GossipEstimates runs a histogram-collection round from node x: every
+// reachable peer ships its observation row, and x assembles a network-wide
+// estimator. Unreachable sites contribute their last state only if x has
+// cached nothing — here they are simply absent, which the assembled
+// estimator represents as a conservative point mass at zero (the paper's
+// §4.3 options are to approximate f_j, use an old value, or wait).
+func (c *Cluster) GossipEstimates(x int) (*core.Estimator, error) {
+	if !c.st.SiteUp(x) {
+		return nil, fmt.Errorf("cluster: gossip: node %d is down", x)
+	}
+	est := core.NewEstimator(len(c.nodes), c.st.TotalVotes())
+	// Own row.
+	if h := c.nodes[x].hist; h != nil {
+		for v := 0; v <= c.st.TotalVotes(); v++ {
+			if w := h.Weight(v); w > 0 {
+				est.ObserveFor(x, v, w)
+			}
+		}
+	}
+	c.gossipReplies = c.gossipReplies[:0]
+	c.broadcast(x, histRequest{})
+	c.drain(x)
+	for _, r := range c.gossipReplies {
+		for v, w := range r.weights {
+			if w > 0 {
+				est.ObserveFor(r.from, v, w)
+			}
+		}
+	}
+	return est, nil
+}
+
+// OptimizeLocal runs the Figure-1 algorithm at node x from gossiped
+// estimates, with an optional §5.4 write floor (minWrite > 0).
+func (c *Cluster) OptimizeLocal(x int, alpha, minWrite float64) (core.Result, error) {
+	est, err := c.GossipEstimates(x)
+	if err != nil {
+		return core.Result{}, err
+	}
+	model, err := est.Model(nil, nil)
+	if err != nil {
+		return core.Result{}, err
+	}
+	if minWrite > 0 {
+		return model.OptimizeConstrained(alpha, minWrite)
+	}
+	return model.Optimize(alpha), nil
+}
+
+// ReassignOptimal performs the full §4.3 loop at node x: gossip the
+// on-line estimates, compute the optimal assignment, and install it via
+// the QR protocol when it differs from the one in effect and predicts an
+// improvement of at least hysteresis. It reports whether a reassignment
+// was installed.
+func (c *Cluster) ReassignOptimal(x int, alpha, minWrite, hysteresis float64) (bool, error) {
+	if !c.st.SiteUp(x) {
+		return false, fmt.Errorf("cluster: reassign-optimal: node %d is down", x)
+	}
+	est, err := c.GossipEstimates(x)
+	if err != nil {
+		return false, err
+	}
+	model, err := est.Model(nil, nil)
+	if err != nil {
+		return false, err
+	}
+	var want core.Result
+	if minWrite > 0 {
+		want, err = model.OptimizeConstrained(alpha, minWrite)
+		if err != nil {
+			return false, err
+		}
+	} else {
+		want = model.Optimize(alpha)
+	}
+	current, _, ok := c.EffectiveAssignment(x)
+	if !ok {
+		return false, fmt.Errorf("cluster: reassign-optimal: node %d lost its component", x)
+	}
+	if current == want.Assignment {
+		return false, nil
+	}
+	predicted := model.AvailabilityFor(alpha, want.Assignment)
+	incumbent := model.AvailabilityFor(alpha, current)
+	if predicted-incumbent < hysteresis {
+		return false, nil
+	}
+	if err := c.Reassign(x, want.Assignment); err != nil {
+		return false, nil // component lacks the write quorum right now
+	}
+	return true, nil
+}
+
+// AssignmentCandidates exposes the family the local optimizer searches
+// (for diagnostics).
+func AssignmentCandidates(T int) []quorum.Assignment { return quorum.Enumerate(T) }

@@ -1,0 +1,233 @@
+package cluster
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"quorumkit/internal/quorum"
+)
+
+// Binary wire format for the protocol messages. The deterministic runtime
+// does not need serialization (payloads are delivered in-process), but a
+// deployable implementation does; the codec here is exercised on every
+// delivered message when wire mode is enabled, so the protocol tests also
+// certify the encoding.
+//
+// Layout (little-endian):
+//
+//	byte 0       message type tag
+//	bytes 1..    fields in declaration order; ints as int64/uint32
+const (
+	tagVoteRequest byte = iota + 1
+	tagVoteReply
+	tagSyncState
+	tagApplyWrite
+	tagInstallAssign
+	tagHistRequest
+	tagHistReply
+)
+
+// marshalPayload encodes a payload to bytes.
+func marshalPayload(p payload) ([]byte, error) {
+	switch b := p.(type) {
+	case voteRequest:
+		return []byte{tagVoteRequest, byte(b.op)}, nil
+	case voteReply:
+		buf := make([]byte, 0, 1+4+4+8+8+8+4+4)
+		buf = append(buf, tagVoteReply)
+		buf = appendU32(buf, uint32(b.from))
+		buf = appendU32(buf, uint32(b.votes))
+		buf = appendI64(buf, b.value)
+		buf = appendI64(buf, b.stamp)
+		buf = appendI64(buf, b.version)
+		buf = appendU32(buf, uint32(b.assign.QR))
+		buf = appendU32(buf, uint32(b.assign.QW))
+		return buf, nil
+	case syncState:
+		buf := make([]byte, 0, 1+8+8+8+4+4+4)
+		buf = append(buf, tagSyncState)
+		buf = appendI64(buf, b.value)
+		buf = appendI64(buf, b.stamp)
+		buf = appendI64(buf, b.version)
+		buf = appendU32(buf, uint32(b.assign.QR))
+		buf = appendU32(buf, uint32(b.assign.QW))
+		buf = appendU32(buf, uint32(b.votesSeen))
+		return buf, nil
+	case histRequest:
+		return []byte{tagHistRequest}, nil
+	case histReply:
+		buf := make([]byte, 0, 1+4+4+8*len(b.weights))
+		buf = append(buf, tagHistReply)
+		buf = appendU32(buf, uint32(b.from))
+		buf = appendU32(buf, uint32(len(b.weights)))
+		for _, w := range b.weights {
+			buf = appendI64(buf, int64(math.Float64bits(w)))
+		}
+		return buf, nil
+	case applyWrite:
+		buf := make([]byte, 0, 1+8+8)
+		buf = append(buf, tagApplyWrite)
+		buf = appendI64(buf, b.value)
+		buf = appendI64(buf, b.stamp)
+		return buf, nil
+	case installAssign:
+		buf := make([]byte, 0, 1+4+4+8+8+8)
+		buf = append(buf, tagInstallAssign)
+		buf = appendU32(buf, uint32(b.assign.QR))
+		buf = appendU32(buf, uint32(b.assign.QW))
+		buf = appendI64(buf, b.version)
+		buf = appendI64(buf, b.value)
+		buf = appendI64(buf, b.stamp)
+		return buf, nil
+	default:
+		return nil, fmt.Errorf("cluster: cannot marshal %T", p)
+	}
+}
+
+// unmarshalPayload decodes bytes produced by marshalPayload.
+func unmarshalPayload(data []byte) (payload, error) {
+	if len(data) == 0 {
+		return nil, fmt.Errorf("cluster: empty message")
+	}
+	d := decoder{buf: data[1:]}
+	switch data[0] {
+	case tagVoteRequest:
+		op := d.u8()
+		if d.err != nil {
+			return nil, d.err
+		}
+		return voteRequest{op: OpKind(op)}, nil
+	case tagVoteReply:
+		v := voteReply{
+			from:  int(d.u32()),
+			votes: int(d.u32()),
+			value: d.i64(),
+			stamp: d.i64(),
+		}
+		v.version = d.i64()
+		v.assign = quorum.Assignment{QR: int(d.u32()), QW: int(d.u32())}
+		if d.err != nil {
+			return nil, d.err
+		}
+		return v, nil
+	case tagSyncState:
+		s := syncState{value: d.i64(), stamp: d.i64(), version: d.i64()}
+		s.assign = quorum.Assignment{QR: int(d.u32()), QW: int(d.u32())}
+		s.votesSeen = int(d.u32())
+		if d.err != nil {
+			return nil, d.err
+		}
+		return s, nil
+	case tagHistRequest:
+		return histRequest{}, nil
+	case tagHistReply:
+		h := histReply{from: int(d.u32())}
+		count := d.u32()
+		if d.err != nil {
+			return nil, d.err
+		}
+		if count > 1<<20 {
+			return nil, fmt.Errorf("cluster: histogram too large (%d bins)", count)
+		}
+		if count > 0 {
+			h.weights = make([]float64, count)
+			for i := range h.weights {
+				h.weights[i] = math.Float64frombits(uint64(d.i64()))
+			}
+		}
+		if d.err != nil {
+			return nil, d.err
+		}
+		return h, nil
+	case tagApplyWrite:
+		a := applyWrite{value: d.i64(), stamp: d.i64()}
+		if d.err != nil {
+			return nil, d.err
+		}
+		return a, nil
+	case tagInstallAssign:
+		i := installAssign{}
+		i.assign = quorum.Assignment{QR: int(d.u32()), QW: int(d.u32())}
+		i.version = d.i64()
+		i.value = d.i64()
+		i.stamp = d.i64()
+		if d.err != nil {
+			return nil, d.err
+		}
+		return i, nil
+	default:
+		return nil, fmt.Errorf("cluster: unknown message tag %d", data[0])
+	}
+}
+
+func appendU32(buf []byte, v uint32) []byte {
+	return binary.LittleEndian.AppendUint32(buf, v)
+}
+
+func appendI64(buf []byte, v int64) []byte {
+	return binary.LittleEndian.AppendUint64(buf, uint64(v))
+}
+
+// decoder is a bounds-checked cursor over a message body.
+type decoder struct {
+	buf []byte
+	err error
+}
+
+func (d *decoder) u8() byte {
+	if d.err != nil {
+		return 0
+	}
+	if len(d.buf) < 1 {
+		d.err = fmt.Errorf("cluster: short message")
+		return 0
+	}
+	v := d.buf[0]
+	d.buf = d.buf[1:]
+	return v
+}
+
+func (d *decoder) u32() uint32 {
+	if d.err != nil {
+		return 0
+	}
+	if len(d.buf) < 4 {
+		d.err = fmt.Errorf("cluster: short message")
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(d.buf)
+	d.buf = d.buf[4:]
+	return v
+}
+
+func (d *decoder) i64() int64 {
+	if d.err != nil {
+		return 0
+	}
+	if len(d.buf) < 8 {
+		d.err = fmt.Errorf("cluster: short message")
+		return 0
+	}
+	v := int64(binary.LittleEndian.Uint64(d.buf))
+	d.buf = d.buf[8:]
+	return v
+}
+
+// SetWireMode makes the cluster round-trip every delivered message through
+// the binary codec, so protocol runs exercise serialization end to end.
+func (c *Cluster) SetWireMode(on bool) { c.wireMode = on }
+
+// roundTrip encodes and decodes a payload, panicking on any mismatch —
+// a codec bug must not silently corrupt a protocol run.
+func roundTrip(p payload) payload {
+	data, err := marshalPayload(p)
+	if err != nil {
+		panic(err)
+	}
+	out, err := unmarshalPayload(data)
+	if err != nil {
+		panic(err)
+	}
+	return out
+}

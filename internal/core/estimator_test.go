@@ -1,0 +1,274 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"quorumkit/internal/dist"
+	"quorumkit/internal/rng"
+)
+
+func TestEstimatorConvergesToSampledDensity(t *testing.T) {
+	const T = 10
+	truth := dist.PMF{0.2, 0, 0, 0.1, 0, 0.3, 0, 0, 0, 0, 0.4}
+	e := NewEstimator(1, T)
+	src := rng.New(8)
+	const n = 200000
+	for i := 0; i < n; i++ {
+		u := src.Float64()
+		cum := 0.0
+		v := 0
+		for k, p := range truth {
+			cum += p
+			if u < cum {
+				v = k
+				break
+			}
+		}
+		e.Observe(0, v)
+	}
+	got := e.Density(0)
+	for v := range truth {
+		if math.Abs(got[v]-truth[v]) > 0.005 {
+			t.Fatalf("f(%d) = %g, want %g", v, got[v], truth[v])
+		}
+	}
+	if e.Weight(0) != n {
+		t.Fatalf("weight %g", e.Weight(0))
+	}
+	if e.N() != 1 || e.T() != T {
+		t.Fatalf("N=%d T=%d", e.N(), e.T())
+	}
+}
+
+func TestEstimatorTimeWeightedMatchesCounts(t *testing.T) {
+	// Recording v for duration d must equal recording it d times (up to
+	// normalization).
+	a := NewEstimator(1, 5)
+	b := NewEstimator(1, 5)
+	a.ObserveFor(0, 3, 4)
+	a.ObserveFor(0, 5, 6)
+	for i := 0; i < 4; i++ {
+		b.Observe(0, 3)
+	}
+	for i := 0; i < 6; i++ {
+		b.Observe(0, 5)
+	}
+	fa, fb := a.Density(0), b.Density(0)
+	for v := range fa {
+		if math.Abs(fa[v]-fb[v]) > 1e-12 {
+			t.Fatalf("v=%d: %g vs %g", v, fa[v], fb[v])
+		}
+	}
+}
+
+func TestEstimatorDecayTracksChange(t *testing.T) {
+	// Phase 1: always 2 votes. Phase 2: always 8. With decay, the estimate
+	// must swing to phase 2; without decay it stays mixed.
+	mk := func(decay float64) dist.PMF {
+		e := NewEstimator(1, 10)
+		e.SetDecay(decay)
+		for i := 0; i < 1000; i++ {
+			e.Age()
+			e.Observe(0, 2)
+		}
+		for i := 0; i < 1000; i++ {
+			e.Age()
+			e.Observe(0, 8)
+		}
+		return e.Density(0)
+	}
+	decayed := mk(0.99)
+	flat := mk(1)
+	if decayed[8] < 0.99 {
+		t.Fatalf("decayed estimator stuck in the past: f(8)=%g", decayed[8])
+	}
+	if math.Abs(flat[8]-0.5) > 1e-9 {
+		t.Fatalf("undecayed estimator should be an even mix: f(8)=%g", flat[8])
+	}
+}
+
+func TestEstimatorDecayValidation(t *testing.T) {
+	e := NewEstimator(1, 3)
+	for _, bad := range []float64{0, -0.5, 1.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("decay %g should panic", bad)
+				}
+			}()
+			e.SetDecay(bad)
+		}()
+	}
+}
+
+func TestEstimatorModelConservativeWhenEmpty(t *testing.T) {
+	e := NewEstimator(2, 4)
+	e.Observe(0, 4)
+	m, err := e.Model(nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Site 1 has no data → point mass at 0 → contributes nothing to tails.
+	if got := m.ReadAvail(1); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("R(1) = %g, want 0.5", got)
+	}
+}
+
+func TestEstimatorMerge(t *testing.T) {
+	a := NewEstimator(2, 4)
+	b := NewEstimator(2, 4)
+	a.Observe(0, 4)
+	a.Observe(1, 2)
+	b.Observe(0, 4)
+	b.Observe(0, 1)
+	b.ObserveFor(1, 3, 2.5)
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a.Weight(0)-3) > 1e-12 || math.Abs(a.Weight(1)-3.5) > 1e-12 {
+		t.Fatalf("merged weights %g %g", a.Weight(0), a.Weight(1))
+	}
+	f := a.Density(0)
+	if math.Abs(f[4]-2.0/3.0) > 1e-12 || math.Abs(f[1]-1.0/3.0) > 1e-12 {
+		t.Fatalf("merged density %v", f)
+	}
+	// Shape mismatches are rejected.
+	if err := a.Merge(NewEstimator(3, 4)); err == nil {
+		t.Fatal("site-count mismatch accepted")
+	}
+	if err := a.Merge(NewEstimator(2, 5)); err == nil {
+		t.Fatal("vote-total mismatch accepted")
+	}
+}
+
+func TestEstimatorReset(t *testing.T) {
+	e := NewEstimator(1, 3)
+	e.Observe(0, 2)
+	e.Reset()
+	if e.Weight(0) != 0 {
+		t.Fatal("reset did not clear")
+	}
+}
+
+// TestOperationalDensityPreservesArgmax verifies the paper's footnote 4:
+// q_r maximizes A(α,·) iff it maximizes A'(α,·), because A = p·A'.
+func TestOperationalDensityPreservesArgmax(t *testing.T) {
+	const T = 21
+	const p = 0.85
+	src := rng.New(77)
+	for trial := 0; trial < 50; trial++ {
+		// Random conditional density over v ≥ 1 (an up site always counts
+		// its own votes).
+		e := NewEstimator(1, T)
+		for i := 0; i < 5000; i++ {
+			e.Observe(0, 1+src.Intn(T))
+		}
+		fPrime := e.Density(0)              // estimate of f'
+		fFull := e.OperationalDensity(0, p) // p·f' plus (1−p) at zero
+		if err := fFull.Validate(1e-9); err != nil {
+			t.Fatal(err)
+		}
+		mPrime, err := ModelFromSingleDensity(fPrime)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mFull, err := ModelFromSingleDensity(fFull)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, alpha := range []float64{0, 0.3, 0.75, 1} {
+			rp := mPrime.Optimize(alpha)
+			rf := mFull.Optimize(alpha)
+			if rp.Assignment.QR != rf.Assignment.QR {
+				t.Fatalf("trial %d α=%g: argmax differs: %d vs %d",
+					trial, alpha, rp.Assignment.QR, rf.Assignment.QR)
+			}
+			// A = p·A′ for every q_r ≥ 1.
+			if math.Abs(rf.Availability-p*rp.Availability) > 1e-9 {
+				t.Fatalf("trial %d α=%g: A=%g, p·A'=%g",
+					trial, alpha, rf.Availability, p*rp.Availability)
+			}
+		}
+	}
+}
+
+func TestOperationalDensityValidation(t *testing.T) {
+	e := NewEstimator(1, 3)
+	e.Observe(0, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("p out of range should panic")
+		}
+	}()
+	e.OperationalDensity(0, 1.5)
+}
+
+func TestEstimatorConstructorPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewEstimator(0, 5) },
+		func() { NewEstimator(5, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestEstimatorNegativeDurationPanics(t *testing.T) {
+	e := NewEstimator(1, 3)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	e.ObserveFor(0, 1, -1)
+}
+
+func TestSurvEstimator(t *testing.T) {
+	s := NewSurvEstimator(10)
+	// Largest component: 10 votes 70% of the time, 6 votes 30%.
+	s.ObserveFor(10, 7)
+	s.ObserveFor(6, 3)
+	m, err := s.Model()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// SURV availability for writes at q_w = 8: P[max ≥ 8] = 0.7.
+	if got := m.WriteAvail(8); math.Abs(got-0.7) > 1e-12 {
+		t.Fatalf("SURV W(8) = %g", got)
+	}
+	if got := m.ReadAvail(5); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("SURV R(5) = %g", got)
+	}
+	// SURV is an upper bound for ACC at equal quorums: the max component
+	// has at least as many votes as any site's component.
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative duration should panic")
+		}
+	}()
+	s.ObserveFor(1, -2)
+}
+
+func TestSurvEstimatorCountMode(t *testing.T) {
+	s := NewSurvEstimator(5)
+	for i := 0; i < 7; i++ {
+		s.Observe(5)
+	}
+	for i := 0; i < 3; i++ {
+		s.Observe(2)
+	}
+	m, err := s.Model()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.WriteAvail(3); math.Abs(got-0.7) > 1e-12 {
+		t.Fatalf("SURV W(3) = %g", got)
+	}
+}

@@ -1,0 +1,99 @@
+package core
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestEstimatorSaveLoadRoundTrip(t *testing.T) {
+	e := NewEstimator(3, 7)
+	e.SetDecay(0.999)
+	e.Observe(0, 7)
+	e.Observe(0, 7)
+	e.Observe(1, 3)
+	e.ObserveFor(2, 5, 2.5)
+
+	var buf bytes.Buffer
+	if err := e.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadEstimator(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.N() != 3 || back.T() != 7 {
+		t.Fatalf("dims %d/%d", back.N(), back.T())
+	}
+	if back.decay != 0.999 {
+		t.Fatalf("decay %g", back.decay)
+	}
+	for i := 0; i < 3; i++ {
+		if math.Abs(back.Weight(i)-e.Weight(i)) > 1e-12 {
+			t.Fatalf("site %d weight %g vs %g", i, back.Weight(i), e.Weight(i))
+		}
+		fo, fb := e.Density(i), back.Density(i)
+		for v := range fo {
+			if math.Abs(fo[v]-fb[v]) > 1e-12 {
+				t.Fatalf("site %d f(%d): %g vs %g", i, v, fo[v], fb[v])
+			}
+		}
+	}
+	// The restored estimator keeps working.
+	back.Observe(1, 6)
+	if back.Weight(1) <= e.Weight(1) {
+		t.Fatal("restored estimator rejected new observations")
+	}
+}
+
+func TestLoadEstimatorRejectsGarbage(t *testing.T) {
+	cases := []string{
+		``,
+		`not json`,
+		`{"votes_total":0,"decay":1,"sites":[[1]]}`,
+		`{"votes_total":3,"decay":1,"sites":[]}`,
+		`{"votes_total":3,"decay":0,"sites":[[1,0,0,0]]}`,
+		`{"votes_total":3,"decay":1,"sites":[[1,0]]}`,       // wrong bin count
+		`{"votes_total":3,"decay":1,"sites":[[-1,0,0,0]]}`,  // negative weight
+		`{"votes_total":3,"decay":1.5,"sites":[[1,0,0,0]]}`, // decay > 1
+	}
+	for _, c := range cases {
+		if _, err := LoadEstimator(strings.NewReader(c)); err == nil {
+			t.Fatalf("accepted %q", c)
+		}
+	}
+}
+
+func TestSaveLoadPreservesOptimization(t *testing.T) {
+	// A decision made from a restored estimator must equal the original's.
+	e := NewEstimator(5, 5)
+	for i := 0; i < 5; i++ {
+		for k := 0; k < 50; k++ {
+			e.Observe(i, (i+k)%6)
+		}
+	}
+	var buf bytes.Buffer
+	if err := e.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadEstimator(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1, err := e.Model(nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := back.Model(nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, alpha := range []float64{0, 0.5, 1} {
+		r1, r2 := m1.Optimize(alpha), m2.Optimize(alpha)
+		if r1.Assignment != r2.Assignment || math.Abs(r1.Availability-r2.Availability) > 1e-12 {
+			t.Fatalf("α=%g: %v/%g vs %v/%g", alpha,
+				r1.Assignment, r1.Availability, r2.Assignment, r2.Availability)
+		}
+	}
+}

@@ -1,0 +1,389 @@
+// Package coterie implements general read/write coterie systems — the
+// strictly-more-general mechanism the paper points to through its
+// references [7] and [8] (Garcia-Molina & Barbara; Cheung, Ahamad &
+// Ammar). A vote/quorum pair induces a coterie system, but some coterie
+// systems (the grid protocol below, for example) are not induced by any
+// vote assignment, and they can dominate voting.
+//
+// Availability is evaluated exactly on small topologies by enumerating
+// failure configurations: an access at site i is granted when i's
+// component contains some quorum group of the relevant coterie. This is
+// the set-valued generalization of the paper's vote-count criterion, and
+// it reduces to the paper's model under vote-induced systems (verified in
+// the tests).
+package coterie
+
+import (
+	"fmt"
+
+	"quorumkit/internal/graph"
+	"quorumkit/internal/quorum"
+)
+
+// System is a read/write pair of quorum-group sets. Correctness requires:
+//
+//	(w-w) every two write groups intersect (no concurrent writes), and
+//	(r-w) every read group intersects every write group (reads see the
+//	      most recent write).
+//
+// Read groups need not intersect each other.
+type System struct {
+	Read  []quorum.Group
+	Write []quorum.Group
+}
+
+// Validate checks the two intersection properties and non-emptiness.
+func (s System) Validate() error {
+	if len(s.Read) == 0 || len(s.Write) == 0 {
+		return fmt.Errorf("coterie: empty read or write group set")
+	}
+	for i, w := range s.Write {
+		if w == 0 {
+			return fmt.Errorf("coterie: write group %d empty", i)
+		}
+		for j := i + 1; j < len(s.Write); j++ {
+			if !w.Intersects(s.Write[j]) {
+				return fmt.Errorf("coterie: write groups %d and %d disjoint", i, j)
+			}
+		}
+	}
+	for i, r := range s.Read {
+		if r == 0 {
+			return fmt.Errorf("coterie: read group %d empty", i)
+		}
+		for j, w := range s.Write {
+			if !r.Intersects(w) {
+				return fmt.Errorf("coterie: read group %d misses write group %d", i, j)
+			}
+		}
+	}
+	return nil
+}
+
+// GrantRead reports whether a component (as a site set) contains a read
+// group.
+func (s System) GrantRead(component quorum.Group) bool {
+	for _, g := range s.Read {
+		if g.Subset(component) {
+			return true
+		}
+	}
+	return false
+}
+
+// GrantWrite reports whether a component contains a write group.
+func (s System) GrantWrite(component quorum.Group) bool {
+	for _, g := range s.Write {
+		if g.Subset(component) {
+			return true
+		}
+	}
+	return false
+}
+
+// FromQuorums returns the system induced by a vote assignment and a
+// (q_r, q_w) pair: read groups are the minimal sets holding q_r votes,
+// write groups the minimal sets holding q_w votes.
+func FromQuorums(votes quorum.VoteAssignment, a quorum.Assignment) (System, error) {
+	if err := a.Validate(votes.Total()); err != nil {
+		return System{}, err
+	}
+	s := System{
+		Read:  quorum.FromVotes(votes, a.QR),
+		Write: quorum.FromVotes(votes, a.QW),
+	}
+	if err := s.Validate(); err != nil {
+		return System{}, fmt.Errorf("coterie: induced system invalid: %w", err)
+	}
+	return s, nil
+}
+
+// Grid returns the grid protocol system for rows×cols sites laid out in
+// row-major order (site r·cols+c): a read group is one site from every
+// column; a write group is a full column plus one site from every other
+// column. The system is valid but not induced by any vote assignment for
+// grids of at least 3×3.
+func Grid(rows, cols int) (System, error) {
+	n := rows * cols
+	if rows < 1 || cols < 1 || n > 16 {
+		// 16 keeps cols^rows enumeration and the exact evaluator tractable.
+		return System{}, fmt.Errorf("coterie: grid %dx%d unsupported (need ≤ 16 sites)", rows, cols)
+	}
+	site := func(r, c int) int { return r*cols + c }
+
+	// All column covers: one site per column → cols choices per column...
+	// rows^cols combinations.
+	var covers []quorum.Group
+	var buildCover func(c int, acc quorum.Group)
+	buildCover = func(c int, acc quorum.Group) {
+		if c == cols {
+			covers = append(covers, acc)
+			return
+		}
+		for r := 0; r < rows; r++ {
+			buildCover(c+1, acc|quorum.NewGroup(site(r, c)))
+		}
+	}
+	buildCover(0, 0)
+
+	var s System
+	s.Read = append(s.Read, covers...)
+	for c := 0; c < cols; c++ {
+		var column quorum.Group
+		for r := 0; r < rows; r++ {
+			column |= quorum.NewGroup(site(r, c))
+		}
+		for _, cover := range covers {
+			s.Write = append(s.Write, column|cover)
+		}
+	}
+	s.Write = Minimize(s.Write)
+	if err := s.Validate(); err != nil {
+		return System{}, err
+	}
+	return s, nil
+}
+
+// Minimize removes duplicate groups and groups that are supersets of other
+// groups, returning the minimal antichain with identical grant behaviour.
+func Minimize(groups []quorum.Group) []quorum.Group {
+	seen := map[quorum.Group]bool{}
+	var uniq []quorum.Group
+	for _, g := range groups {
+		if !seen[g] {
+			seen[g] = true
+			uniq = append(uniq, g)
+		}
+	}
+	var out []quorum.Group
+	for i, g := range uniq {
+		minimal := true
+		for j, h := range uniq {
+			if i != j && h.Subset(g) && h != g {
+				minimal = false
+				break
+			}
+		}
+		if minimal {
+			out = append(out, g)
+		}
+	}
+	return out
+}
+
+// ReadOneWriteAll returns the ROWA system over n sites: any single site
+// reads, only the full set writes.
+func ReadOneWriteAll(n int) System {
+	var all quorum.Group
+	s := System{}
+	for i := 0; i < n; i++ {
+		g := quorum.NewGroup(i)
+		s.Read = append(s.Read, g)
+		all |= g
+	}
+	s.Write = []quorum.Group{all}
+	return s
+}
+
+// ComponentDist is the exact distribution, for every site, over the site
+// set of the component containing it (the set-valued refinement of the
+// paper's f_i(v)). Computing it once lets many coterie systems be
+// evaluated against the same topology cheaply.
+type ComponentDist struct {
+	n   int
+	per []map[quorum.Group]float64 // per[i][S] = P[component of i = S]; S=0 means down
+}
+
+// Components enumerates all up/down configurations of g (site reliability
+// p, link reliability r) and returns the exact component-set distribution.
+// Requires n ≤ 16 and n+m ≤ 24.
+func Components(g *graph.Graph, p, r float64) (*ComponentDist, error) {
+	n, m := g.N(), g.M()
+	if p < 0 || p > 1 || r < 0 || r > 1 {
+		return nil, fmt.Errorf("coterie: reliabilities out of range")
+	}
+	linkBits := m
+	if r == 1 {
+		// Perfect links never fail; enumerating their states is pointless.
+		linkBits = 0
+	}
+	if n > 16 || n+linkBits > 24 {
+		return nil, fmt.Errorf("coterie: exact evaluation needs n ≤ 16 and n+m ≤ 24, got %d/%d", n, n+linkBits)
+	}
+	st := graph.NewState(g, nil)
+	d := &ComponentDist{n: n, per: make([]map[quorum.Group]float64, n)}
+	for i := range d.per {
+		d.per[i] = map[quorum.Group]float64{}
+	}
+	total := 1 << uint(n+linkBits)
+	members := make([]int, 0, n)
+	for mask := 0; mask < total; mask++ {
+		prob := 1.0
+		for i := 0; i < n; i++ {
+			if mask&(1<<uint(i)) != 0 {
+				prob *= p
+				st.RepairSite(i)
+			} else {
+				prob *= 1 - p
+				st.FailSite(i)
+			}
+		}
+		for l := 0; l < linkBits; l++ {
+			if mask&(1<<uint(n+l)) != 0 {
+				prob *= r
+				st.RepairLink(l)
+			} else {
+				prob *= 1 - r
+				st.FailLink(l)
+			}
+		}
+		if prob == 0 {
+			continue
+		}
+		var reps []int
+		reps = st.Representatives(reps)
+		for _, rep := range reps {
+			members = st.Members(rep, members[:0])
+			var comp quorum.Group
+			for _, site := range members {
+				comp |= quorum.NewGroup(site)
+			}
+			for _, site := range members {
+				d.per[site][comp] += prob
+			}
+		}
+	}
+	return d, nil
+}
+
+// SiteAvailability returns, for each site, the probability that an access
+// submitted there is granted under the system (reads with probability
+// alpha, writes otherwise). Down sites deny everything.
+func (d *ComponentDist) SiteAvailability(s System, alpha float64) ([]float64, error) {
+	if alpha < 0 || alpha > 1 {
+		return nil, fmt.Errorf("coterie: α=%g out of [0,1]", alpha)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	out := make([]float64, d.n)
+	for i, dist := range d.per {
+		for comp, prob := range dist {
+			grant := 0.0
+			if s.GrantRead(comp) {
+				grant += alpha
+			}
+			if s.GrantWrite(comp) {
+				grant += 1 - alpha
+			}
+			out[i] += prob * grant
+		}
+	}
+	return out, nil
+}
+
+// Availability returns the uniform-access ACC availability of the system.
+func (d *ComponentDist) Availability(s System, alpha float64) (float64, error) {
+	per, err := d.SiteAvailability(s, alpha)
+	if err != nil {
+		return 0, err
+	}
+	sum := 0.0
+	for _, a := range per {
+		sum += a
+	}
+	return sum / float64(d.n), nil
+}
+
+// Availability computes the exact ACC availability of a coterie system on
+// a topology in one call; use Components directly to evaluate several
+// systems against one topology.
+func Availability(g *graph.Graph, p, r float64, s System, alpha float64) (float64, error) {
+	d, err := Components(g, p, r)
+	if err != nil {
+		return 0, err
+	}
+	return d.Availability(s, alpha)
+}
+
+// SiteAvailability is the one-call per-site variant of Availability.
+func SiteAvailability(g *graph.Graph, p, r float64, s System, alpha float64) ([]float64, error) {
+	d, err := Components(g, p, r)
+	if err != nil {
+		return nil, err
+	}
+	return d.SiteAvailability(s, alpha)
+}
+
+// VoteInducible reports whether the system's write coterie can be realized
+// by some vote assignment with per-site votes in [0, maxVotes] and a write
+// quorum — a brute-force check used to certify that a coterie (like the
+// grid) genuinely escapes the voting framework.
+func VoteInducible(s System, n, maxVotes int) bool {
+	if n > 9 {
+		panic(fmt.Sprintf("coterie: VoteInducible supports ≤ 9 sites, got %d", n))
+	}
+	target := Minimize(s.Write)
+	votes := make(quorum.VoteAssignment, n)
+	var try func(i int) bool
+	try = func(i int) bool {
+		if i == n {
+			total := votes.Total()
+			if total == 0 {
+				return false
+			}
+			for q := total/2 + 1; q <= total; q++ {
+				// Cheap necessary conditions before the exponential
+				// FromVotes: every target group must meet q and be minimal
+				// (dropping its lightest member falls below q).
+				ok := true
+				for _, g := range target {
+					sum, minV := 0, 1<<30
+					for _, site := range g.Sites() {
+						sum += votes[site]
+						if votes[site] < minV {
+							minV = votes[site]
+						}
+					}
+					if sum < q || sum-minV >= q {
+						ok = false
+						break
+					}
+				}
+				if !ok {
+					continue
+				}
+				induced := quorum.FromVotes(votes, q)
+				if sameGroups(induced, target) {
+					return true
+				}
+			}
+			return false
+		}
+		for v := 0; v <= maxVotes; v++ {
+			votes[i] = v
+			if try(i + 1) {
+				return true
+			}
+		}
+		votes[i] = 0
+		return false
+	}
+	return try(0)
+}
+
+func sameGroups(a quorum.Coterie, b []quorum.Group) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	set := map[quorum.Group]bool{}
+	for _, g := range a {
+		set[g] = true
+	}
+	for _, g := range b {
+		if !set[g] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,97 @@
+package coterie
+
+import (
+	"fmt"
+
+	"quorumkit/internal/quorum"
+)
+
+// This file implements two further classic coterie families the
+// coterie-versus-voting literature (the paper's references [7, 8])
+// compares against: tree quorums (Agrawal & El Abbadi) and the finite-
+// projective-plane coterie of Maekawa's √N algorithm, instantiated for the
+// Fano plane.
+
+// TreeQuorums returns the quorum groups of the tree protocol on a complete
+// binary tree of the given depth (depth 0 = a single root). Sites are
+// numbered heap-style: root 0, children of i at 2i+1 and 2i+2.
+//
+// A quorum is obtained by the protocol's recursion: take the root and a
+// quorum of one of its subtrees, or (if the root is inaccessible) a quorum
+// of BOTH subtrees. Any two quorums intersect, and in the failure-free
+// case a quorum has only depth+1 sites — logarithmic in n.
+func TreeQuorums(depth int) ([]quorum.Group, error) {
+	if depth < 0 || depth > 4 {
+		return nil, fmt.Errorf("coterie: tree depth %d out of [0,4] (64-site Group limit)", depth)
+	}
+	groups := treeQuorumsAt(0, depth)
+	return Minimize(groups), nil
+}
+
+// treeQuorumsAt returns the quorum groups of the subtree rooted at `root`
+// with `levels` levels below it.
+func treeQuorumsAt(root, levels int) []quorum.Group {
+	self := quorum.NewGroup(root)
+	if levels == 0 {
+		return []quorum.Group{self}
+	}
+	left := treeQuorumsAt(2*root+1, levels-1)
+	right := treeQuorumsAt(2*root+2, levels-1)
+	var out []quorum.Group
+	// Root present: root + a quorum of either subtree.
+	for _, l := range left {
+		out = append(out, self|l)
+	}
+	for _, r := range right {
+		out = append(out, self|r)
+	}
+	// Root absent: a quorum of both subtrees.
+	for _, l := range left {
+		for _, r := range right {
+			out = append(out, l|r)
+		}
+	}
+	return out
+}
+
+// TreeSystem returns the tree-quorum coterie used for both reads and
+// writes (the tree protocol does not relax reads).
+func TreeSystem(depth int) (System, error) {
+	qs, err := TreeQuorums(depth)
+	if err != nil {
+		return System{}, err
+	}
+	s := System{Read: qs, Write: qs}
+	if err := s.Validate(); err != nil {
+		return System{}, err
+	}
+	return s, nil
+}
+
+// FanoPlane returns the seven lines of the Fano plane PG(2,2) over sites
+// 0..6 — the coterie behind Maekawa's √N mutual exclusion algorithm for
+// n = 7. Every pair of lines intersects in exactly one site, every line
+// has exactly three sites, and every site lies on exactly three lines.
+func FanoPlane() []quorum.Group {
+	lines := [][3]int{
+		{0, 1, 2},
+		{0, 3, 4},
+		{0, 5, 6},
+		{1, 3, 5},
+		{1, 4, 6},
+		{2, 3, 6},
+		{2, 4, 5},
+	}
+	out := make([]quorum.Group, len(lines))
+	for i, l := range lines {
+		out[i] = quorum.NewGroup(l[0], l[1], l[2])
+	}
+	return out
+}
+
+// FanoSystem returns the Fano-plane coterie as a read/write system (same
+// groups for both, as in Maekawa's algorithm).
+func FanoSystem() System {
+	qs := FanoPlane()
+	return System{Read: qs, Write: qs}
+}

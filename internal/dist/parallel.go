@@ -1,0 +1,81 @@
+package dist
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"quorumkit/internal/graph"
+	"quorumkit/internal/rng"
+)
+
+// MonteCarloParallel is MonteCarlo with the sample budget split across up
+// to GOMAXPROCS workers, each drawing from an independent substream of src
+// (Split). Unlike the serial estimator it is deterministic only for a fixed
+// worker count; the estimate converges to the same density either way.
+func MonteCarloParallel(g *graph.Graph, votes []int, p, r float64, samples int, src *rng.Source) []PMF {
+	checkProb("p", p)
+	checkProb("r", r)
+	if samples <= 0 {
+		panic(fmt.Sprintf("dist: MonteCarloParallel samples=%d", samples))
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > samples {
+		workers = samples
+	}
+	// Derive one independent substream per worker up front (Split mutates
+	// the parent, so do it serially).
+	seeds := make([]*rng.Source, workers)
+	for i := range seeds {
+		seeds[i] = src.Split()
+	}
+	per := samples / workers
+	extra := samples % workers
+
+	partial := make([][]PMF, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		n := per
+		if w < extra {
+			n++
+		}
+		if n == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(w, n int) {
+			defer wg.Done()
+			partial[w] = MonteCarlo(g, votes, p, r, n, seeds[w])
+		}(w, n)
+	}
+	wg.Wait()
+
+	// Weighted merge of the per-worker densities.
+	out := make([]PMF, g.N())
+	totalWeight := 0.0
+	for w := range partial {
+		if partial[w] == nil {
+			continue
+		}
+		n := per
+		if w < extra {
+			n++
+		}
+		weight := float64(n)
+		totalWeight += weight
+		for i, f := range partial[w] {
+			if out[i] == nil {
+				out[i] = make(PMF, len(f))
+			}
+			for v, x := range f {
+				out[i][v] += weight * x
+			}
+		}
+	}
+	for i := range out {
+		for v := range out[i] {
+			out[i][v] /= totalWeight
+		}
+	}
+	return out
+}

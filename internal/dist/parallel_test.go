@@ -1,0 +1,62 @@
+package dist
+
+import (
+	"math"
+	"testing"
+
+	"quorumkit/internal/graph"
+	"quorumkit/internal/rng"
+)
+
+func TestMonteCarloParallelMatchesExact(t *testing.T) {
+	g := graph.Grid(2, 2)
+	const p, r = 0.8, 0.7
+	exact := Exact(g, nil, p, r)
+	mc := MonteCarloParallel(g, nil, p, r, 400000, rng.New(9))
+	for i := 0; i < g.N(); i++ {
+		sum := 0.0
+		for v := 0; v <= 4; v++ {
+			sum += mc[i][v]
+			if math.Abs(exact[i][v]-mc[i][v]) > 0.006 {
+				t.Fatalf("site %d f(%d): exact %g vs parallel MC %g", i, v, exact[i][v], mc[i][v])
+			}
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("site %d density sums to %g", i, sum)
+		}
+	}
+}
+
+func TestMonteCarloParallelSmallSampleCounts(t *testing.T) {
+	g := graph.Path(2)
+	// Fewer samples than workers must still work.
+	mc := MonteCarloParallel(g, nil, 1, 1, 1, rng.New(3))
+	if math.Abs(mc[0][2]-1) > 1e-12 {
+		t.Fatalf("perfect pair density %v", mc[0])
+	}
+}
+
+func TestMonteCarloParallelPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MonteCarloParallel(graph.Path(2), nil, 0.5, 0.5, 0, rng.New(1))
+}
+
+func BenchmarkMonteCarloSerial(b *testing.B) {
+	g := graph.Grid(3, 3)
+	src := rng.New(1)
+	for i := 0; i < b.N; i++ {
+		_ = MonteCarlo(g, nil, 0.9, 0.9, 2000, src)
+	}
+}
+
+func BenchmarkMonteCarloParallel(b *testing.B) {
+	g := graph.Grid(3, 3)
+	src := rng.New(1)
+	for i := 0; i < b.N; i++ {
+		_ = MonteCarloParallel(g, nil, 0.9, 0.9, 2000, src)
+	}
+}

@@ -1,0 +1,161 @@
+package experiments
+
+import (
+	"testing"
+
+	"quorumkit/internal/core"
+	"quorumkit/internal/dist"
+	"quorumkit/internal/sim"
+)
+
+func modelFrom(t *testing.T, f dist.PMF) core.Model {
+	t.Helper()
+	m, err := core.ModelFromSingleDensity(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestClassifyOptimumAnalytic(t *testing.T) {
+	// Dense network: majority optimal at α=0; read-one at α=1.
+	dense := modelFrom(t, dist.Complete(101, 0.96, 0.96))
+	if c := ClassifyOptimum(dense, 0, 0.002); c != AtMajority {
+		t.Fatalf("dense α=0: %v", c)
+	}
+	if c := ClassifyOptimum(dense, 1, 0.002); c != AtReadOne {
+		t.Fatalf("dense α=1: %v", c)
+	}
+	// Sparse ring: read-one wins already at moderate α.
+	ring := modelFrom(t, dist.Ring(101, 0.96, 0.96))
+	if c := ClassifyOptimum(ring, 0.75, 0.002); c != AtReadOne {
+		t.Fatalf("ring α=0.75: %v", c)
+	}
+	if c := ClassifyOptimum(ring, 0, 0.002); c != AtMajority {
+		t.Fatalf("ring α=0: %v", c)
+	}
+}
+
+func TestCrossoverAlphaAnalytic(t *testing.T) {
+	ring := modelFrom(t, dist.Ring(101, 0.96, 0.96))
+	dense := modelFrom(t, dist.Complete(101, 0.96, 0.96))
+	aRing := CrossoverAlpha(ring, 0.002, 0.005)
+	aDense := CrossoverAlpha(dense, 0.002, 0.005)
+	if aRing <= 0 || aRing >= 1 {
+		t.Fatalf("ring crossover %g", aRing)
+	}
+	if aDense <= aRing {
+		t.Fatalf("denser topology should hold majority longer: ring %g vs dense %g",
+			aRing, aDense)
+	}
+	// §5.5: on the ring, read-one already dominates at α=0.25 — so the
+	// crossover is below 0.25.
+	if aRing >= 0.25 {
+		t.Fatalf("ring crossover %g, expected < 0.25", aRing)
+	}
+	// Monotone switching assumption: majority below, not above.
+	if ClassifyOptimum(ring, aRing*0.5, 0.002) != AtMajority {
+		t.Fatal("majority not optimal below the crossover")
+	}
+	if ClassifyOptimum(ring, aRing+0.1, 0.002) == AtMajority {
+		t.Fatal("majority still optimal above the crossover")
+	}
+}
+
+func TestCrossoverDegenerateEnds(t *testing.T) {
+	// A density with all mass at T: every assignment perfect, so the
+	// optimum ties everywhere; with eps it reads as q_r=1 → crossover 0.
+	f := make(dist.PMF, 12)
+	f[11] = 1
+	m := modelFrom(t, f)
+	if a := CrossoverAlpha(m, 0.002, 0.01); a != 0 {
+		t.Fatalf("degenerate crossover %g", a)
+	}
+}
+
+func TestCrossoverTable(t *testing.T) {
+	rows, err := CrossoverTable(sim.PaperParams(), quickCollect(12), []int{0, 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	if rows[1].Alpha <= rows[0].Alpha {
+		t.Fatalf("topology 16 crossover %g should exceed ring %g",
+			rows[1].Alpha, rows[0].Alpha)
+	}
+}
+
+func TestReplicationBenefit(t *testing.T) {
+	res, err := ReplicationBenefit(16, 0.75, sim.PaperParams(), quickCollect(13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SingleCopy <= 0 || res.SingleCopy > res.SiteReliabilty+0.02 {
+		t.Fatalf("single-copy availability %g (p=%g)", res.SingleCopy, res.SiteReliabilty)
+	}
+	if res.Replicated.Availability <= res.SingleCopy {
+		t.Fatalf("replication should beat a single copy on topology 16 at α=0.75: %g vs %g",
+			res.Replicated.Availability, res.SingleCopy)
+	}
+	if res.Ratio <= 1 {
+		t.Fatalf("benefit ratio %g", res.Ratio)
+	}
+	// §3: ACC can never exceed the submitting site's reliability.
+	if res.Replicated.Availability > res.SiteReliabilty+0.02 {
+		t.Fatalf("ACC %g exceeds the reliability ceiling %g",
+			res.Replicated.Availability, res.SiteReliabilty)
+	}
+}
+
+func TestOmegaSweep(t *testing.T) {
+	m := modelFrom(t, dist.Ring(101, 0.96, 0.96))
+	const alpha = 0.75
+	omegas := []float64{0, 0.25, 0.5, 1, 2, 4, 8, 32, 128}
+	rows := OmegaSweep(m, alpha, omegas)
+	if len(rows) != len(omegas) {
+		t.Fatalf("%d rows", len(rows))
+	}
+	// The optimum walks monotonically from the read endpoint (ω=0 →
+	// q_r=1) toward the majority endpoint as writes gain weight.
+	if rows[0].Assignment.QR != 1 {
+		t.Fatalf("ω=0 optimum %v", rows[0].Assignment)
+	}
+	last := rows[len(rows)-1]
+	if last.Assignment.QR != m.MaxReadQuorum() {
+		t.Fatalf("ω=%g optimum %v, want majority", last.Omega, last.Assignment)
+	}
+	prev := 0
+	for _, r := range rows {
+		if r.Assignment.QR < prev {
+			t.Fatalf("ω path not monotone: q_r %d after %d", r.Assignment.QR, prev)
+		}
+		prev = r.Assignment.QR
+		if err := r.Assignment.Validate(101); err != nil {
+			t.Fatal(err)
+		}
+		if r.WriteAvail < 0 || r.ReadAvail > 1 {
+			t.Fatalf("bad row %+v", r)
+		}
+	}
+	// Duality with the write-floor technique: the constrained optimum for
+	// a floor achieved on the ω path is the same assignment.
+	target := rows[4].WriteAvail // some interior point
+	if target > 0 {
+		con, err := m.OptimizeConstrained(alpha, target)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Availability(0, con.Assignment.QR) < target {
+			t.Fatal("constrained optimum violates its own floor")
+		}
+	}
+}
+
+func TestOptimumClassString(t *testing.T) {
+	if AtMajority.String() != "majority" || AtReadOne.String() != "q_r=1" ||
+		Interior.String() != "interior" || OptimumClass(9).String() == "" {
+		t.Fatal("class names")
+	}
+}

@@ -1,0 +1,230 @@
+package experiments
+
+import (
+	"fmt"
+
+	"quorumkit/internal/core"
+	"quorumkit/internal/quorum"
+	"quorumkit/internal/replica"
+	"quorumkit/internal/rng"
+	"quorumkit/internal/sim"
+	"quorumkit/internal/topo"
+)
+
+// DynamicStudy compares the §4.3 dynamic quorum reassignment protocol
+// against static assignments on a workload whose read-write ratio
+// alternates between phases. All three arms see the identical failure and
+// access schedule (same simulator seed); only the quorum policy differs.
+type DynamicStudy struct {
+	// StaticMajority is the overall granted fraction under a fixed
+	// majority assignment.
+	StaticMajority float64
+	// StaticOptimal is the granted fraction under the fixed assignment
+	// optimal for the *average* read fraction (the best any static policy
+	// informed by the aggregate workload can do off-line).
+	StaticOptimal float64
+	// StaticOptimalAssignment is that assignment.
+	StaticOptimalAssignment quorum.Assignment
+	// Dynamic is the granted fraction under the reassignment manager.
+	Dynamic float64
+	// Reassignments counts installs performed by the dynamic arm.
+	Reassignments int
+	// StaleReads must be zero: one-copy serializability across all arms.
+	StaleReads int
+}
+
+// DynamicConfig parameterizes DynamicVsStatic.
+type DynamicConfig struct {
+	Chords           int     // paper topology selector
+	Phases           int     // number of alternating workload phases
+	AccessesPerPhase int64   // accesses in each phase
+	AlphaHigh        float64 // read fraction of odd phases (read-heavy)
+	AlphaLow         float64 // read fraction of even phases (write-heavy)
+	Seed             uint64
+}
+
+// DefaultDynamicConfig returns a configuration that demonstrates the §4.3
+// effect in about a second.
+func DefaultDynamicConfig() DynamicConfig {
+	return DynamicConfig{
+		Chords:           4,
+		Phases:           4,
+		AccessesPerPhase: 40_000,
+		AlphaHigh:        0.9,
+		AlphaLow:         0.1,
+		Seed:             1,
+	}
+}
+
+func (c DynamicConfig) validate() error {
+	if c.Phases < 2 || c.AccessesPerPhase <= 0 {
+		return fmt.Errorf("experiments: bad dynamic config %+v", c)
+	}
+	if c.AlphaHigh < 0 || c.AlphaHigh > 1 || c.AlphaLow < 0 || c.AlphaLow > 1 {
+		return fmt.Errorf("experiments: bad α values %+v", c)
+	}
+	return nil
+}
+
+// runArm simulates one policy arm and returns (granted fraction, stale
+// reads, reassignments). If mgr configuration is nil the assignment stays
+// fixed at initial.
+func runArm(cfg DynamicConfig, initial quorum.Assignment, dynamic bool,
+	alphaOf func(phase int) float64) (float64, int, int, error) {
+	g := topo.Paper(cfg.Chords)
+	n := g.N()
+	s := sim.New(g, nil, sim.PaperParams(), cfg.Seed)
+	obj, err := replica.NewObject(s.State(), initial)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	var est *core.Estimator
+	var mgr *replica.Manager
+	if dynamic {
+		est = core.NewEstimator(n, n)
+		est.SetDecay(0.9998)
+		mgr = replica.NewManager(obj, est, alphaOf(0))
+		// The write floor keeps every installed assignment's write quorum
+		// reachable often enough that the *next* reassignment remains
+		// possible — without it the manager drifts to near-ROWA during
+		// read-heavy phases and locks itself out (the §5.4 hazard).
+		mgr.MinWrite = 0.25
+		mgr.Hysteresis = 0.02
+	}
+	// A dedicated stream for read/write coin flips keeps the simulator's
+	// failure/access schedule identical across arms.
+	coins := rng.New(cfg.Seed ^ 0x9e3779b97f4a7c15)
+	var granted, total, stale int
+	alpha := alphaOf(0)
+	s.OnAccess = func(site, votes int, at float64) {
+		if est != nil {
+			est.Age()
+			est.Observe(site, votes)
+		}
+		total++
+		if coins.Bernoulli(alpha) {
+			if _, stamp, ok := obj.Read(site); ok {
+				granted++
+				if stamp != obj.LatestStamp() {
+					stale++
+				}
+			}
+		} else if obj.Write(site, int64(total)) {
+			granted++
+		}
+		if mgr != nil && s.AccessCount()%2000 == 0 {
+			if _, err := mgr.Tick(); err != nil {
+				panic(err)
+			}
+		}
+	}
+	for phase := 0; phase < cfg.Phases; phase++ {
+		alpha = alphaOf(phase)
+		if mgr != nil {
+			mgr.SetAlpha(alpha)
+		}
+		s.RunAccesses(cfg.AccessesPerPhase)
+	}
+	re := 0
+	if mgr != nil {
+		re = mgr.Reassignments()
+	}
+	return float64(granted) / float64(total), stale, re, nil
+}
+
+// DynamicVsStatic runs the three policy arms and returns the comparison.
+func DynamicVsStatic(cfg DynamicConfig) (DynamicStudy, error) {
+	if err := cfg.validate(); err != nil {
+		return DynamicStudy{}, err
+	}
+	alphaOf := func(phase int) float64 {
+		if phase%2 == 0 {
+			return cfg.AlphaHigh
+		}
+		return cfg.AlphaLow
+	}
+	g := topo.Paper(cfg.Chords)
+	T := g.N()
+
+	// Arm 1: static majority.
+	maj, stale1, _, err := runArm(cfg, quorum.Majority(T), false, alphaOf)
+	if err != nil {
+		return DynamicStudy{}, err
+	}
+
+	// Arm 2: static optimal for the average read fraction, chosen from a
+	// model fitted to the same topology (off-line planning step).
+	avgAlpha := (cfg.AlphaHigh + cfg.AlphaLow) / 2
+	model, _, err := sim.Collect(g, nil, sim.PaperParams(), sim.CollectConfig{
+		Mode: sim.TimeWeighted, Accesses: 200_000, Warmup: 10_000, Seed: cfg.Seed + 1000,
+	})
+	if err != nil {
+		return DynamicStudy{}, err
+	}
+	optRes := model.Optimize(avgAlpha)
+	opt, stale2, _, err := runArm(cfg, optRes.Assignment, false, alphaOf)
+	if err != nil {
+		return DynamicStudy{}, err
+	}
+
+	// Arm 3: dynamic reassignment.
+	dyn, stale3, reassigns, err := runArm(cfg, quorum.Majority(T), true, alphaOf)
+	if err != nil {
+		return DynamicStudy{}, err
+	}
+
+	return DynamicStudy{
+		StaticMajority:          maj,
+		StaticOptimal:           opt,
+		StaticOptimalAssignment: optRes.Assignment,
+		Dynamic:                 dyn,
+		Reassignments:           reassigns,
+		StaleReads:              stale1 + stale2 + stale3,
+	}, nil
+}
+
+// SurvAccStudy compares the optimal assignments chosen under the two
+// availability metrics of §3 on the same topology.
+type SurvAccStudy struct {
+	// ACCOptimal is the Figure-1 optimum under the ACC metric.
+	ACCOptimal core.Result
+	// SURVOptimal is the optimum when f is replaced by the distribution of
+	// the largest component (footnote 3).
+	SURVOptimal core.Result
+	// ACCofSURVChoice evaluates the SURV-chosen assignment under ACC —
+	// the cost of optimizing for the wrong metric.
+	ACCofSURVChoice float64
+}
+
+// SurvVsAcc runs one time-weighted simulation recording both the per-site
+// and the largest-component vote distributions, and optimizes under each
+// metric.
+func SurvVsAcc(chords int, alpha float64, accesses int64, seed uint64) (SurvAccStudy, error) {
+	g := topo.Paper(chords)
+	p := sim.PaperParams()
+	s := sim.New(g, nil, p, seed)
+	est := core.NewEstimator(g.N(), g.N())
+	surv := core.NewSurvEstimator(g.N())
+	perUnit := float64(g.N()) / p.AccessMean
+	warmT := float64(accesses/20) / perUnit
+	runT := float64(accesses) / perUnit
+	s.RunUntil(warmT)
+	s.AttachTimeWeighted(est, surv)
+	s.RunUntil(warmT + runT)
+
+	accModel, err := est.Model(nil, nil)
+	if err != nil {
+		return SurvAccStudy{}, err
+	}
+	survModel, err := surv.Model()
+	if err != nil {
+		return SurvAccStudy{}, err
+	}
+	accOpt := accModel.Optimize(alpha)
+	survOpt := survModel.Optimize(alpha)
+	return SurvAccStudy{
+		ACCOptimal:      accOpt,
+		SURVOptimal:     survOpt,
+		ACCofSURVChoice: accModel.AvailabilityFor(alpha, survOpt.Assignment),
+	}, nil
+}

@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"testing"
+)
+
+func TestDynamicVsStatic(t *testing.T) {
+	cfg := DefaultDynamicConfig()
+	cfg.AccessesPerPhase = 25_000
+	res, err := DynamicVsStatic(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.StaleReads != 0 {
+		t.Fatalf("stale reads: %d", res.StaleReads)
+	}
+	if res.Reassignments == 0 {
+		t.Fatal("dynamic arm never reassigned")
+	}
+	// The §4.3 claim: dynamic adjustment beats any single static policy on
+	// a workload with strong temporal shifts.
+	if res.Dynamic <= res.StaticMajority {
+		t.Fatalf("dynamic %.4f should beat static majority %.4f",
+			res.Dynamic, res.StaticMajority)
+	}
+	if res.Dynamic <= res.StaticOptimal {
+		t.Fatalf("dynamic %.4f should beat static optimal %.4f (%v)",
+			res.Dynamic, res.StaticOptimal, res.StaticOptimalAssignment)
+	}
+	// Sanity: all availabilities are probabilities.
+	for _, a := range []float64{res.StaticMajority, res.StaticOptimal, res.Dynamic} {
+		if a <= 0 || a >= 1 {
+			t.Fatalf("implausible availability %g", a)
+		}
+	}
+}
+
+func TestDynamicConfigValidation(t *testing.T) {
+	cfg := DefaultDynamicConfig()
+	cfg.Phases = 1
+	if _, err := DynamicVsStatic(cfg); err == nil {
+		t.Fatal("single phase accepted")
+	}
+	cfg = DefaultDynamicConfig()
+	cfg.AlphaHigh = 2
+	if _, err := DynamicVsStatic(cfg); err == nil {
+		t.Fatal("bad α accepted")
+	}
+}
+
+func TestSurvVsAcc(t *testing.T) {
+	res, err := SurvVsAcc(4, 0.5, 60_000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// SURV availability is always at least ACC at the same assignment (the
+	// largest component dominates any site's component).
+	if res.SURVOptimal.Availability+1e-9 < res.ACCOptimal.Availability-0.02 {
+		t.Fatalf("SURV optimum %g below ACC optimum %g",
+			res.SURVOptimal.Availability, res.ACCOptimal.Availability)
+	}
+	// Evaluating the SURV-chosen assignment under ACC can only do as well
+	// as the ACC optimum.
+	if res.ACCofSURVChoice > res.ACCOptimal.Availability+1e-9 {
+		t.Fatalf("ACC of SURV choice %g exceeds ACC optimum %g",
+			res.ACCofSURVChoice, res.ACCOptimal.Availability)
+	}
+	if err := res.SURVOptimal.Assignment.Validate(101); err != nil {
+		t.Fatal(err)
+	}
+}

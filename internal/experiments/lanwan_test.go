@@ -1,0 +1,39 @@
+package experiments
+
+import "testing"
+
+func TestLanWanStudy(t *testing.T) {
+	rows, err := LanWanStudy(4, 5, 0.5, 80_000, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	lanwan, ring := rows[0], rows[1]
+	if lanwan.Sites != 20 || ring.Sites != 20 {
+		t.Fatalf("site counts %d/%d", lanwan.Sites, ring.Sites)
+	}
+	if lanwan.Links <= ring.Links {
+		t.Fatal("clustered topology should have more links than the ring")
+	}
+	// The clustered deployment is far better connected: its optimal
+	// availability dominates the flat ring's at the same size.
+	if lanwan.Optimal.Availability <= ring.Optimal.Availability {
+		t.Fatalf("clusters %g should beat ring %g",
+			lanwan.Optimal.Availability, ring.Optimal.Availability)
+	}
+	// And majority is viable on the clustered network, hopeless on the ring.
+	if lanwan.Majority <= ring.Majority {
+		t.Fatalf("cluster majority %g should beat ring majority %g",
+			lanwan.Majority, ring.Majority)
+	}
+	for _, r := range rows {
+		if err := r.Optimal.Assignment.Validate(r.Sites); err != nil {
+			t.Fatal(err)
+		}
+		if r.ReadOne < 0 || r.ReadOne > 1 {
+			t.Fatalf("%s read-one %g", r.Name, r.ReadOne)
+		}
+	}
+}

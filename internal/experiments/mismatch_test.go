@@ -1,0 +1,108 @@
+package experiments
+
+import (
+	"testing"
+
+	"quorumkit/internal/core"
+	"quorumkit/internal/graph"
+	"quorumkit/internal/sim"
+)
+
+func TestShockReducesUptime(t *testing.T) {
+	// The shock process must actually lower effective site availability.
+	g := graph.Ring(21)
+	clean := sim.Params{AccessMean: 1, FailMean: 128, RepairMean: 16.0 / 3}
+	shocked := clean
+	shocked.Shock = &sim.ShockParams{Mean: 40, Size: 7, Duration: 20}
+
+	measure := func(p sim.Params) float64 {
+		s := sim.New(g, nil, p, 5)
+		est := core.NewEstimator(21, 21)
+		s.AttachTimeWeighted(est, nil)
+		s.RunUntil(30000)
+		return est.Density(0)[0] // P[site down]
+	}
+	downClean := measure(clean)
+	downShocked := measure(shocked)
+	if downShocked <= downClean+0.02 {
+		t.Fatalf("shocks did not lower uptime: P[down] %g vs %g", downShocked, downClean)
+	}
+}
+
+func TestShockValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad shock params should panic")
+		}
+	}()
+	p := sim.PaperParams()
+	p.Shock = &sim.ShockParams{Mean: 0, Size: 1, Duration: 1}
+	sim.New(graph.Ring(5), nil, p, 1)
+}
+
+func TestShockCorrelation(t *testing.T) {
+	// Shocked sites go down together: when a shock is the dominant failure
+	// mode, P[two adjacent sites down simultaneously] far exceeds the
+	// independent product.
+	g := graph.Ring(21)
+	p := sim.Params{AccessMean: 1, FailMean: 1e7, RepairMean: 1} // independent failures off
+	p.Shock = &sim.ShockParams{Mean: 30, Size: 7, Duration: 10}
+	s := sim.New(g, nil, p, 9)
+	jointDown, down0, samples := 0, 0, 0
+	s.OnAccess = func(site, votes int, at float64) {
+		if site != 0 {
+			return
+		}
+		samples++
+		st := s.State()
+		if !st.SiteUp(0) {
+			down0++
+			if !st.SiteUp(1) {
+				jointDown++
+			}
+		}
+	}
+	s.RunAccesses(200_000)
+	if down0 == 0 {
+		t.Fatal("no down observations")
+	}
+	pDown := float64(down0) / float64(samples)
+	pJointGivenDown := float64(jointDown) / float64(down0)
+	// Under independence P[1 down | 0 down] = P[1 down] ≈ pDown; with
+	// size-7 shocks on a 21-ring it is ≈ 6/7.
+	if pJointGivenDown < 4*pDown {
+		t.Fatalf("no correlation: P[adjacent down | down] = %g, base %g", pJointGivenDown, pDown)
+	}
+}
+
+func TestModelMismatch(t *testing.T) {
+	res, err := ModelMismatch(0.5, DefaultShock(), 120_000, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aErr, oErr := res.PredictionError()
+	// The independence-assuming closed form must mis-predict availability
+	// under correlated shocks; the on-line estimate predicts accurately.
+	if oErr > 0.04 {
+		t.Fatalf("on-line prediction error %g too large", oErr)
+	}
+	if aErr < 2*oErr {
+		t.Fatalf("analytic model should mis-predict: analytic err %g vs online %g", aErr, oErr)
+	}
+	// The on-line choice can never be meaningfully worse than the analytic
+	// choice under the true dynamics (it optimized the true density).
+	if res.OnlineActual.Mean < res.AnalyticActual.Mean-0.02 {
+		t.Fatalf("on-line choice %v=%g worse than analytic %v=%g",
+			res.OnlineChoice.Assignment, res.OnlineActual.Mean,
+			res.AnalyticChoice.Assignment, res.AnalyticActual.Mean)
+	}
+}
+
+func TestModelMismatchValidation(t *testing.T) {
+	if _, err := ModelMismatch(2, DefaultShock(), 100, 1); err == nil {
+		t.Fatal("bad α accepted")
+	}
+	if _, err := ModelMismatch(0.5, DefaultShock(), 0, 1); err == nil {
+		t.Fatal("zero horizon accepted")
+	}
+}

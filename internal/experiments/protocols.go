@@ -1,0 +1,139 @@
+package experiments
+
+import (
+	"fmt"
+
+	"quorumkit/internal/core"
+	"quorumkit/internal/quorum"
+	"quorumkit/internal/replica"
+	"quorumkit/internal/rng"
+	"quorumkit/internal/sim"
+	"quorumkit/internal/topo"
+)
+
+// ProtocolComparison holds paired availability measurements for the
+// protocol families the paper situates itself against (§1, §2): static
+// quorum consensus at the majority and read-one/write-all endpoints, the
+// Figure-1 optimal static assignment, dynamic voting (the paper's
+// reference [13], which makes no read/write distinction), and the QR
+// dynamic reassignment protocol driven by the on-line optimizer.
+//
+// All arms are evaluated against the identical failure and access schedule
+// (one simulation, every access offered to every protocol), so differences
+// are purely protocol effects.
+type ProtocolComparison struct {
+	Alpha          float64
+	Accesses       int64
+	StaticMajority float64
+	StaticROWA     float64
+	StaticOptimal  float64
+	OptimalAssign  quorum.Assignment
+	DynamicVoting  float64
+	QRDynamic      float64
+	QRReassigns    int
+}
+
+// CompareProtocols runs the paired comparison on one of the paper's
+// topologies at the given read fraction.
+func CompareProtocols(chords int, alpha float64, accesses int64, seed uint64) (ProtocolComparison, error) {
+	if alpha < 0 || alpha > 1 || accesses <= 0 {
+		return ProtocolComparison{}, fmt.Errorf("experiments: bad comparison args α=%g n=%d", alpha, accesses)
+	}
+	g := topo.Paper(chords)
+	n := g.N()
+	params := sim.PaperParams()
+
+	// Plan the static-optimal arm from an independent calibration run.
+	calModel, _, err := sim.Collect(g, nil, params, sim.CollectConfig{
+		Mode: sim.TimeWeighted, Accesses: 200_000, Warmup: 10_000, Seed: seed + 9999,
+	})
+	if err != nil {
+		return ProtocolComparison{}, err
+	}
+	optRes := calModel.Optimize(alpha)
+
+	s := sim.New(g, nil, params, seed)
+	st := s.State()
+	maj := quorum.Majority(n)
+	rowa := quorum.ReadOneWriteAll(n)
+
+	objMaj, err := replica.NewObject(st, maj)
+	if err != nil {
+		return ProtocolComparison{}, err
+	}
+	objRowa, err := replica.NewObject(st, rowa)
+	if err != nil {
+		return ProtocolComparison{}, err
+	}
+	objOpt, err := replica.NewObject(st, optRes.Assignment)
+	if err != nil {
+		return ProtocolComparison{}, err
+	}
+	dyn := replica.NewDynVote(st)
+	objQR, err := replica.NewObject(st, maj)
+	if err != nil {
+		return ProtocolComparison{}, err
+	}
+	est := core.NewEstimator(n, n)
+	mgr := replica.NewManager(objQR, est, alpha)
+	mgr.MinWrite = 0.25
+	mgr.Hysteresis = 0.02
+
+	coins := rng.New(seed ^ 0xabcdef123456)
+	var okMaj, okRowa, okOpt, okDyn, okQR, total int64
+	s.OnAccess = func(site, votes int, at float64) {
+		est.Observe(site, votes)
+		total++
+		isRead := coins.Bernoulli(alpha)
+		if isRead {
+			if _, _, ok := objMaj.Read(site); ok {
+				okMaj++
+			}
+			if _, _, ok := objRowa.Read(site); ok {
+				okRowa++
+			}
+			if _, _, ok := objOpt.Read(site); ok {
+				okOpt++
+			}
+			if _, _, ok := objQR.Read(site); ok {
+				okQR++
+			}
+		} else {
+			if objMaj.Write(site, total) {
+				okMaj++
+			}
+			if objRowa.Write(site, total) {
+				okRowa++
+			}
+			if objOpt.Write(site, total) {
+				okOpt++
+			}
+			if objQR.Write(site, total) {
+				okQR++
+			}
+		}
+		// Dynamic voting makes no read/write distinction.
+		if _, ok := dyn.Access(site, total); ok {
+			okDyn++
+		}
+		if total%2000 == 0 {
+			if _, err := mgr.Tick(); err != nil {
+				panic(err)
+			}
+		}
+	}
+	s.RunAccesses(accesses)
+
+	frac := func(ok int64) float64 { return float64(ok) / float64(total) }
+	return ProtocolComparison{
+		Alpha:          alpha,
+		Accesses:       total,
+		StaticMajority: frac(okMaj),
+		StaticROWA:     frac(okRowa),
+		StaticOptimal:  frac(okOpt),
+		OptimalAssign:  optRes.Assignment,
+		DynamicVoting:  frac(okDyn),
+		QRDynamic:      frac(okQR),
+		QRReassigns:    mgr.Reassignments(),
+	}, nil
+}

@@ -1,0 +1,63 @@
+package experiments
+
+import "testing"
+
+func TestCompareProtocolsReadHeavy(t *testing.T) {
+	res, err := CompareProtocols(4, 0.9, 60_000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Accesses < 60_000 {
+		t.Fatalf("accesses %d", res.Accesses)
+	}
+	for name, a := range map[string]float64{
+		"majority": res.StaticMajority,
+		"rowa":     res.StaticROWA,
+		"optimal":  res.StaticOptimal,
+		"dynvote":  res.DynamicVoting,
+		"qr":       res.QRDynamic,
+	} {
+		if a < 0 || a > 1 {
+			t.Fatalf("%s availability %g", name, a)
+		}
+	}
+	// The planned static optimum must not lose to both fixed endpoints
+	// (it was optimized for this α on this topology).
+	if res.StaticOptimal+0.03 < res.StaticMajority && res.StaticOptimal+0.03 < res.StaticROWA {
+		t.Fatalf("static optimal %g below both endpoints (%g, %g)",
+			res.StaticOptimal, res.StaticMajority, res.StaticROWA)
+	}
+	// Read-heavy on a sparse topology: ROWA beats majority (paper Fig. 5).
+	if res.StaticROWA <= res.StaticMajority {
+		t.Fatalf("α=0.9 on topology 4: ROWA %g should beat majority %g",
+			res.StaticROWA, res.StaticMajority)
+	}
+}
+
+func TestCompareProtocolsWriteHeavy(t *testing.T) {
+	res, err := CompareProtocols(4, 0.1, 60_000, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Write-heavy: majority beats ROWA (whose writes need all 101 copies).
+	if res.StaticMajority <= res.StaticROWA {
+		t.Fatalf("α=0.1: majority %g should beat ROWA %g",
+			res.StaticMajority, res.StaticROWA)
+	}
+	// Dynamic voting treats everything as writes and shrinks with the
+	// surviving partition; at α=0.1 it should at least compete with
+	// static majority.
+	if res.DynamicVoting < res.StaticMajority-0.1 {
+		t.Fatalf("dynamic voting %g far below static majority %g",
+			res.DynamicVoting, res.StaticMajority)
+	}
+}
+
+func TestCompareProtocolsValidation(t *testing.T) {
+	if _, err := CompareProtocols(0, 1.5, 100, 1); err == nil {
+		t.Fatal("bad α accepted")
+	}
+	if _, err := CompareProtocols(0, 0.5, 0, 1); err == nil {
+		t.Fatal("zero horizon accepted")
+	}
+}

@@ -1,0 +1,64 @@
+package graph
+
+// Bridges returns the indices of all bridge links — links whose individual
+// failure disconnects an otherwise fully-up network. Bridge density is a
+// quick structural predictor of partition-proneness: the paper's ring has
+// none (every link sits on the cycle), trees are all bridges, and adding
+// chords removes bridges from the arcs they span.
+//
+// Tarjan's low-link algorithm, iterative to stay stack-safe on long paths.
+func (g *Graph) Bridges() []int {
+	n := g.n
+	disc := make([]int, n)
+	low := make([]int, n)
+	for i := range disc {
+		disc[i] = -1
+	}
+	var bridges []int
+	timer := 0
+
+	type frame struct {
+		u, parentEdge, nextIdx int
+	}
+	stack := make([]frame, 0, n)
+	for start := 0; start < n; start++ {
+		if disc[start] != -1 {
+			continue
+		}
+		disc[start] = timer
+		low[start] = timer
+		timer++
+		stack = append(stack, frame{u: start, parentEdge: -1})
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			if f.nextIdx < len(g.adj[f.u]) {
+				h := g.adj[f.u][f.nextIdx]
+				f.nextIdx++
+				if h.edge == f.parentEdge {
+					continue
+				}
+				if disc[h.to] == -1 {
+					disc[h.to] = timer
+					low[h.to] = timer
+					timer++
+					stack = append(stack, frame{u: h.to, parentEdge: h.edge})
+				} else if disc[h.to] < low[f.u] {
+					low[f.u] = disc[h.to]
+				}
+			} else {
+				// Post-visit: propagate low-link to the parent.
+				stack = stack[:len(stack)-1]
+				if len(stack) > 0 {
+					p := &stack[len(stack)-1]
+					if low[f.u] < low[p.u] {
+						low[p.u] = low[f.u]
+					}
+					if low[f.u] > disc[p.u] {
+						bridges = append(bridges, f.parentEdge)
+					}
+				}
+			}
+		}
+	}
+	return bridges
+}

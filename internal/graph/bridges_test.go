@@ -1,0 +1,109 @@
+package graph
+
+import (
+	"sort"
+	"testing"
+
+	"quorumkit/internal/rng"
+)
+
+func TestBridgesRingHasNone(t *testing.T) {
+	if b := Ring(9).Bridges(); len(b) != 0 {
+		t.Fatalf("ring bridges %v", b)
+	}
+	if b := Complete(6).Bridges(); len(b) != 0 {
+		t.Fatalf("complete bridges %v", b)
+	}
+}
+
+func TestBridgesPathAllBridges(t *testing.T) {
+	g := Path(6)
+	b := g.Bridges()
+	if len(b) != 5 {
+		t.Fatalf("path of 6: %d bridges", len(b))
+	}
+	if b2 := Star(7).Bridges(); len(b2) != 6 {
+		t.Fatalf("star of 7: %d bridges", len(b2))
+	}
+}
+
+func TestBridgesBarbell(t *testing.T) {
+	// Two triangles joined by one link: exactly that link is a bridge.
+	g := NewGraph(6)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 0)
+	g.AddEdge(3, 4)
+	g.AddEdge(4, 5)
+	g.AddEdge(5, 3)
+	mid := g.AddEdge(2, 3)
+	b := g.Bridges()
+	if len(b) != 1 || b[0] != mid {
+		t.Fatalf("barbell bridges %v, want [%d]", b, mid)
+	}
+}
+
+func TestBridgesDisconnectedGraph(t *testing.T) {
+	g := NewGraph(5)
+	g.AddEdge(0, 1) // component {0,1}: bridge
+	g.AddEdge(2, 3)
+	g.AddEdge(3, 4)
+	g.AddEdge(4, 2) // triangle: no bridges
+	b := g.Bridges()
+	if len(b) != 1 || b[0] != 0 {
+		t.Fatalf("bridges %v", b)
+	}
+}
+
+// TestBridgesMatchBruteForce cross-checks Tarjan against the definition on
+// random graphs: a link is a bridge iff removing it increases the number
+// of components.
+func TestBridgesMatchBruteForce(t *testing.T) {
+	src := rng.New(5150)
+	for trial := 0; trial < 60; trial++ {
+		n := 4 + src.Intn(10)
+		g := NewGraph(n)
+		// Random edges with ~40% density, deduplicated.
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				if src.Bernoulli(0.4) {
+					g.AddEdge(u, v)
+				}
+			}
+		}
+		if g.M() == 0 {
+			continue
+		}
+		want := map[int]bool{}
+		base := NewState(g, nil)
+		baseComps := base.NumComponents()
+		for l := 0; l < g.M(); l++ {
+			st := NewState(g, nil)
+			st.FailLink(l)
+			if st.NumComponents() > baseComps {
+				want[l] = true
+			}
+		}
+		got := g.Bridges()
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: got %d bridges, want %d", trial, len(got), len(want))
+		}
+		sort.Ints(got)
+		for _, l := range got {
+			if !want[l] {
+				t.Fatalf("trial %d: link %d is not a bridge", trial, l)
+			}
+		}
+	}
+}
+
+func BenchmarkBridgesTopology16Size(b *testing.B) {
+	g := Ring(101)
+	// Add a few chords; remaining arcs still have no bridges (ring).
+	g.AddEdge(0, 50)
+	g.AddEdge(25, 75)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = g.Bridges()
+	}
+}

@@ -1,0 +1,182 @@
+// Package history records operation histories of a replicated object and
+// checks them for one-copy serializability — the correctness criterion the
+// paper requires ("each read reports the value of the most recent write",
+// §1 and footnote 2, ensuring one-copy serializability in the sense of
+// Bernstein, Hadzilacos & Goodman).
+//
+// Because the paper's events are instantaneous, every history is totally
+// ordered by submission time, and one-copy serializability reduces to three
+// checkable conditions over granted operations:
+//
+//  1. reads-latest: every granted read returns the stamp of the most
+//     recent granted write preceding it;
+//  2. value match: the value a read returns is the value that write wrote;
+//  3. write monotonicity: granted writes carry strictly increasing stamps.
+//
+// The checker is deliberately independent of the replica and cluster
+// implementations so it can adjudicate either (or any third-party
+// protocol) from its observable behaviour alone.
+package history
+
+import "fmt"
+
+// Kind distinguishes operation types.
+type Kind uint8
+
+// Operation kinds.
+const (
+	Read Kind = iota
+	Write
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	if k == Read {
+		return "read"
+	}
+	return "write"
+}
+
+// Op is one recorded operation.
+type Op struct {
+	Seq     int // position in the global total order
+	Kind    Kind
+	Site    int // submitting site
+	Granted bool
+	Value   int64 // value written, or value returned by a granted read
+	Stamp   int64 // stamp written, or stamp returned by a granted read
+	Time    float64
+}
+
+// Violation describes a detected serializability failure.
+type Violation struct {
+	Op     Op
+	Reason string
+}
+
+// Error implements the error interface.
+func (v Violation) Error() string {
+	return fmt.Sprintf("history: op %d (%v at site %d, t=%g): %s",
+		v.Op.Seq, v.Op.Kind, v.Op.Site, v.Op.Time, v.Reason)
+}
+
+// Log accumulates a totally-ordered history.
+type Log struct {
+	ops []Op
+}
+
+// RecordRead appends a read operation.
+func (l *Log) RecordRead(site int, granted bool, value, stamp int64, t float64) {
+	l.ops = append(l.ops, Op{
+		Seq: len(l.ops), Kind: Read, Site: site,
+		Granted: granted, Value: value, Stamp: stamp, Time: t,
+	})
+}
+
+// RecordWrite appends a write operation.
+func (l *Log) RecordWrite(site int, granted bool, value, stamp int64, t float64) {
+	l.ops = append(l.ops, Op{
+		Seq: len(l.ops), Kind: Write, Site: site,
+		Granted: granted, Value: value, Stamp: stamp, Time: t,
+	})
+}
+
+// Len returns the number of recorded operations.
+func (l *Log) Len() int { return len(l.ops) }
+
+// Ops returns the recorded operations (shared slice; treat as read-only).
+func (l *Log) Ops() []Op { return l.ops }
+
+// GrantedCounts returns (reads granted, reads total, writes granted,
+// writes total).
+func (l *Log) GrantedCounts() (rg, rt, wg, wt int) {
+	for _, op := range l.ops {
+		if op.Kind == Read {
+			rt++
+			if op.Granted {
+				rg++
+			}
+		} else {
+			wt++
+			if op.Granted {
+				wg++
+			}
+		}
+	}
+	return
+}
+
+// Check verifies one-copy serializability of the recorded history and
+// returns the first violation, or nil.
+func (l *Log) Check() error {
+	var lastStamp int64
+	var lastValue int64
+	haveWrite := false
+	for _, op := range l.ops {
+		if !op.Granted {
+			continue
+		}
+		switch op.Kind {
+		case Write:
+			if op.Stamp <= lastStamp && haveWrite {
+				return Violation{Op: op, Reason: fmt.Sprintf(
+					"write stamp %d not above previous %d", op.Stamp, lastStamp)}
+			}
+			if !haveWrite && op.Stamp <= 0 {
+				return Violation{Op: op, Reason: fmt.Sprintf(
+					"first write has non-positive stamp %d", op.Stamp)}
+			}
+			lastStamp, lastValue, haveWrite = op.Stamp, op.Value, true
+		case Read:
+			if !haveWrite {
+				// Reads before any write must return the initial state.
+				if op.Stamp != 0 {
+					return Violation{Op: op, Reason: fmt.Sprintf(
+						"read before any write returned stamp %d", op.Stamp)}
+				}
+				continue
+			}
+			if op.Stamp != lastStamp {
+				return Violation{Op: op, Reason: fmt.Sprintf(
+					"read returned stamp %d, latest write is %d", op.Stamp, lastStamp)}
+			}
+			if op.Value != lastValue {
+				return Violation{Op: op, Reason: fmt.Sprintf(
+					"read returned value %d, latest write wrote %d", op.Value, lastValue)}
+			}
+		}
+	}
+	return nil
+}
+
+// CheckAll returns every violation in the history (useful in analysis
+// tooling; Check short-circuits on the first).
+func (l *Log) CheckAll() []Violation {
+	var out []Violation
+	var lastStamp, lastValue int64
+	haveWrite := false
+	for _, op := range l.ops {
+		if !op.Granted {
+			continue
+		}
+		switch op.Kind {
+		case Write:
+			if haveWrite && op.Stamp <= lastStamp {
+				out = append(out, Violation{Op: op, Reason: "non-monotonic write stamp"})
+				continue
+			}
+			lastStamp, lastValue, haveWrite = op.Stamp, op.Value, true
+		case Read:
+			if !haveWrite {
+				if op.Stamp != 0 {
+					out = append(out, Violation{Op: op, Reason: "read before first write"})
+				}
+				continue
+			}
+			if op.Stamp != lastStamp || op.Value != lastValue {
+				out = append(out, Violation{Op: op, Reason: "stale read"})
+			}
+		}
+	}
+	return out
+}

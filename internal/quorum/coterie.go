@@ -1,0 +1,178 @@
+package quorum
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+)
+
+// Group is a set of sites represented as a bitmask (site i ↔ bit i).
+// The coterie machinery supports systems of up to 64 sites, which covers
+// the enumerative uses in the literature the paper cites ([7] reaches only
+// seven sites; [1] nine copies).
+type Group uint64
+
+// NewGroup builds a Group from site indices.
+func NewGroup(sites ...int) Group {
+	var g Group
+	for _, s := range sites {
+		if s < 0 || s >= 64 {
+			panic(fmt.Sprintf("quorum: site %d out of [0,64)", s))
+		}
+		g |= 1 << uint(s)
+	}
+	return g
+}
+
+// Contains reports whether site s is in the group.
+func (g Group) Contains(s int) bool { return g&(1<<uint(s)) != 0 }
+
+// Intersects reports whether two groups share a site.
+func (g Group) Intersects(h Group) bool { return g&h != 0 }
+
+// Subset reports whether g ⊆ h.
+func (g Group) Subset(h Group) bool { return g&^h == 0 }
+
+// Size returns the number of sites in the group.
+func (g Group) Size() int { return bits.OnesCount64(uint64(g)) }
+
+// Sites returns the member site indices in increasing order.
+func (g Group) Sites() []int {
+	out := make([]int, 0, g.Size())
+	for s := 0; s < 64; s++ {
+		if g.Contains(s) {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Coterie is a set of groups (quorums) pairwise intersecting and minimal,
+// as defined by Garcia-Molina & Barbara (1985). Coteries generalize vote
+// assignments: every vote/quorum scheme induces a coterie, but not every
+// coterie arises from votes.
+type Coterie []Group
+
+// Validate checks the two coterie properties:
+//
+//	intersection: every pair of quorums shares at least one site, and
+//	minimality:   no quorum is a proper subset of another.
+func (c Coterie) Validate() error {
+	if len(c) == 0 {
+		return fmt.Errorf("quorum: empty coterie")
+	}
+	for i, g := range c {
+		if g == 0 {
+			return fmt.Errorf("quorum: quorum %d is empty", i)
+		}
+		for j := i + 1; j < len(c); j++ {
+			h := c[j]
+			if !g.Intersects(h) {
+				return fmt.Errorf("quorum: quorums %d and %d do not intersect", i, j)
+			}
+			if g.Subset(h) || h.Subset(g) {
+				return fmt.Errorf("quorum: quorums %d and %d violate minimality", i, j)
+			}
+		}
+	}
+	return nil
+}
+
+// CanProceed reports whether the set of communicating sites `component`
+// contains some quorum of the coterie.
+func (c Coterie) CanProceed(component Group) bool {
+	for _, g := range c {
+		if g.Subset(component) {
+			return true
+		}
+	}
+	return false
+}
+
+// Dominates reports whether coterie c dominates d: every quorum of d
+// contains some quorum of c, and c ≠ d as quorum sets. Dominated coteries
+// are never preferable (Garcia-Molina & Barbara).
+func (c Coterie) Dominates(d Coterie) bool {
+	for _, h := range d {
+		found := false
+		for _, g := range c {
+			if g.Subset(h) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return !c.equalSet(d)
+}
+
+func (c Coterie) equalSet(d Coterie) bool {
+	if len(c) != len(d) {
+		return false
+	}
+	cs := append([]Group(nil), c...)
+	ds := append([]Group(nil), d...)
+	sort.Slice(cs, func(i, j int) bool { return cs[i] < cs[j] })
+	sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+	for i := range cs {
+		if cs[i] != ds[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// FromVotes returns the coterie induced by a vote assignment and quorum q:
+// the minimal groups whose vote total reaches q. It panics for systems of
+// more than 64 sites or a non-positive q; it returns nil when q exceeds the
+// vote total (no group can proceed).
+func FromVotes(votes VoteAssignment, q int) Coterie {
+	n := len(votes)
+	if n > 64 {
+		panic(fmt.Sprintf("quorum: FromVotes supports at most 64 sites, got %d", n))
+	}
+	if q <= 0 {
+		panic(fmt.Sprintf("quorum: FromVotes q=%d", q))
+	}
+	if votes.Total() < q {
+		return nil
+	}
+	var out Coterie
+	// Enumerate all subsets meeting q, keep the minimal ones. Exponential,
+	// as in the literature; intended for small n.
+	total := 1 << uint(n)
+	meets := make([]bool, total)
+	for m := 1; m < total; m++ {
+		sum := 0
+		for s := 0; s < n; s++ {
+			if m&(1<<uint(s)) != 0 {
+				sum += votes[s]
+			}
+		}
+		meets[m] = sum >= q
+	}
+	for m := 1; m < total; m++ {
+		if !meets[m] {
+			continue
+		}
+		// Minimal iff removing any single member breaks the quorum.
+		minimal := true
+		for s := 0; s < n && minimal; s++ {
+			if m&(1<<uint(s)) != 0 && meets[m&^(1<<uint(s))] {
+				minimal = false
+			}
+		}
+		if minimal {
+			out = append(out, Group(m))
+		}
+	}
+	return out
+}
+
+// MajorityCoterie returns the coterie of all ⌈(n+1)/2⌉-site groups, the
+// coterie induced by majority voting with uniform votes.
+func MajorityCoterie(n int) Coterie {
+	return FromVotes(UniformVotes(n), n/2+1)
+}

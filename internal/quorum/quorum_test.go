@@ -1,0 +1,368 @@
+package quorum
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAssignmentValidate(t *testing.T) {
+	const T = 101
+	valid := []Assignment{
+		{QR: 1, QW: 101},
+		{QR: 50, QW: 52},
+		{QR: 28, QW: 74},
+		{QR: 101, QW: 101},
+	}
+	for _, a := range valid {
+		if err := a.Validate(T); err != nil {
+			t.Fatalf("%v should be valid: %v", a, err)
+		}
+	}
+	invalid := []Assignment{
+		{QR: 0, QW: 101},  // q_r out of range
+		{QR: 1, QW: 100},  // q_r+q_w = T, reads can miss writes
+		{QR: 60, QW: 41},  // q_w ≤ T/2, concurrent writes
+		{QR: 102, QW: 10}, // q_r out of range
+		{QR: 51, QW: 50},  // 2q_w < T... also sum barely exceeds: check
+	}
+	for _, a := range invalid {
+		if err := a.Validate(T); err == nil {
+			t.Fatalf("%v should be invalid", a)
+		}
+	}
+	if err := (Assignment{QR: 1, QW: 1}).Validate(0); err == nil {
+		t.Fatal("T=0 should be invalid")
+	}
+}
+
+func TestGrant(t *testing.T) {
+	a := Assignment{QR: 28, QW: 74}
+	if !a.GrantRead(28) || a.GrantRead(27) {
+		t.Fatal("GrantRead boundary")
+	}
+	if !a.GrantWrite(74) || a.GrantWrite(73) {
+		t.Fatal("GrantWrite boundary")
+	}
+}
+
+func TestForReadQuorum(t *testing.T) {
+	a := ForReadQuorum(28, 101)
+	if a.QR != 28 || a.QW != 74 {
+		t.Fatalf("got %v", a)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("q_r above ⌊T/2⌋+… invalid values should panic")
+		}
+	}()
+	ForReadQuorum(0, 101)
+}
+
+func TestNamedProtocols(t *testing.T) {
+	const T = 101
+	m := Majority(T)
+	if m.QR != 50 || m.QW != 52 {
+		t.Fatalf("Majority = %v", m)
+	}
+	if err := m.Validate(T); err != nil {
+		t.Fatal(err)
+	}
+	// Even T gives the textbook (T/2, T/2+1).
+	even := Majority(100)
+	if even.QR != 50 || even.QW != 51 || even.Validate(100) != nil {
+		t.Fatalf("Majority(100) = %v", even)
+	}
+	rowa := ReadOneWriteAll(T)
+	if rowa.QR != 1 || rowa.QW != T {
+		t.Fatalf("ROWA = %v", rowa)
+	}
+	if err := rowa.Validate(T); err != nil {
+		t.Fatal(err)
+	}
+	if MaxReadQuorum(T) != 50 {
+		t.Fatalf("MaxReadQuorum = %d", MaxReadQuorum(T))
+	}
+}
+
+func TestEnumerate(t *testing.T) {
+	const T = 101
+	all := Enumerate(T)
+	if len(all) != 50 {
+		t.Fatalf("got %d assignments", len(all))
+	}
+	for i, a := range all {
+		if a.QR != i+1 {
+			t.Fatalf("assignment %d has q_r=%d", i, a.QR)
+		}
+		if err := a.Validate(T); err != nil {
+			t.Fatalf("%v: %v", a, err)
+		}
+	}
+	if Enumerate(1) != nil {
+		t.Fatal("T=1 has no useful family")
+	}
+}
+
+// TestQuickFamilyValid checks that the paper's q_w = T−q_r+1 family is valid
+// for every total and read quorum in range.
+func TestQuickFamilyValid(t *testing.T) {
+	f := func(tRaw, qrRaw uint16) bool {
+		T := int(tRaw%500) + 2
+		qr := int(qrRaw)%(T/2) + 1
+		return ForReadQuorum(qr, T).Validate(T) == nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickIntersection verifies the semantic meaning of the conditions:
+// any two groups holding q_w votes each must overlap, and any group holding
+// q_r votes overlaps any group holding q_w votes. We model groups as vote
+// amounts: two disjoint groups can hold at most T votes total.
+func TestQuickIntersection(t *testing.T) {
+	f := func(tRaw, qrRaw uint16) bool {
+		T := int(tRaw%500) + 2
+		qr := int(qrRaw)%(T/2) + 1
+		a := ForReadQuorum(qr, T)
+		// Disjoint groups' votes sum ≤ T. Write+write and read+write quorum
+		// pairs must exceed T, forcing overlap.
+		return a.QW+a.QW > T && a.QR+a.QW > T
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVoteAssignments(t *testing.T) {
+	u := UniformVotes(5)
+	if u.Total() != 5 {
+		t.Fatalf("uniform total %d", u.Total())
+	}
+	if err := u.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	p := PrimaryCopyVotes(5, 2)
+	if p.Total() != 1 || p[2] != 1 || p[0] != 0 {
+		t.Fatalf("primary votes %v", p)
+	}
+	bad := VoteAssignment{1, -1}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("negative votes should fail")
+	}
+	zero := VoteAssignment{0, 0}
+	if err := zero.Validate(); err == nil {
+		t.Fatal("zero total should fail")
+	}
+}
+
+func TestMinSitesForQuorum(t *testing.T) {
+	v := VoteAssignment{3, 1, 1, 1}
+	cases := []struct{ q, want int }{
+		{0, 0}, {1, 1}, {3, 1}, {4, 2}, {6, 4}, {7, -1},
+	}
+	for _, c := range cases {
+		if got := v.MinSitesForQuorum(c.q); got != c.want {
+			t.Fatalf("MinSitesForQuorum(%d) = %d, want %d", c.q, got, c.want)
+		}
+	}
+	// Uniform votes: cost equals the quorum itself.
+	u := UniformVotes(7)
+	if u.MinSitesForQuorum(4) != 4 {
+		t.Fatal("uniform cost")
+	}
+	// Input must not be mutated.
+	if v[0] != 3 || v[3] != 1 {
+		t.Fatal("MinSitesForQuorum mutated its input")
+	}
+}
+
+func TestPrimaryCopyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	PrimaryCopyVotes(3, 3)
+}
+
+func TestAssignmentString(t *testing.T) {
+	if got := (Assignment{QR: 28, QW: 74}).String(); got != "(q_r=28, q_w=74)" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+func TestGroupBasics(t *testing.T) {
+	g := NewGroup(0, 2, 5)
+	if g.Size() != 3 || !g.Contains(2) || g.Contains(1) {
+		t.Fatalf("group %b", g)
+	}
+	sites := g.Sites()
+	if len(sites) != 3 || sites[0] != 0 || sites[1] != 2 || sites[2] != 5 {
+		t.Fatalf("sites %v", sites)
+	}
+	h := NewGroup(2, 3)
+	if !g.Intersects(h) || g.Intersects(NewGroup(1, 3)) {
+		t.Fatal("Intersects")
+	}
+	if !NewGroup(2).Subset(g) || g.Subset(h) {
+		t.Fatal("Subset")
+	}
+}
+
+func TestGroupPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewGroup(64)
+}
+
+func TestCoterieValidate(t *testing.T) {
+	good := Coterie{NewGroup(0, 1), NewGroup(1, 2), NewGroup(0, 2)}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	noIntersect := Coterie{NewGroup(0), NewGroup(1)}
+	if err := noIntersect.Validate(); err == nil {
+		t.Fatal("disjoint quorums should fail")
+	}
+	notMinimal := Coterie{NewGroup(0, 1), NewGroup(0, 1, 2)}
+	if err := notMinimal.Validate(); err == nil {
+		t.Fatal("superset quorum should fail")
+	}
+	if err := (Coterie{}).Validate(); err == nil {
+		t.Fatal("empty coterie should fail")
+	}
+	if err := (Coterie{0}).Validate(); err == nil {
+		t.Fatal("empty quorum should fail")
+	}
+}
+
+func TestCoterieCanProceed(t *testing.T) {
+	c := MajorityCoterie(5)
+	if !c.CanProceed(NewGroup(0, 1, 2)) {
+		t.Fatal("majority of 5 present")
+	}
+	if c.CanProceed(NewGroup(0, 1)) {
+		t.Fatal("2 of 5 is not a majority")
+	}
+	if !c.CanProceed(NewGroup(0, 1, 2, 3, 4)) {
+		t.Fatal("full set must proceed")
+	}
+}
+
+func TestFromVotesUniformMajority(t *testing.T) {
+	c := FromVotes(UniformVotes(5), 3)
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(c) != 10 { // C(5,3)
+		t.Fatalf("expected 10 quorums, got %d", len(c))
+	}
+	for _, g := range c {
+		if g.Size() != 3 {
+			t.Fatalf("quorum %v has size %d", g.Sites(), g.Size())
+		}
+	}
+}
+
+func TestFromVotesWeighted(t *testing.T) {
+	// Votes (2,1,1), q=2: minimal groups are {0}, {1,2}.
+	c := FromVotes(VoteAssignment{2, 1, 1}, 2)
+	if len(c) != 2 {
+		t.Fatalf("got %d quorums: %v", len(c), c)
+	}
+	want := map[Group]bool{NewGroup(0): true, NewGroup(1, 2): true}
+	for _, g := range c {
+		if !want[g] {
+			t.Fatalf("unexpected quorum %v", g.Sites())
+		}
+	}
+	// q=2 of total 4 is not a write quorum (needs > T/2), so the induced
+	// groups need not pairwise intersect — and indeed {0} ∩ {1,2} = ∅.
+	if err := c.Validate(); err == nil {
+		t.Fatal("sub-majority quorum groups should not form a coterie")
+	}
+	// With a genuine write quorum q=3 the induced groups form a coterie:
+	// {0,1}, {0,2} (2+1 votes each) and {1,2} has only 2 < 3 votes... so
+	// minimal groups are {0,1}, {0,2}.
+	cw := FromVotes(VoteAssignment{2, 1, 1}, 3)
+	if err := cw.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(cw) != 2 {
+		t.Fatalf("write coterie %v", cw)
+	}
+}
+
+func TestFromVotesPrimaryCopy(t *testing.T) {
+	c := FromVotes(PrimaryCopyVotes(4, 1), 1)
+	if len(c) != 1 || c[0] != NewGroup(1) {
+		t.Fatalf("primary-copy coterie %v", c)
+	}
+}
+
+func TestFromVotesUnreachable(t *testing.T) {
+	if c := FromVotes(UniformVotes(3), 4); c != nil {
+		t.Fatalf("q beyond total should give nil, got %v", c)
+	}
+}
+
+func TestDominates(t *testing.T) {
+	// {{0}} dominates {{0,1}}: every quorum of the latter contains {0}.
+	single := Coterie{NewGroup(0)}
+	pair := Coterie{NewGroup(0, 1)}
+	if !single.Dominates(pair) {
+		t.Fatal("{{0}} should dominate {{0,1}}")
+	}
+	if pair.Dominates(single) {
+		t.Fatal("{{0,1}} should not dominate {{0}}")
+	}
+	maj := MajorityCoterie(3)
+	if maj.Dominates(MajorityCoterie(3)) {
+		t.Fatal("coterie must not dominate itself")
+	}
+	// The majority coterie of 3 is not dominated by the singleton: quorum
+	// {1,2} contains no quorum of {{0}}.
+	if single.Dominates(maj) {
+		t.Fatal("{{0}} should not dominate the 3-site majority coterie")
+	}
+}
+
+// TestQuickVoteCoterieIntersection: coteries induced by a write quorum
+// always satisfy the intersection property (they are valid coteries).
+func TestQuickVoteCoterieIntersection(t *testing.T) {
+	f := func(votesRaw []uint8, seed uint8) bool {
+		n := len(votesRaw)
+		if n == 0 || n > 10 {
+			return true
+		}
+		votes := make(VoteAssignment, n)
+		total := 0
+		for i, v := range votesRaw {
+			votes[i] = int(v % 4)
+			total += votes[i]
+		}
+		if total == 0 {
+			return true
+		}
+		qw := total/2 + 1
+		c := FromVotes(votes, qw)
+		if c == nil {
+			return true
+		}
+		return c.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkFromVotes12(b *testing.B) {
+	votes := UniformVotes(12)
+	for i := 0; i < b.N; i++ {
+		_ = FromVotes(votes, 7)
+	}
+}

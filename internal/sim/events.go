@@ -1,0 +1,78 @@
+package sim
+
+// Event kinds, ordered for deterministic tie-breaking at equal timestamps.
+type eventKind uint8
+
+const (
+	evSiteFail eventKind = iota
+	evSiteRepair
+	evLinkFail
+	evLinkRepair
+	evAccess
+	evShockBegin
+	evShockEnd
+)
+
+type event struct {
+	at   float64
+	seq  uint64 // insertion order; breaks timestamp ties deterministically
+	kind eventKind
+	idx  int // site or link index
+}
+
+func (e event) less(o event) bool {
+	if e.at != o.at {
+		return e.at < o.at
+	}
+	return e.seq < o.seq
+}
+
+// eventHeap is a plain binary min-heap of events. A hand-rolled heap avoids
+// the interface boxing of container/heap on the simulator's hot path.
+type eventHeap struct {
+	items []event
+	seq   uint64
+}
+
+func (h *eventHeap) push(at float64, kind eventKind, idx int) {
+	h.seq++
+	e := event{at: at, seq: h.seq, kind: kind, idx: idx}
+	h.items = append(h.items, e)
+	i := len(h.items) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.items[i].less(h.items[parent]) {
+			break
+		}
+		h.items[i], h.items[parent] = h.items[parent], h.items[i]
+		i = parent
+	}
+}
+
+func (h *eventHeap) pop() event {
+	top := h.items[0]
+	last := len(h.items) - 1
+	h.items[0] = h.items[last]
+	h.items = h.items[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < last && h.items[l].less(h.items[smallest]) {
+			smallest = l
+		}
+		if r < last && h.items[r].less(h.items[smallest]) {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		h.items[i], h.items[smallest] = h.items[smallest], h.items[i]
+		i = smallest
+	}
+	return top
+}
+
+func (h *eventHeap) len() int { return len(h.items) }
+
+func (h *eventHeap) peek() event { return h.items[0] }

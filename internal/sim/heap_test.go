@@ -1,0 +1,85 @@
+package sim
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"quorumkit/internal/rng"
+)
+
+// TestHeapPropertySorted: any sequence of pushes pops in non-decreasing
+// time order with FIFO tie-breaking.
+func TestHeapPropertySorted(t *testing.T) {
+	f := func(raw []uint16) bool {
+		var h eventHeap
+		for i, r := range raw {
+			// Coarse quantization produces plenty of ties.
+			h.push(float64(r%16), evAccess, i)
+		}
+		lastAt := -1.0
+		lastSeq := uint64(0)
+		for h.len() > 0 {
+			e := h.pop()
+			if e.at < lastAt {
+				return false
+			}
+			if e.at == lastAt && e.seq < lastSeq {
+				return false // FIFO among ties
+			}
+			lastAt, lastSeq = e.at, e.seq
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHeapInterleavedPushPop(t *testing.T) {
+	src := rng.New(99)
+	var h eventHeap
+	var popped []float64
+	pending := 0
+	for step := 0; step < 5000; step++ {
+		if pending == 0 || src.Bernoulli(0.6) {
+			h.push(src.Float64()*100, evAccess, step)
+			pending++
+		} else {
+			popped = append(popped, h.pop().at)
+			pending--
+		}
+	}
+	for h.len() > 0 {
+		popped = append(popped, h.pop().at)
+	}
+	// Not globally sorted (interleaving), but every drain segment is; a
+	// cheap but strong invariant: re-inserting everything and draining
+	// yields the global sorted order.
+	var h2 eventHeap
+	for i, at := range popped {
+		h2.push(at, evAccess, i)
+	}
+	var all []float64
+	for h2.len() > 0 {
+		all = append(all, h2.pop().at)
+	}
+	if !sort.Float64sAreSorted(all) {
+		t.Fatal("drain not sorted")
+	}
+	if len(all) != len(popped) {
+		t.Fatal("lost events")
+	}
+}
+
+func TestHeapPeek(t *testing.T) {
+	var h eventHeap
+	h.push(5, evAccess, 0)
+	h.push(2, evSiteFail, 1)
+	if h.peek().at != 2 {
+		t.Fatalf("peek %v", h.peek())
+	}
+	if h.pop().at != 2 || h.peek().at != 5 {
+		t.Fatal("pop/peek order")
+	}
+}

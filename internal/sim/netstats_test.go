@@ -1,0 +1,128 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"quorumkit/internal/core"
+	"quorumkit/internal/graph"
+)
+
+func newTestEstimator(n int) *core.Estimator { return core.NewEstimator(n, n) }
+
+func TestNetStatsRing(t *testing.T) {
+	const rel = 0.9
+	p := Params{AccessMean: 1, FailMean: 10, RepairMean: 10 * (1 - rel) / rel}
+	g := graph.Ring(21)
+	s := New(g, nil, p, 4)
+	var ns NetStats
+	s.RunUntil(500) // warm-up before attaching
+	s.AttachNetStats(&ns)
+	s.RunUntil(20500)
+
+	// Mean up sites = n·rel.
+	if got, want := ns.MeanUpSites(), 21*rel; math.Abs(got-want) > 0.3 {
+		t.Fatalf("mean up sites %g, want ≈ %g", got, want)
+	}
+	if ns.MeanComponents() <= 1 {
+		t.Fatalf("ring at 90%% reliability must partition sometimes: mean comps %g", ns.MeanComponents())
+	}
+	if ns.MeanLargestVotes() <= 0 || ns.MeanLargestVotes() > 21 {
+		t.Fatalf("mean largest votes %g", ns.MeanLargestVotes())
+	}
+	if ns.Events() == 0 {
+		t.Fatal("no events counted")
+	}
+	pf := ns.PartitionedFraction()
+	if pf <= 0 || pf > 1 {
+		t.Fatalf("partitioned fraction %g", pf)
+	}
+}
+
+func TestNetStatsDenseVsSparse(t *testing.T) {
+	const rel = 0.9
+	p := Params{AccessMean: 1, FailMean: 10, RepairMean: 10 * (1 - rel) / rel}
+	run := func(g *graph.Graph) *NetStats {
+		s := New(g, nil, p, 6)
+		var ns NetStats
+		s.AttachNetStats(&ns)
+		s.RunUntil(10000)
+		return &ns
+	}
+	sparse := run(graph.Ring(15))
+	dense := run(graph.Complete(15))
+	// Density holds the network together: fewer components, larger
+	// largest component.
+	if dense.MeanComponents() >= sparse.MeanComponents() {
+		t.Fatalf("complete graph should have fewer components: %g vs %g",
+			dense.MeanComponents(), sparse.MeanComponents())
+	}
+	if dense.MeanLargestVotes() <= sparse.MeanLargestVotes() {
+		t.Fatalf("complete graph should keep a larger main component: %g vs %g",
+			dense.MeanLargestVotes(), sparse.MeanLargestVotes())
+	}
+}
+
+// TestWeibullInsensitivity verifies the renewal-theoretic insensitivity
+// property: the stationary component-size density depends on the up/down
+// *means* only, so replacing exponential up-times with bursty Weibull
+// (shape 0.5) ones leaves the availability model unchanged. This is why
+// the paper's results survive its exponential assumption.
+func TestWeibullInsensitivity(t *testing.T) {
+	const rel = 0.9
+	base := Params{AccessMean: 1, FailMean: 10, RepairMean: 10 * (1 - rel) / rel}
+	bursty := base
+	bursty.FailShape = 0.5
+	g := graph.Complete(5)
+
+	measure := func(p Params, seed uint64) []float64 {
+		s := New(g, nil, p, seed)
+		est := newTestEstimator(5)
+		s.RunUntil(2000) // generous warm-up absorbs the inspection paradox
+		s.AttachTimeWeighted(est, nil)
+		s.RunUntil(62000)
+		f := est.Density(0)
+		return f
+	}
+	fExp := measure(base, 3)
+	fWei := measure(bursty, 4)
+	for v := 0; v <= 5; v++ {
+		if math.Abs(fExp[v]-fWei[v]) > 0.025 {
+			t.Fatalf("f(%d): exponential %g vs Weibull %g — insensitivity violated",
+				v, fExp[v], fWei[v])
+		}
+	}
+}
+
+func TestFailShapeValidation(t *testing.T) {
+	p := PaperParams()
+	p.FailShape = -1
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative shape should panic")
+		}
+	}()
+	New(graph.Ring(3), nil, p, 1)
+}
+
+func TestNetStatsEmpty(t *testing.T) {
+	var ns NetStats
+	if ns.MeanComponents() != 0 || ns.PartitionedFraction() != 0 || ns.MeanUpSites() != 0 {
+		t.Fatal("zero-value NetStats should report zeros")
+	}
+}
+
+func TestNetStatsWithEstimatorTogether(t *testing.T) {
+	// NetStats and the time-weighted estimator can share a run.
+	p := PaperParams()
+	g := graph.Ring(11)
+	s := New(g, nil, p, 8)
+	var ns NetStats
+	est := newTestEstimator(11)
+	s.AttachTimeWeighted(est, nil)
+	s.AttachNetStats(&ns)
+	s.RunUntil(5000)
+	if est.Weight(0) == 0 || ns.Events() == 0 {
+		t.Fatal("joint attachment lost data")
+	}
+}

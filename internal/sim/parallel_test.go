@@ -1,0 +1,102 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"quorumkit/internal/graph"
+	"quorumkit/internal/quorum"
+)
+
+func TestParallelMatchesSerial(t *testing.T) {
+	g := graph.Ring(21)
+	p := Params{AccessMean: 1, FailMean: 16, RepairMean: 2}
+	a := quorum.Assignment{QR: 5, QW: 17}
+	cfg := StudyConfig{
+		Warmup: 1_000, BatchAccesses: 20_000,
+		MinBatches: 4, MaxBatches: 8, CIHalfWidth: 0.005, Seed: 77,
+	}
+	serial, err := MeasureAvailability(g, nil, p, a, 0.6, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := MeasureAvailabilityParallel(g, nil, p, a, 0.6, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.Overall != parallel.Overall {
+		t.Fatalf("overall differs:\n serial   %+v\n parallel %+v", serial.Overall, parallel.Overall)
+	}
+	if serial.Read != parallel.Read || serial.Write != parallel.Write {
+		t.Fatal("read/write channels differ")
+	}
+	if serial.Batches != parallel.Batches {
+		t.Fatalf("batch counts differ: %d vs %d", serial.Batches, parallel.Batches)
+	}
+}
+
+func TestParallelValidation(t *testing.T) {
+	g := graph.Ring(5)
+	bad := StudyConfig{BatchAccesses: 0}
+	if _, err := MeasureAvailabilityParallel(g, nil, PaperParams(), quorum.Assignment{QR: 1, QW: 5}, 0.5, bad); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+	cfg := StudyConfig{Warmup: 10, BatchAccesses: 100, MinBatches: 1, MaxBatches: 2, CIHalfWidth: 1, Seed: 1}
+	if _, err := MeasureAvailabilityParallel(g, nil, PaperParams(), quorum.Assignment{QR: 1, QW: 1}, 0.5, cfg); err == nil {
+		t.Fatal("invalid assignment accepted")
+	}
+}
+
+func TestSweepCurveShape(t *testing.T) {
+	// A direct-measurement sweep over the full family on a small network:
+	// pure-write availability must be non-decreasing in q_r and pure-read
+	// non-increasing.
+	g := graph.Ring(11)
+	p := Params{AccessMean: 1, FailMean: 16, RepairMean: 2}
+	cfg := StudyConfig{
+		Warmup: 500, BatchAccesses: 15_000,
+		MinBatches: 3, MaxBatches: 3, CIHalfWidth: 1, Seed: 5,
+	}
+	wr, err := Sweep(g, nil, p, 0, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wr) != 5 {
+		t.Fatalf("family size %d", len(wr))
+	}
+	for i := 1; i < len(wr); i++ {
+		if wr[i].Overall.Mean < wr[i-1].Overall.Mean-0.03 {
+			t.Fatalf("write availability decreased: %g → %g",
+				wr[i-1].Overall.Mean, wr[i].Overall.Mean)
+		}
+	}
+	rd, err := Sweep(g, nil, p, 1, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(rd); i++ {
+		if rd[i].Overall.Mean > rd[i-1].Overall.Mean+0.03 {
+			t.Fatalf("read availability increased: %g → %g",
+				rd[i-1].Overall.Mean, rd[i].Overall.Mean)
+		}
+	}
+	// Endpoint identity: pure reads at q_r=1 ≈ site reliability.
+	rel := p.Reliability()
+	if math.Abs(rd[0].Overall.Mean-rel) > 0.03 {
+		t.Fatalf("A(1,1) = %g, want ≈ %g", rd[0].Overall.Mean, rel)
+	}
+}
+
+func BenchmarkParallelMeasurement(b *testing.B) {
+	g := graph.Ring(101)
+	a := quorum.Assignment{QR: 28, QW: 74}
+	cfg := StudyConfig{
+		Warmup: 2_000, BatchAccesses: 20_000,
+		MinBatches: 4, MaxBatches: 8, CIHalfWidth: 0.01, Seed: 1,
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := MeasureAvailabilityParallel(g, nil, PaperParams(), a, 0.75, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,136 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"quorumkit/internal/core"
+	"quorumkit/internal/dist"
+	"quorumkit/internal/graph"
+)
+
+func TestSkewedAccessRates(t *testing.T) {
+	g := graph.Path(3)
+	p := Params{
+		AccessMean: 1, FailMean: 50, RepairMean: 5,
+		AccessWeights: []float64{8, 1, 1},
+	}
+	s := New(g, nil, p, 5)
+	counts := make([]int, 3)
+	s.OnAccess = func(site, votes int, at float64) { counts[site]++ }
+	s.RunAccesses(50_000)
+	frac0 := float64(counts[0]) / 50_000
+	if math.Abs(frac0-0.8) > 0.01 {
+		t.Fatalf("site 0 fraction %g, want 0.8", frac0)
+	}
+	if counts[1] == 0 || counts[2] == 0 {
+		t.Fatal("low-weight sites silent")
+	}
+}
+
+func TestZeroWeightSilencesSite(t *testing.T) {
+	g := graph.Path(3)
+	p := Params{
+		AccessMean: 1, FailMean: 50, RepairMean: 5,
+		AccessWeights: []float64{1, 0, 1},
+	}
+	s := New(g, nil, p, 7)
+	counts := make([]int, 3)
+	s.OnAccess = func(site, votes int, at float64) { counts[site]++ }
+	s.RunAccesses(10_000)
+	if counts[1] != 0 {
+		t.Fatalf("silenced site submitted %d accesses", counts[1])
+	}
+}
+
+func TestWeightValidation(t *testing.T) {
+	g := graph.Path(3)
+	for name, p := range map[string]Params{
+		"negative": {AccessMean: 1, FailMean: 1, RepairMean: 1, AccessWeights: []float64{1, -1, 1}},
+		"length":   {AccessMean: 1, FailMean: 1, RepairMean: 1, AccessWeights: []float64{1, 1}},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s weights should panic", name)
+				}
+			}()
+			New(g, nil, p, 1)
+		}()
+	}
+}
+
+func TestSkewedCollectMatchesWeightedModel(t *testing.T) {
+	// A hotspot end-site on a path: the access-weighted availability must
+	// match mixing the exact per-site densities with the same weights.
+	g := graph.Path(4)
+	const rel = 0.9
+	weights := []float64{6, 2, 1, 1}
+	p := Params{
+		AccessMean: 1, FailMean: 10, RepairMean: 10 * (1 - rel) / rel,
+		AccessWeights: weights,
+	}
+	m, _, err := Collect(g, nil, p, CollectConfig{
+		Mode: TimeWeighted, Accesses: 300_000, Warmup: 10_000, Seed: 9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := dist.Exact(g, nil, rel, rel)
+	pmfs := make([]dist.PMF, len(fs))
+	copy(pmfs, fs)
+	fr := make([]float64, 4)
+	sum := 0.0
+	for _, w := range weights {
+		sum += w
+	}
+	for i, w := range weights {
+		fr[i] = w / sum
+	}
+	ref, err := core.NewModel(fr, fr, pmfs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for qr := 1; qr <= 2; qr++ {
+		for _, alpha := range []float64{0, 0.5, 1} {
+			got := m.Availability(alpha, qr)
+			want := ref.Availability(alpha, qr)
+			if math.Abs(got-want) > 0.03 {
+				t.Fatalf("A(%g,%d) = %g, exact weighted model %g", alpha, qr, got, want)
+			}
+		}
+	}
+	// The skew must matter: the uniform-weight model disagrees with the
+	// weighted one somewhere (sanity that the test is not vacuous).
+	uni, err := core.NewModel(nil, nil, pmfs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	differs := false
+	for qr := 1; qr <= 2; qr++ {
+		if math.Abs(uni.Availability(1, qr)-ref.Availability(1, qr)) > 1e-6 {
+			differs = true
+		}
+	}
+	if !differs {
+		t.Fatal("weighted and uniform models coincide; skew test is vacuous")
+	}
+}
+
+func TestSkewedSampledEstimator(t *testing.T) {
+	// In sampled mode the per-site histograms fill proportionally to the
+	// access weights.
+	g := graph.Path(3)
+	p := Params{
+		AccessMean: 1, FailMean: 50, RepairMean: 5,
+		AccessWeights: []float64{4, 1, 1},
+	}
+	s := New(g, nil, p, 11)
+	est := core.NewEstimator(3, 3)
+	s.AttachEstimator(est)
+	s.RunAccesses(60_000)
+	ratio := est.Weight(0) / est.Weight(1)
+	if math.Abs(ratio-4) > 0.3 {
+		t.Fatalf("weight ratio %g, want ≈ 4", ratio)
+	}
+}

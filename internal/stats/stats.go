@@ -1,0 +1,260 @@
+// Package stats provides the statistical substrate used by the simulation
+// study: streaming mean/variance accumulators (Welford), batch-means
+// confidence intervals with Student-t critical values, and fixed-width
+// histograms.
+//
+// The paper reports availabilities as the mean over 5–18 batches of one
+// million accesses each, with a 95% confidence interval of half-width at
+// most ±0.5%. BatchMeans reproduces exactly that methodology.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Welford is a numerically stable streaming accumulator for mean and
+// variance. The zero value is ready to use.
+type Welford struct {
+	n    int
+	mean float64
+	m2   float64
+}
+
+// Add incorporates one observation.
+func (w *Welford) Add(x float64) {
+	w.n++
+	delta := x - w.mean
+	w.mean += delta / float64(w.n)
+	w.m2 += delta * (x - w.mean)
+}
+
+// N returns the number of observations.
+func (w *Welford) N() int { return w.n }
+
+// Mean returns the sample mean (0 if no observations).
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Variance returns the unbiased sample variance (0 with fewer than two
+// observations).
+func (w *Welford) Variance() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n-1)
+}
+
+// StdDev returns the sample standard deviation.
+func (w *Welford) StdDev() float64 { return math.Sqrt(w.Variance()) }
+
+// StdErr returns the standard error of the mean.
+func (w *Welford) StdErr() float64 {
+	if w.n == 0 {
+		return 0
+	}
+	return w.StdDev() / math.Sqrt(float64(w.n))
+}
+
+// Merge combines another accumulator into w (parallel Welford merge).
+func (w *Welford) Merge(o *Welford) {
+	if o.n == 0 {
+		return
+	}
+	if w.n == 0 {
+		*w = *o
+		return
+	}
+	n := w.n + o.n
+	delta := o.mean - w.mean
+	w.m2 += o.m2 + delta*delta*float64(w.n)*float64(o.n)/float64(n)
+	w.mean += delta * float64(o.n) / float64(n)
+	w.n = n
+}
+
+// tTable95 holds two-sided 95% Student-t critical values indexed by degrees
+// of freedom 1..30; beyond 30 the normal value 1.96 is used.
+var tTable95 = []float64{
+	0, // df 0: unused
+	12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+	2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+	2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+}
+
+// TCritical95 returns the two-sided 95% Student-t critical value for the
+// given degrees of freedom.
+func TCritical95(df int) float64 {
+	if df <= 0 {
+		return math.Inf(1)
+	}
+	if df < len(tTable95) {
+		return tTable95[df]
+	}
+	return 1.960
+}
+
+// Interval is a symmetric confidence interval around a point estimate.
+type Interval struct {
+	Mean     float64
+	HalfSize float64 // half-width of the interval
+	N        int     // number of batches/observations
+}
+
+// Contains reports whether x lies within the interval.
+func (iv Interval) Contains(x float64) bool {
+	return x >= iv.Mean-iv.HalfSize && x <= iv.Mean+iv.HalfSize
+}
+
+// String formats the interval in the style used by the paper,
+// e.g. "0.7213 ± 0.0041 (n=8)".
+func (iv Interval) String() string {
+	return fmt.Sprintf("%.4f ± %.4f (n=%d)", iv.Mean, iv.HalfSize, iv.N)
+}
+
+// BatchMeans accumulates per-batch means and produces a 95% confidence
+// interval for the steady-state mean, as in the paper's §5.2.
+// The zero value is ready to use.
+type BatchMeans struct {
+	w Welford
+}
+
+// AddBatch records the mean of one batch.
+func (b *BatchMeans) AddBatch(mean float64) { b.w.Add(mean) }
+
+// N returns the number of recorded batches.
+func (b *BatchMeans) N() int { return b.w.N() }
+
+// Interval95 returns the 95% confidence interval for the mean across
+// batches. With fewer than two batches the half-size is +Inf.
+func (b *BatchMeans) Interval95() Interval {
+	n := b.w.N()
+	if n < 2 {
+		return Interval{Mean: b.w.Mean(), HalfSize: math.Inf(1), N: n}
+	}
+	t := TCritical95(n - 1)
+	return Interval{Mean: b.w.Mean(), HalfSize: t * b.w.StdErr(), N: n}
+}
+
+// Converged reports whether the 95% CI half-width is at most the target.
+// The paper runs batches (5 to 18) until the half-width is ≤ 0.005.
+func (b *BatchMeans) Converged(target float64) bool {
+	if b.w.N() < 2 {
+		return false
+	}
+	return b.Interval95().HalfSize <= target
+}
+
+// Histogram is a fixed-bin histogram over the integers [0, Bins).
+// It supports weighted increments so it can represent both sampled counts
+// and time-weighted occupancy.
+type Histogram struct {
+	weights []float64
+	total   float64
+}
+
+// NewHistogram returns a histogram with the given number of bins.
+func NewHistogram(bins int) *Histogram {
+	if bins <= 0 {
+		panic(fmt.Sprintf("stats: NewHistogram bins=%d", bins))
+	}
+	return &Histogram{weights: make([]float64, bins)}
+}
+
+// Bins returns the number of bins.
+func (h *Histogram) Bins() int { return len(h.weights) }
+
+// Add increments bin i by weight w. Out-of-range bins panic: callers size
+// the histogram to the known support (0..T votes).
+func (h *Histogram) Add(i int, w float64) {
+	if i < 0 || i >= len(h.weights) {
+		panic(fmt.Sprintf("stats: Histogram.Add bin %d out of [0,%d)", i, len(h.weights)))
+	}
+	if w < 0 {
+		panic(fmt.Sprintf("stats: Histogram.Add negative weight %g", w))
+	}
+	h.weights[i] += w
+	h.total += w
+}
+
+// Weight returns the accumulated weight of bin i.
+func (h *Histogram) Weight(i int) float64 { return h.weights[i] }
+
+// Total returns the total accumulated weight.
+func (h *Histogram) Total() float64 { return h.total }
+
+// Normalize returns the histogram as a probability mass function. If no
+// weight has been recorded it returns a zero slice.
+func (h *Histogram) Normalize() []float64 {
+	p := make([]float64, len(h.weights))
+	if h.total == 0 {
+		return p
+	}
+	for i, w := range h.weights {
+		p[i] = w / h.total
+	}
+	return p
+}
+
+// Reset clears all weight.
+func (h *Histogram) Reset() {
+	for i := range h.weights {
+		h.weights[i] = 0
+	}
+	h.total = 0
+}
+
+// Scale multiplies every bin (and the total) by c. Scaling by c in (0,1) is
+// used to implement exponential decay in the on-line estimator.
+func (h *Histogram) Scale(c float64) {
+	if c < 0 {
+		panic(fmt.Sprintf("stats: Histogram.Scale negative factor %g", c))
+	}
+	for i := range h.weights {
+		h.weights[i] *= c
+	}
+	h.total *= c
+}
+
+// Quantile returns the smallest bin index at which the cumulative
+// normalized weight reaches q (clamped to [0,1]). Returns -1 for an empty
+// histogram.
+func (h *Histogram) Quantile(q float64) int {
+	if h.total == 0 {
+		return -1
+	}
+	q = math.Max(0, math.Min(1, q))
+	cum := 0.0
+	for i, w := range h.weights {
+		cum += w / h.total
+		if cum >= q {
+			return i
+		}
+	}
+	return len(h.weights) - 1
+}
+
+// Mean returns the weighted mean bin index, or 0 for an empty histogram.
+func (h *Histogram) Mean() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	s := 0.0
+	for i, w := range h.weights {
+		s += float64(i) * w
+	}
+	return s / h.total
+}
+
+// Median of a float64 slice (used in reporting); returns 0 for empty input.
+func Median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}

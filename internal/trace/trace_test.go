@@ -1,0 +1,208 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"quorumkit/internal/graph"
+)
+
+func TestGenerateValidates(t *testing.T) {
+	tr := Generate(10, 15, 128, 16.0/3, 5000, 7)
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Events) == 0 {
+		t.Fatal("empty trace over 5000 time units")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(5, 5, 20, 2, 1000, 42)
+	b := Generate(5, 5, 20, 2, 1000, 42)
+	if len(a.Events) != len(b.Events) {
+		t.Fatal("lengths differ")
+	}
+	for i := range a.Events {
+		if a.Events[i] != b.Events[i] {
+			t.Fatalf("event %d differs", i)
+		}
+	}
+	c := Generate(5, 5, 20, 2, 1000, 43)
+	if len(c.Events) == len(a.Events) {
+		same := true
+		for i := range c.Events {
+			if c.Events[i] != a.Events[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatal("different seeds gave identical traces")
+		}
+	}
+}
+
+func TestGeneratePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Generate(0, 1, 1, 1, 1, 1)
+}
+
+func TestStationaryFractionMatchesReliability(t *testing.T) {
+	// With μ_f=9, μ_r=1 the stationary up-probability is 0.9; the trace-
+	// driven up-time fraction of a site must match.
+	const failMean, repairMean = 9.0, 1.0
+	tr := Generate(1, 0, failMean, repairMean, 200000, 3)
+	up := true
+	last := 0.0
+	upTime := 0.0
+	for _, e := range tr.Events {
+		if up {
+			upTime += e.At - last
+		}
+		last = e.At
+		up = e.Kind == SiteRepair
+	}
+	if up {
+		upTime += tr.Horizon - last
+	}
+	frac := upTime / tr.Horizon
+	if math.Abs(frac-0.9) > 0.01 {
+		t.Fatalf("up fraction %g, want 0.9", frac)
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	tr := Generate(4, 6, 10, 2, 500, 9)
+	var buf bytes.Buffer
+	if err := tr.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.N != tr.N || back.M != tr.M || back.Horizon != tr.Horizon || back.Seed != tr.Seed {
+		t.Fatal("header mismatch")
+	}
+	if len(back.Events) != len(tr.Events) {
+		t.Fatal("event count mismatch")
+	}
+	for i := range tr.Events {
+		if tr.Events[i] != back.Events[i] {
+			t.Fatalf("event %d mismatch", i)
+		}
+	}
+}
+
+func TestReadRejectsInvalid(t *testing.T) {
+	if _, err := Read(bytes.NewBufferString(`{"sites":0}`)); err == nil {
+		t.Fatal("bad header accepted")
+	}
+	if _, err := Read(bytes.NewBufferString(`not json`)); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	// Non-alternating events.
+	bad := `{"sites":2,"links":0,"horizon":10,"events":[
+		{"at":1,"kind":1,"index":0}]}`
+	if _, err := Read(bytes.NewBufferString(bad)); err == nil {
+		t.Fatal("repair of an up site accepted")
+	}
+}
+
+func TestReplayerAdvance(t *testing.T) {
+	g := graph.Ring(4)
+	tr := &Trace{N: 4, M: 4, Horizon: 100, Events: []Event{
+		{At: 1, Kind: SiteFail, Index: 2},
+		{At: 2, Kind: LinkFail, Index: 0},
+		{At: 3, Kind: SiteRepair, Index: 2},
+	}}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	st := graph.NewState(g, nil)
+	r, err := NewReplayer(tr, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := r.AdvanceTo(1.5); n != 1 {
+		t.Fatalf("applied %d", n)
+	}
+	if st.SiteUp(2) {
+		t.Fatal("site 2 should be down")
+	}
+	e, ok := r.Step()
+	if !ok || e.Kind != LinkFail {
+		t.Fatalf("step %v %v", e, ok)
+	}
+	if st.LinkUp(0) {
+		t.Fatal("link 0 should be down")
+	}
+	r.AdvanceTo(100)
+	if !st.SiteUp(2) {
+		t.Fatal("site 2 should be repaired")
+	}
+	if !r.Done() {
+		t.Fatal("replayer should be done")
+	}
+	if _, ok := r.Step(); ok {
+		t.Fatal("step past end")
+	}
+	if r.Now() != 100 {
+		t.Fatalf("clock %g", r.Now())
+	}
+}
+
+func TestReplayerDimensionCheck(t *testing.T) {
+	tr := Generate(5, 5, 10, 2, 100, 1)
+	st := graph.NewState(graph.Ring(6), nil)
+	if _, err := NewReplayer(tr, st); err == nil {
+		t.Fatal("dimension mismatch accepted")
+	}
+}
+
+func TestReplayTwiceIdentical(t *testing.T) {
+	// Replaying the same trace on two states gives identical component
+	// structure at every event — the paired-comparison property.
+	g := graph.Grid(3, 3)
+	tr := Generate(g.N(), g.M(), 10, 2, 2000, 5)
+	stA := graph.NewState(g, nil)
+	stB := graph.NewState(g, nil)
+	ra, _ := NewReplayer(tr, stA)
+	rb, _ := NewReplayer(tr, stB)
+	for !ra.Done() {
+		ra.Step()
+		rb.Step()
+		for i := 0; i < g.N(); i++ {
+			if stA.VotesAt(i) != stB.VotesAt(i) {
+				t.Fatal("replays diverged")
+			}
+		}
+	}
+}
+
+func TestKindString(t *testing.T) {
+	names := map[EventKind]string{
+		SiteFail: "site-fail", SiteRepair: "site-repair",
+		LinkFail: "link-fail", LinkRepair: "link-repair",
+	}
+	for k, want := range names {
+		if k.String() != want {
+			t.Fatalf("%d: %q", k, k.String())
+		}
+	}
+	if EventKind(9).String() == "" {
+		t.Fatal("unknown kind should print")
+	}
+}
+
+func BenchmarkGenerate101(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = Generate(101, 5050, 128, 16.0/3, 1000, uint64(i))
+	}
+}

@@ -1,0 +1,283 @@
+// Package votes addresses the companion problem the paper delegates to its
+// reference [7] (Cheung, Ahamad & Ammar): choosing the *vote assignment*
+// jointly with the quorum assignment. The paper's own study fixes one vote
+// per copy because its topologies are symmetric; on asymmetric topologies
+// (stars, paths, hub-and-spoke networks) weighted votes can dominate.
+//
+// Availability of a candidate vote assignment is evaluated exactly by
+// enumerating failure configurations (dist.Exact) and running the paper's
+// Figure-1 optimization for the best quorum pair, so the search optimizes
+// the same ACC objective as the rest of the library. Exhaustive search over
+// vote vectors reproduces [7]'s approach for tiny systems; a hill-climbing
+// local search handles slightly larger ones.
+package votes
+
+import (
+	"fmt"
+
+	"quorumkit/internal/core"
+	"quorumkit/internal/dist"
+	"quorumkit/internal/graph"
+	"quorumkit/internal/quorum"
+	"quorumkit/internal/rng"
+)
+
+// Config parameterizes the evaluation and search.
+type Config struct {
+	P     float64 // site reliability
+	R     float64 // link reliability
+	Alpha float64 // fraction of accesses that are reads
+
+	// MaxVotesPerSite bounds each site's votes during search (≥ 1).
+	MaxVotesPerSite int
+	// TotalBudget bounds the vote total during search; 0 means n·Max.
+	TotalBudget int
+}
+
+func (c Config) validate(n int) error {
+	if c.P < 0 || c.P > 1 || c.R < 0 || c.R > 1 {
+		return fmt.Errorf("votes: reliabilities (%g, %g) out of [0,1]", c.P, c.R)
+	}
+	if c.Alpha < 0 || c.Alpha > 1 {
+		return fmt.Errorf("votes: α=%g out of [0,1]", c.Alpha)
+	}
+	if c.MaxVotesPerSite < 1 {
+		return fmt.Errorf("votes: MaxVotesPerSite=%d", c.MaxVotesPerSite)
+	}
+	if c.TotalBudget < 0 {
+		return fmt.Errorf("votes: TotalBudget=%d", c.TotalBudget)
+	}
+	_ = n
+	return nil
+}
+
+func (c Config) budget(n int) int {
+	if c.TotalBudget > 0 {
+		return c.TotalBudget
+	}
+	return n * c.MaxVotesPerSite
+}
+
+// Evaluation is the outcome of evaluating one vote assignment: the optimal
+// quorum pair for it and the availability achieved.
+type Evaluation struct {
+	Votes        quorum.VoteAssignment
+	Assignment   quorum.Assignment
+	Availability float64
+}
+
+// Evaluate computes the exact availability of a vote assignment under its
+// optimal quorum pair. The topology must satisfy dist.Exact's size limit.
+func Evaluate(g *graph.Graph, v quorum.VoteAssignment, cfg Config) (Evaluation, error) {
+	if err := cfg.validate(g.N()); err != nil {
+		return Evaluation{}, err
+	}
+	if len(v) != g.N() {
+		return Evaluation{}, fmt.Errorf("votes: %d votes for %d sites", len(v), g.N())
+	}
+	if err := v.Validate(); err != nil {
+		return Evaluation{}, err
+	}
+	fs := dist.Exact(g, v, cfg.P, cfg.R)
+	pmfs := make([]dist.PMF, len(fs))
+	copy(pmfs, fs)
+	m, err := core.NewModel(nil, nil, pmfs)
+	if err != nil {
+		return Evaluation{}, err
+	}
+	res := m.Optimize(cfg.Alpha)
+	return Evaluation{
+		Votes:        append(quorum.VoteAssignment(nil), v...),
+		Assignment:   res.Assignment,
+		Availability: res.Availability,
+	}, nil
+}
+
+// Uniform returns the one-vote-per-site evaluation (the paper's baseline).
+func Uniform(g *graph.Graph, cfg Config) (Evaluation, error) {
+	return Evaluate(g, quorum.UniformVotes(g.N()), cfg)
+}
+
+// DegreeHeuristic assigns each site votes proportional to 1 + its degree,
+// scaled into [1, MaxVotesPerSite] — the standard structural heuristic:
+// well-connected sites appear in more components and deserve more weight.
+func DegreeHeuristic(g *graph.Graph, maxVotes int) quorum.VoteAssignment {
+	if maxVotes < 1 {
+		panic(fmt.Sprintf("votes: maxVotes=%d", maxVotes))
+	}
+	n := g.N()
+	v := make(quorum.VoteAssignment, n)
+	maxDeg := 0
+	for i := 0; i < n; i++ {
+		if d := g.Degree(i); d > maxDeg {
+			maxDeg = d
+		}
+	}
+	for i := 0; i < n; i++ {
+		if maxDeg == 0 {
+			v[i] = 1
+			continue
+		}
+		v[i] = 1 + g.Degree(i)*(maxVotes-1)/maxDeg
+	}
+	return v
+}
+
+// HillClimb searches vote assignments by local moves from the uniform
+// start: repeatedly try adding or removing one vote at one site, keeping
+// strict improvements, until a local optimum. Deterministic: sites are
+// scanned in order and the best single move is taken each round.
+func HillClimb(g *graph.Graph, cfg Config) (Evaluation, error) {
+	if err := cfg.validate(g.N()); err != nil {
+		return Evaluation{}, err
+	}
+	n := g.N()
+	cur, err := Uniform(g, cfg)
+	if err != nil {
+		return Evaluation{}, err
+	}
+	budget := cfg.budget(n)
+	for {
+		best := cur
+		improved := false
+		for site := 0; site < n; site++ {
+			for _, delta := range []int{1, -1} {
+				cand := append(quorum.VoteAssignment(nil), cur.Votes...)
+				cand[site] += delta
+				if cand[site] < 0 || cand[site] > cfg.MaxVotesPerSite {
+					continue
+				}
+				if cand.Total() == 0 || cand.Total() > budget {
+					continue
+				}
+				ev, err := Evaluate(g, cand, cfg)
+				if err != nil {
+					return Evaluation{}, err
+				}
+				if ev.Availability > best.Availability+1e-12 {
+					best = ev
+					improved = true
+				}
+			}
+		}
+		if !improved {
+			return cur, nil
+		}
+		cur = best
+	}
+}
+
+// EvaluateMC is Evaluate with the exact enumeration replaced by a
+// Monte-Carlo density estimate, lifting the small-system limit of
+// dist.Exact. The returned availability carries sampling noise of order
+// 1/√samples; searches using it should use a margin accordingly.
+func EvaluateMC(g *graph.Graph, v quorum.VoteAssignment, cfg Config, samples int, src *rng.Source) (Evaluation, error) {
+	if err := cfg.validate(g.N()); err != nil {
+		return Evaluation{}, err
+	}
+	if len(v) != g.N() {
+		return Evaluation{}, fmt.Errorf("votes: %d votes for %d sites", len(v), g.N())
+	}
+	if err := v.Validate(); err != nil {
+		return Evaluation{}, err
+	}
+	if samples <= 0 {
+		return Evaluation{}, fmt.Errorf("votes: samples=%d", samples)
+	}
+	fs := dist.MonteCarloParallel(g, v, cfg.P, cfg.R, samples, src)
+	m, err := core.NewModel(nil, nil, fs)
+	if err != nil {
+		return Evaluation{}, err
+	}
+	res := m.Optimize(cfg.Alpha)
+	return Evaluation{
+		Votes:        append(quorum.VoteAssignment(nil), v...),
+		Assignment:   res.Assignment,
+		Availability: res.Availability,
+	}, nil
+}
+
+// RandomSearch samples `tries` random vote vectors (entries uniform in
+// [1, Max], respecting the budget) and returns the best under Monte-Carlo
+// evaluation. Usable on systems too large for Exact; the uniform
+// assignment is always included as a baseline candidate.
+func RandomSearch(g *graph.Graph, cfg Config, tries, samples int, src *rng.Source) (Evaluation, error) {
+	if err := cfg.validate(g.N()); err != nil {
+		return Evaluation{}, err
+	}
+	if tries <= 0 {
+		return Evaluation{}, fmt.Errorf("votes: tries=%d", tries)
+	}
+	n := g.N()
+	budget := cfg.budget(n)
+	best, err := EvaluateMC(g, quorum.UniformVotes(n), cfg, samples, src)
+	if err != nil {
+		return Evaluation{}, err
+	}
+	for k := 0; k < tries; k++ {
+		cand := make(quorum.VoteAssignment, n)
+		total := 0
+		for i := range cand {
+			cand[i] = 1 + src.Intn(cfg.MaxVotesPerSite)
+			total += cand[i]
+		}
+		if total > budget {
+			continue
+		}
+		ev, err := EvaluateMC(g, cand, cfg, samples, src)
+		if err != nil {
+			return Evaluation{}, err
+		}
+		if ev.Availability > best.Availability {
+			best = ev
+		}
+	}
+	return best, nil
+}
+
+// Exhaustive enumerates every vote vector with entries in [0, Max] and
+// total in [1, budget], returning the best. Exponential (Max+1)^n — use
+// only for tiny systems, as in the literature this reproduces.
+func Exhaustive(g *graph.Graph, cfg Config) (Evaluation, error) {
+	if err := cfg.validate(g.N()); err != nil {
+		return Evaluation{}, err
+	}
+	n := g.N()
+	if n > 8 {
+		return Evaluation{}, fmt.Errorf("votes: Exhaustive supports at most 8 sites, got %d", n)
+	}
+	budget := cfg.budget(n)
+	best := Evaluation{Availability: -1}
+	v := make(quorum.VoteAssignment, n)
+	var rec func(i, total int) error
+	rec = func(i, total int) error {
+		if i == n {
+			if total == 0 {
+				return nil
+			}
+			ev, err := Evaluate(g, v, cfg)
+			if err != nil {
+				return err
+			}
+			if ev.Availability > best.Availability {
+				best = ev
+			}
+			return nil
+		}
+		for x := 0; x <= cfg.MaxVotesPerSite && total+x <= budget; x++ {
+			v[i] = x
+			if err := rec(i+1, total+x); err != nil {
+				return err
+			}
+		}
+		v[i] = 0
+		return nil
+	}
+	if err := rec(0, 0); err != nil {
+		return Evaluation{}, err
+	}
+	if best.Availability < 0 {
+		return Evaluation{}, fmt.Errorf("votes: no feasible vote assignment")
+	}
+	return best, nil
+}

@@ -1,0 +1,135 @@
+// Package workload describes time-varying access patterns — the "shifting
+// pattern of data access" the paper's dynamic quorum reassignment (§4.3)
+// exists to track. A Pattern maps simulation time to the instantaneous
+// read fraction α(t); generators draw per-access read/write decisions
+// from it.
+package workload
+
+import (
+	"fmt"
+	"math"
+
+	"quorumkit/internal/rng"
+)
+
+// Pattern yields the read fraction at a point in simulated time.
+type Pattern interface {
+	// Alpha returns α(t) ∈ [0, 1].
+	Alpha(t float64) float64
+}
+
+// Constant is a fixed read fraction (the paper's §5 workloads).
+type Constant float64
+
+// Alpha implements Pattern.
+func (c Constant) Alpha(float64) float64 { return float64(c) }
+
+// Alternating switches between two read fractions every half period —
+// the workload of the dynamic-vs-static study.
+type Alternating struct {
+	Period    float64 // full cycle length
+	High, Low float64 // read fractions of the two half-cycles
+}
+
+// Alpha implements Pattern.
+func (a Alternating) Alpha(t float64) float64 {
+	if a.Period <= 0 {
+		return a.High
+	}
+	phase := math.Mod(t, a.Period)
+	if phase < a.Period/2 {
+		return a.High
+	}
+	return a.Low
+}
+
+// Diurnal is a sinusoidal day/night pattern: read-heavy at the peak,
+// write-heavy in the trough.
+type Diurnal struct {
+	Period    float64 // cycle length ("one day")
+	Mean      float64 // average read fraction
+	Amplitude float64 // peak deviation; Mean±Amplitude must stay in [0,1]
+}
+
+// Alpha implements Pattern.
+func (d Diurnal) Alpha(t float64) float64 {
+	a := d.Mean + d.Amplitude*math.Sin(2*math.Pi*t/d.Period)
+	return clamp01(a)
+}
+
+// Drift moves linearly from one read fraction to another over a duration,
+// then holds — a workload migration.
+type Drift struct {
+	From, To float64
+	Start    float64
+	Duration float64
+}
+
+// Alpha implements Pattern.
+func (d Drift) Alpha(t float64) float64 {
+	switch {
+	case t <= d.Start:
+		return clamp01(d.From)
+	case t >= d.Start+d.Duration:
+		return clamp01(d.To)
+	default:
+		frac := (t - d.Start) / d.Duration
+		return clamp01(d.From + (d.To-d.From)*frac)
+	}
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}
+
+// Validate checks a pattern over a horizon: α(t) must stay in [0, 1].
+func Validate(p Pattern, horizon float64, samples int) error {
+	if samples <= 0 || horizon <= 0 {
+		return fmt.Errorf("workload: bad validation args")
+	}
+	for i := 0; i <= samples; i++ {
+		t := horizon * float64(i) / float64(samples)
+		a := p.Alpha(t)
+		if math.IsNaN(a) || a < 0 || a > 1 {
+			return fmt.Errorf("workload: α(%g) = %g out of [0,1]", t, a)
+		}
+	}
+	return nil
+}
+
+// Generator draws read/write decisions from a pattern.
+type Generator struct {
+	pattern Pattern
+	src     *rng.Source
+	reads   int64
+	total   int64
+}
+
+// NewGenerator binds a pattern to a decision stream.
+func NewGenerator(p Pattern, seed uint64) *Generator {
+	return &Generator{pattern: p, src: rng.New(seed)}
+}
+
+// IsRead draws the next access type at time t.
+func (g *Generator) IsRead(t float64) bool {
+	g.total++
+	if g.src.Bernoulli(g.pattern.Alpha(t)) {
+		g.reads++
+		return true
+	}
+	return false
+}
+
+// ObservedAlpha returns the realized read fraction so far (0 if no draws).
+func (g *Generator) ObservedAlpha() float64 {
+	if g.total == 0 {
+		return 0
+	}
+	return float64(g.reads) / float64(g.total)
+}

@@ -1,0 +1,124 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestConstant(t *testing.T) {
+	p := Constant(0.75)
+	if p.Alpha(0) != 0.75 || p.Alpha(1e9) != 0.75 {
+		t.Fatal("constant pattern not constant")
+	}
+	if err := Validate(p, 100, 10); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAlternating(t *testing.T) {
+	p := Alternating{Period: 10, High: 0.9, Low: 0.1}
+	if p.Alpha(1) != 0.9 || p.Alpha(6) != 0.1 || p.Alpha(11) != 0.9 {
+		t.Fatalf("alternation wrong: %g %g %g", p.Alpha(1), p.Alpha(6), p.Alpha(11))
+	}
+	// Zero period degrades to High.
+	if (Alternating{High: 0.5}).Alpha(3) != 0.5 {
+		t.Fatal("zero period")
+	}
+}
+
+func TestDiurnal(t *testing.T) {
+	p := Diurnal{Period: 24, Mean: 0.5, Amplitude: 0.4}
+	if err := Validate(p, 240, 1000); err != nil {
+		t.Fatal(err)
+	}
+	peak := p.Alpha(6)    // sin(π/2) = 1
+	trough := p.Alpha(18) // sin(3π/2) = −1
+	if math.Abs(peak-0.9) > 1e-9 || math.Abs(trough-0.1) > 1e-9 {
+		t.Fatalf("peak %g trough %g", peak, trough)
+	}
+	// Excess amplitude clamps rather than leaving [0,1].
+	wild := Diurnal{Period: 24, Mean: 0.5, Amplitude: 0.9}
+	if err := Validate(wild, 48, 500); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDrift(t *testing.T) {
+	p := Drift{From: 0.9, To: 0.1, Start: 10, Duration: 20}
+	if p.Alpha(0) != 0.9 || p.Alpha(10) != 0.9 {
+		t.Fatal("before drift")
+	}
+	if p.Alpha(40) != 0.1 || p.Alpha(1e6) != 0.1 {
+		t.Fatal("after drift")
+	}
+	if math.Abs(p.Alpha(20)-0.5) > 1e-9 {
+		t.Fatalf("midpoint %g", p.Alpha(20))
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	if err := Validate(Constant(0.5), 0, 10); err == nil {
+		t.Fatal("zero horizon accepted")
+	}
+	if err := Validate(Constant(0.5), 10, 0); err == nil {
+		t.Fatal("zero samples accepted")
+	}
+	type bad struct{ Pattern }
+	b := Constant(2) // out of range
+	if err := Validate(b, 10, 10); err == nil {
+		t.Fatal("out-of-range pattern accepted")
+	}
+	_ = bad{}
+}
+
+func TestGeneratorTracksPattern(t *testing.T) {
+	g := NewGenerator(Constant(0.7), 3)
+	for i := 0; i < 100000; i++ {
+		g.IsRead(float64(i))
+	}
+	if math.Abs(g.ObservedAlpha()-0.7) > 0.01 {
+		t.Fatalf("observed α %g", g.ObservedAlpha())
+	}
+	empty := NewGenerator(Constant(0.5), 1)
+	if empty.ObservedAlpha() != 0 {
+		t.Fatal("empty generator α")
+	}
+}
+
+func TestGeneratorFollowsAlternation(t *testing.T) {
+	p := Alternating{Period: 200, High: 1, Low: 0}
+	g := NewGenerator(p, 7)
+	reads, writes := 0, 0
+	for i := 0; i < 1000; i++ {
+		t1 := float64(i % 100)     // first half-cycle
+		t2 := 100 + float64(i%100) // second half-cycle
+		if g.IsRead(t1) {
+			reads++
+		}
+		if g.IsRead(t2) {
+			writes++
+		}
+	}
+	if reads != 1000 {
+		t.Fatalf("high phase reads %d", reads)
+	}
+	if writes != 0 {
+		t.Fatalf("low phase reads %d", writes)
+	}
+}
+
+func TestQuickPatternsBounded(t *testing.T) {
+	f := func(period, mean, amp, t uint16) bool {
+		p := Diurnal{
+			Period:    float64(period%1000) + 1,
+			Mean:      float64(mean%100) / 100,
+			Amplitude: float64(amp%200) / 100,
+		}
+		a := p.Alpha(float64(t))
+		return a >= 0 && a <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
