@@ -1,0 +1,34 @@
+# Verification tiers for quorumkit. `make check` is the gate a change must
+# pass before it lands: vet, build, the full test suite, and the race
+# detector over the concurrent runtime and the simulator.
+
+GO ?= go
+
+.PHONY: check vet build test race fuzz chaos bench
+
+check: vet build test race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/cluster/ ./internal/sim/
+
+# Short continuous fuzz of the wire codec (the committed corpus always
+# replays as part of `make test`).
+fuzz:
+	$(GO) test ./internal/cluster/ -run FuzzUnmarshalPayload -fuzz FuzzUnmarshalPayload -fuzztime 30s
+
+# Seeded fault-injection sweep over every mix on both runtimes.
+chaos:
+	$(GO) run ./cmd/quorumsim -chaos -chaosmix all -ops 5000 -seed 1
+	$(GO) run ./cmd/quorumsim -chaos -chaosmix all -ops 5000 -seed 1 -async
+
+bench:
+	$(GO) test -bench=. -benchmem

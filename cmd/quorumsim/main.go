@@ -3,10 +3,16 @@
 // (§5.2): warm-up, fixed-size batches from a fresh initial state, 95%
 // confidence intervals.
 //
+// With -chaos it instead drives the message-level protocol runtimes under
+// seeded fault injection (drops, duplication, reordering, delay, coordinator
+// crashes) and reports the fault counters together with the history
+// checker's one-copy-serializability verdict.
+//
 // Usage:
 //
 //	quorumsim -topology 2 -qr 28 -alpha 0.75
 //	quorumsim -topology 0 -qr 50 -alpha 0.5 -batch 1000000 -paper
+//	quorumsim -chaos -chaosmix all -ops 5000 -seed 7
 package main
 
 import (
@@ -14,6 +20,9 @@ import (
 	"fmt"
 	"os"
 
+	"quorumkit/internal/cluster"
+	"quorumkit/internal/faults"
+	"quorumkit/internal/graph"
 	"quorumkit/internal/quorum"
 	"quorumkit/internal/sim"
 	"quorumkit/internal/topo"
@@ -32,8 +41,18 @@ func main() {
 		seed     = flag.Uint64("seed", 1, "base seed")
 		paper    = flag.Bool("paper", false, "use the paper's full batch sizes (overrides -warmup/-batch)")
 		sweepAll = flag.Bool("sweep", false, "measure every q_r in the family (parallel across assignments)")
+
+		chaos    = flag.Bool("chaos", false, "run the chaos harness against the protocol runtimes instead")
+		chaosMix = flag.String("chaosmix", "all", "fault mix name, or 'all' (one of: "+joinNames()+")")
+		ops      = flag.Int("ops", 2000, "scheduled operations per chaos run")
+		nodes    = flag.Int("nodes", 7, "sites in the chaos cluster (complete graph)")
+		async    = flag.Bool("async", false, "use the concurrent runtime for the chaos run")
 	)
 	flag.Parse()
+
+	if *chaos {
+		os.Exit(runChaos(*chaosMix, *ops, *nodes, *seed, *async))
+	}
 
 	cfg := sim.StudyConfig{
 		Warmup:        *warmup,
@@ -86,4 +105,70 @@ func main() {
 	if *alpha < 1 {
 		fmt.Printf("write availability: %v\n", meas.Write)
 	}
+}
+
+func joinNames() string {
+	out := ""
+	for i, n := range faults.Names() {
+		if i > 0 {
+			out += " "
+		}
+		out += n
+	}
+	return out
+}
+
+// runChaos drives the message-level chaos harness for each requested mix
+// and prints per-run availability, the fault counters, and the history
+// checker's verdict. Exit status is non-zero when any run violates
+// one-copy serializability (which would be a protocol bug, not a fault
+// effect).
+func runChaos(mixName string, steps, n int, seed uint64, async bool) int {
+	names := []string{mixName}
+	if mixName == "all" {
+		names = faults.Names()
+	}
+	status := 0
+	for _, name := range names {
+		mix, err := faults.Named(name)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+		plan := faults.NewPlan(seed, mix)
+		g := graph.Complete(n)
+		st := graph.NewState(g, nil)
+
+		var rt cluster.ChaosRuntime
+		runtimeName := "deterministic"
+		if async {
+			runtimeName = "async"
+			a, err := cluster.NewAsync(st, quorum.Majority(n))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return 2
+			}
+			defer a.Close()
+			a.EnableChaos(plan, cluster.DefaultRetryPolicy())
+			rt = a
+		} else {
+			c, err := cluster.New(st, quorum.Majority(n))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return 2
+			}
+			c.EnableChaos(plan, cluster.DefaultRetryPolicy())
+			rt = c
+		}
+
+		run := cluster.RunChaos(rt, plan, seed^0xc4a05, steps, n, g.M())
+		verdict := "1SR OK"
+		if err := run.Log.Check(); err != nil {
+			verdict = "VIOLATION: " + err.Error()
+			status = 1
+		}
+		fmt.Printf("mix=%-13s runtime=%s seed=%d n=%d\n  %v\n  %v\n  %s\n",
+			name, runtimeName, seed, n, run, run.Counters, verdict)
+	}
+	return status
 }

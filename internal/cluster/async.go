@@ -35,6 +35,11 @@ type Async struct {
 
 	sent      atomic.Int64
 	delivered atomic.Int64
+
+	// chaos, when non-nil, interposes the fault plan on every fan-out and
+	// enables the hardened ChaosRead/ChaosWrite/ChaosReassign operations
+	// (see chaos_async.go).
+	chaos *asyncChaos
 }
 
 // asyncNode is one site's goroutine-owned state.
@@ -113,7 +118,7 @@ func (n *asyncNode) handle(m asyncMsg) {
 		}
 	case syncState:
 		n.state.adopt(b.assign, b.version, b.stamp, b.value)
-		if b.votesSeen > 0 {
+		if b.votesSeen > 0 && b.votesSeen < n.histBins {
 			if n.state.hist == nil {
 				n.state.hist = stats.NewHistogram(n.histBins)
 			}
@@ -122,6 +127,9 @@ func (n *asyncNode) handle(m asyncMsg) {
 	case applyWrite:
 		if b.stamp > n.state.stamp {
 			n.state.stamp, n.state.value = b.stamp, b.value
+		}
+		if b.wantAck && m.reply != nil {
+			m.reply <- applyAck{from: n.id, stamp: n.state.stamp}
 		}
 	case installAssign:
 		n.state.adopt(b.assign, b.version, b.stamp, b.value)

@@ -1,0 +1,645 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"quorumkit/internal/faults"
+	"quorumkit/internal/quorum"
+	"quorumkit/internal/stats"
+)
+
+// This file hardens the deterministic Cluster against an unreliable
+// transport. The baseline protocol (cluster.go) inherits the paper's
+// idealized fault model: within a component every message is delivered
+// exactly once, in order, instantly, and a coordinator never fails during
+// a round. Under those assumptions "quorum granted" implies "update
+// installed at every responder", so the baseline can report a write as
+// committed the moment the votes are counted.
+//
+// A fault-injecting transport (faults.Plan) breaks every one of those
+// assumptions: messages are dropped, duplicated, reordered and delayed,
+// and the coordinator can crash before quorum, after quorum but before
+// apply, or mid-apply. The hardened operations below keep the protocol
+// safe — never stale reads, never two values under one stamp — by adding:
+//
+//   - reply deduplication: duplicated vote replies and acks are counted
+//     once per sender, so injected duplication can never inflate a vote
+//     total past a quorum;
+//   - unique write stamps: under chaos a stamp is (sequence<<10 | site),
+//     so two coordinators that race to the same sequence number can never
+//     issue the same stamp for different values. The coordinator applies
+//     its own copy before any message leaves, which (with adopt-max
+//     monotonicity) makes the sequence it issues strictly increase;
+//   - acknowledged writes: a write reports success only after copies
+//     holding the new stamp cover a write quorum of votes; a partial
+//     apply surfaces as ErrIndeterminate and is reported to the history
+//     checker as an indeterminate write rather than silently succeeding;
+//   - commit-confirmed reads (ABD-style read repair): a read returns a
+//     value only when copies holding its stamp cover a write quorum —
+//     either observed directly in the vote replies or established by
+//     writing the value back and counting acks. This trades availability
+//     (a component can have a read quorum but be unable to confirm) for
+//     correctness, which is exactly the theory/practice gap the fault
+//     model exposes;
+//   - timeout/retry with exponential backoff and deterministic jitter:
+//     an attempt that lost expected replies to faults fails with
+//     ErrTimeout and is retried under RetryPolicy; an attempt denied with
+//     a full response set fails with ErrNoQuorum and is not retried
+//     (nothing will change without a topology event).
+//
+// Crash-recovery: a crashed coordinator keeps its copy state (value,
+// stamp, assignment, version — the node's durable state), and Recover
+// simply marks the site up again. The recovered node re-learns newer
+// assignments through the existing syncState/installAssign paths, which is
+// the paper's version-number safety argument exercised end to end.
+
+// Typed operation errors.
+var (
+	// ErrNoQuorum: every expected reply arrived and the votes still fall
+	// short — retrying cannot help until the topology changes.
+	ErrNoQuorum = errors.New("cluster: no quorum")
+	// ErrTimeout: expected replies were lost to the transport; a retry may
+	// succeed.
+	ErrTimeout = errors.New("cluster: timed out waiting for replies")
+	// ErrIndeterminate: a write reached quorum but its apply phase was not
+	// acknowledged by a write quorum — the value is on some copies and may
+	// surface later.
+	ErrIndeterminate = errors.New("cluster: operation indeterminate (partial apply)")
+	// ErrCoordinatorDown: the submitting site is down or crashed.
+	ErrCoordinatorDown = errors.New("cluster: coordinator down")
+	// ErrCrashed: the coordinator crashed during the round.
+	ErrCrashed = errors.New("cluster: coordinator crashed mid-operation")
+)
+
+// RetryPolicy bounds operation retries. Backoff is exponential with
+// deterministic jitter: delay(attempt) = min(Base·2^attempt, Max) ticks,
+// scaled down by up to Jitter·uniform. Ticks are abstract in the
+// deterministic runtime and scaled to a real duration by the concurrent
+// one.
+type RetryPolicy struct {
+	MaxAttempts int
+	BaseBackoff int64
+	MaxBackoff  int64
+	Jitter      float64 // fraction of the delay subject to jitter, in [0,1]
+}
+
+// DefaultRetryPolicy mirrors common production defaults: three attempts,
+// exponential backoff starting at 2 ticks capped at 16, half jittered.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{MaxAttempts: 3, BaseBackoff: 2, MaxBackoff: 16, Jitter: 0.5}
+}
+
+// backoff computes the attempt's delay in ticks from a uniform jitter
+// variate u in [0,1).
+func (p RetryPolicy) backoff(attempt int, u float64) int64 {
+	d := p.BaseBackoff << uint(attempt)
+	if d > p.MaxBackoff || d <= 0 {
+		d = p.MaxBackoff
+	}
+	if p.Jitter > 0 {
+		d -= int64(p.Jitter * u * float64(d))
+	}
+	if d < 1 {
+		d = 1
+	}
+	return d
+}
+
+// Residue is a value a failed or crashed write left on some copies — a
+// partial apply that may surface in later reads. The history checker
+// treats residues as indeterminate writes.
+type Residue struct {
+	Value int64
+	Stamp int64
+}
+
+// Outcome is the result of one fault-hardened client operation, including
+// retries.
+type Outcome struct {
+	Granted      bool
+	Value, Stamp int64
+	Err          error // nil iff Granted
+	Attempts     int
+	Residue      []Residue // partial applies left by failed attempts
+	BackoffTicks int64
+}
+
+// chaosState is the fault-injection context attached to a Cluster.
+type chaosState struct {
+	plan     *faults.Plan
+	policy   RetryPolicy
+	counters stats.ChaosCounters
+
+	op      uint64 // client operation sequence (keys fault decisions)
+	attempt int
+
+	heap    []chaosMsg // rank-ordered delivery queue
+	seq     uint64
+	crashed []bool
+}
+
+// chaosMsg is a queued message with its delivery rank.
+type chaosMsg struct {
+	rank int64
+	seq  uint64
+	m    message
+}
+
+// EnableChaos attaches a fault plan and retry policy to the cluster. All
+// subsequent message deliveries pass through the fault-injecting
+// transport, and the hardened ChaosRead/ChaosWrite/ChaosReassign
+// operations become available. The baseline Read/Write/Reassign methods
+// stay callable but keep their idealized-transport assumptions — driving
+// them under chaos demonstrably violates one-copy serializability (see
+// TestUnhardenedProtocolViolatesUnderChaos).
+func (c *Cluster) EnableChaos(plan *faults.Plan, policy RetryPolicy) {
+	if policy.MaxAttempts < 1 {
+		policy.MaxAttempts = 1
+	}
+	c.chaos = &chaosState{plan: plan, policy: policy, crashed: make([]bool, len(c.nodes))}
+}
+
+// ChaosCounters returns a snapshot of the fault-injection counters.
+func (c *Cluster) ChaosCounters() stats.ChaosCounters {
+	if c.chaos == nil {
+		return stats.ChaosCounters{}
+	}
+	return c.chaos.counters
+}
+
+// Crashed lists nodes currently down due to an injected crash.
+func (c *Cluster) Crashed() []int {
+	var out []int
+	if c.chaos == nil {
+		return out
+	}
+	for i, down := range c.chaos.crashed {
+		if down {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Recover brings a crashed node back up with its durable copy state
+// intact (the node re-learns newer assignments and values through the
+// normal sync path). It reports whether the node was in the crashed set.
+func (c *Cluster) Recover(x int) bool {
+	ch := c.chaos
+	if ch == nil || !ch.crashed[x] {
+		return false
+	}
+	ch.crashed[x] = false
+	c.st.RepairSite(x)
+	ch.counters.Recoveries++
+	return true
+}
+
+// crash fails the coordinator mid-round.
+func (c *Cluster) crash(x int) {
+	c.st.FailSite(x)
+	c.chaos.crashed[x] = true
+	c.chaos.counters.Crashes++
+}
+
+// stageOf maps a payload to its fault-decision stage.
+func stageOf(p payload) uint8 {
+	switch p.(type) {
+	case voteRequest:
+		return faults.StageVoteRequest
+	case voteReply:
+		return faults.StageVoteReply
+	case syncState:
+		return faults.StageSync
+	case applyWrite:
+		return faults.StageApply
+	case applyAck:
+		return faults.StageApplyAck
+	case installAssign:
+		return faults.StageInstall
+	case histRequest:
+		return faults.StageHistRequest
+	case histReply:
+		return faults.StageHistReply
+	default:
+		panic(fmt.Sprintf("cluster: unknown payload %T", p))
+	}
+}
+
+// admit passes one sent message through the fault plan and, unless it is
+// dropped, pushes it (and a possible duplicate) onto the delivery heap.
+func (ch *chaosState) admit(c *Cluster, m message) {
+	d := ch.plan.Message(ch.op, stageOf(m.body), m.from, m.to, ch.attempt)
+	if d.Drop {
+		ch.counters.MsgDropped++
+		c.stats.Dropped++
+		return
+	}
+	ch.push(m, d)
+	if d.Duplicate {
+		ch.counters.MsgDuplicated++
+		c.stats.Sent++ // the twin is an extra transmission
+		ch.push(m, d)
+	}
+}
+
+// push enqueues one message copy with its delivery rank. Ranks are spaced
+// by 16 so a delay of k slots moves a message past k later sends, and a
+// reorder jumps it ahead of the previous send without colliding with it.
+func (ch *chaosState) push(m message, d faults.Decision) {
+	rank := int64(ch.seq) * 16
+	if d.Delay > 0 {
+		rank += int64(d.Delay) * 16
+		ch.counters.MsgDelayed++
+	}
+	if d.Reorder {
+		rank -= 24
+		ch.counters.MsgReordered++
+	}
+	ch.heap = append(ch.heap, chaosMsg{rank: rank, seq: ch.seq, m: m})
+	ch.seq++
+	// Sift up.
+	i := len(ch.heap) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !ch.less(i, p) {
+			break
+		}
+		ch.heap[i], ch.heap[p] = ch.heap[p], ch.heap[i]
+		i = p
+	}
+}
+
+func (ch *chaosState) less(i, j int) bool {
+	a, b := ch.heap[i], ch.heap[j]
+	if a.rank != b.rank {
+		return a.rank < b.rank
+	}
+	return a.seq < b.seq
+}
+
+// pop removes the minimum-rank message.
+func (ch *chaosState) pop() message {
+	top := ch.heap[0].m
+	last := len(ch.heap) - 1
+	ch.heap[0] = ch.heap[last]
+	ch.heap = ch.heap[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		s := i
+		if l < len(ch.heap) && ch.less(l, s) {
+			s = l
+		}
+		if r < len(ch.heap) && ch.less(r, s) {
+			s = r
+		}
+		if s == i {
+			break
+		}
+		ch.heap[i], ch.heap[s] = ch.heap[s], ch.heap[i]
+		i = s
+	}
+	return top
+}
+
+// drainChaos is the fault-injecting delivery loop: newly sent messages are
+// admitted through the fault plan, then delivered in rank order until both
+// the send queue and the delivery heap are empty. Partition filtering
+// still applies at delivery time, as in the baseline drain.
+func (c *Cluster) drainChaos(coordinator int) {
+	ch := c.chaos
+	for {
+		for _, m := range c.queue {
+			ch.admit(c, m)
+		}
+		c.queue = c.queue[:0]
+		if len(ch.heap) == 0 {
+			return
+		}
+		m := ch.pop()
+		if !c.deliverable(m) {
+			c.stats.Dropped++
+			continue
+		}
+		c.stats.Delivered++
+		if c.wireMode {
+			m.body = roundTrip(m.body)
+		}
+		c.handle(coordinator, m)
+	}
+}
+
+// chaosCollect runs a hardened vote-collection round: broadcast, drain
+// through the fault transport, dedup replies per sender, merge, and push
+// the merged view back as best-effort gossip. It returns the deduplicated
+// replies, the merged effective state, the vote total, the number of
+// responders expected from the reachability snapshot, and the votes held
+// by copies confirmed to hold the merged (freshest) stamp.
+func (c *Cluster) chaosCollect(x int, op OpKind) (replies []voteReply, eff node, votes, expected, support int) {
+	self := &c.nodes[x]
+	expected = 0
+	for to := range c.nodes {
+		if to != x && c.st.SiteUp(to) && c.st.SameComponent(x, to) {
+			expected++
+		}
+	}
+	c.replies = c.replies[:0]
+	c.broadcast(x, voteRequest{op: op})
+	c.drain(x)
+
+	votes = self.votes
+	eff = *self
+	seen := make(map[int]bool, len(c.replies))
+	for _, r := range c.replies {
+		if seen[r.from] {
+			continue // duplicated reply: count each sender once
+		}
+		seen[r.from] = true
+		replies = append(replies, r)
+		votes += r.votes
+		if r.version > eff.version {
+			eff.version, eff.assign = r.version, r.assign
+		}
+		if r.stamp > eff.stamp {
+			eff.stamp, eff.value = r.stamp, r.value
+		}
+	}
+	// Canonical responder order: delivery order depends on injected
+	// reordering, but downstream decisions (notably the mid-apply crash
+	// prefix) must be a function of the responder *set* so the concurrent
+	// runtime reproduces them.
+	sort.Slice(replies, func(i, j int) bool { return replies[i].from < replies[j].from })
+	self.adopt(eff.assign, eff.version, eff.stamp, eff.value)
+	c.recordObservation(x, votes)
+
+	// Stamps are unique under chaos, so holding eff.stamp pins the value.
+	// The coordinator counts itself: adopt just installed the merged state.
+	support = self.votes
+	for _, r := range replies {
+		if r.stamp == eff.stamp {
+			support += r.votes
+		}
+	}
+
+	// Best-effort gossip so responders keep learning newer assignments and
+	// values; correctness never depends on these arriving.
+	sync := syncState{value: eff.value, stamp: eff.stamp, version: eff.version,
+		assign: eff.assign, votesSeen: votes}
+	for _, r := range replies {
+		c.send(x, r.from, sync)
+	}
+	c.drain(x)
+	return replies, eff, votes, expected, support
+}
+
+// classifyShort distinguishes a clean quorum denial from a round that lost
+// replies to the transport.
+func (c *Cluster) classifyShort(got, expected int) error {
+	if got < expected {
+		c.chaos.counters.Timeouts++
+		return ErrTimeout
+	}
+	c.chaos.counters.NoQuorum++
+	return ErrNoQuorum
+}
+
+// Unique stamps under chaos: the low bits carry the coordinator id so two
+// coordinators racing to the same sequence number can never issue the same
+// stamp for different values.
+const chaosStampShift = 10
+
+func nextChaosStamp(prev int64, coordinator int) int64 {
+	return (prev>>chaosStampShift+1)<<chaosStampShift | int64(coordinator)
+}
+
+// collectAcks drains pending apply acknowledgements and returns the votes
+// of distinct senders confirming stamp (or newer) plus the count of
+// distinct acks received.
+func (c *Cluster) collectAcks(stamp int64) (votes, count int) {
+	seen := make(map[int]bool, len(c.ackReplies))
+	for _, a := range c.ackReplies {
+		if seen[a.from] || a.stamp < stamp {
+			continue
+		}
+		seen[a.from] = true
+		votes += c.nodes[a.from].votes
+		count++
+	}
+	return votes, count
+}
+
+// chaosReadOnce is one hardened read attempt.
+func (c *Cluster) chaosReadOnce(x int) (value, stamp int64, err error) {
+	replies, eff, votes, expected, support := c.chaosCollect(x, OpRead)
+	if votes < eff.assign.QR {
+		return 0, 0, c.classifyShort(len(replies), expected)
+	}
+	if eff.stamp == 0 || support >= eff.assign.QW {
+		// Initial state (trivially on every copy) or already confirmed on
+		// a write quorum: safe to return.
+		return eff.value, eff.stamp, nil
+	}
+	// ABD-style read repair: write the freshest value back to the stale
+	// responders and return it only once copies holding it cover a write
+	// quorum. Without this, a partially applied write observed by one read
+	// could vanish from the next — a one-copy serializability violation.
+	var targets int
+	for _, r := range replies {
+		if r.stamp != eff.stamp {
+			c.send(x, r.from, applyWrite{value: eff.value, stamp: eff.stamp, wantAck: true})
+			targets++
+		}
+	}
+	c.ackReplies = c.ackReplies[:0]
+	c.drain(x)
+	ackVotes, ackCount := c.collectAcks(eff.stamp)
+	if support+ackVotes >= eff.assign.QW {
+		return eff.value, eff.stamp, nil
+	}
+	if ackCount < targets {
+		c.chaos.counters.Timeouts++
+		return 0, 0, ErrTimeout
+	}
+	c.chaos.counters.NoQuorum++
+	return 0, 0, ErrNoQuorum
+}
+
+// chaosWriteOnce is one hardened write attempt. A non-nil residue reports
+// a partial apply (indeterminate or crash mid-apply).
+func (c *Cluster) chaosWriteOnce(x int, value int64) (stamp int64, residue *Residue, err error) {
+	ch := c.chaos
+	cp, kSel := ch.plan.Crash(ch.op, ch.attempt)
+	if cp == faults.CrashBeforeQuorum {
+		// The coordinator dies before counting a single vote. Nothing was
+		// applied anywhere: a clean failure.
+		c.crash(x)
+		return 0, nil, ErrCrashed
+	}
+	replies, eff, votes, expected, _ := c.chaosCollect(x, OpWrite)
+	if votes < eff.assign.QW {
+		return 0, nil, c.classifyShort(len(replies), expected)
+	}
+	if cp == faults.CrashAfterQuorum {
+		// Quorum reached, coordinator dies before the first apply: the new
+		// value exists nowhere, so this too is a clean failure.
+		c.crash(x)
+		return 0, nil, ErrCrashed
+	}
+	stamp = nextChaosStamp(eff.stamp, x)
+	self := &c.nodes[x]
+	self.value, self.stamp = value, stamp // durable local apply before any send
+	if cp == faults.CrashMidApply {
+		// Only a prefix of the responders receives the update, then the
+		// coordinator dies: the write is partially applied and must be
+		// reported as indeterminate, never as success.
+		k := kSel % (len(replies) + 1)
+		for _, r := range replies[:k] {
+			c.send(x, r.from, applyWrite{value: value, stamp: stamp})
+		}
+		c.drain(x)
+		c.crash(x)
+		return 0, &Residue{Value: value, Stamp: stamp}, ErrCrashed
+	}
+	for _, r := range replies {
+		c.send(x, r.from, applyWrite{value: value, stamp: stamp, wantAck: true})
+	}
+	c.ackReplies = c.ackReplies[:0]
+	c.drain(x)
+	ackVotes, _ := c.collectAcks(stamp)
+	if self.votes+ackVotes >= eff.assign.QW {
+		return stamp, nil, nil
+	}
+	ch.counters.Indeterminate++
+	return 0, &Residue{Value: value, Stamp: stamp}, ErrIndeterminate
+}
+
+// retryable reports whether a failed attempt is worth repeating: lost
+// replies and partial applies can resolve differently next time, while a
+// full-response quorum denial or a dead coordinator cannot.
+func retryable(err error) bool {
+	return errors.Is(err, ErrTimeout) || errors.Is(err, ErrIndeterminate)
+}
+
+// ChaosRead performs a fault-hardened read at node x with retries under
+// the configured policy. Requires EnableChaos.
+func (c *Cluster) ChaosRead(x int) Outcome {
+	ch := c.mustChaos()
+	ch.op++
+	var out Outcome
+	for attempt := 0; ; attempt++ {
+		ch.attempt = attempt
+		out.Attempts = attempt + 1
+		if !c.st.SiteUp(x) {
+			out.Err = ErrCoordinatorDown
+			ch.counters.Aborts++
+			return out
+		}
+		v, s, err := c.chaosReadOnce(x)
+		if err == nil {
+			out.Granted, out.Value, out.Stamp, out.Err = true, v, s, nil
+			return out
+		}
+		out.Err = err
+		if !retryable(err) || attempt+1 >= ch.policy.MaxAttempts {
+			ch.counters.Aborts++
+			return out
+		}
+		ch.retryBackoff(&out, attempt)
+	}
+}
+
+// ChaosWrite performs a fault-hardened write at node x with retries.
+// Failed attempts that left the value on some copies are reported in
+// Outcome.Residue so history checkers can treat them as indeterminate.
+func (c *Cluster) ChaosWrite(x int, value int64) Outcome {
+	ch := c.mustChaos()
+	ch.op++
+	var out Outcome
+	for attempt := 0; ; attempt++ {
+		ch.attempt = attempt
+		out.Attempts = attempt + 1
+		if !c.st.SiteUp(x) {
+			out.Err = ErrCoordinatorDown
+			ch.counters.Aborts++
+			return out
+		}
+		stamp, residue, err := c.chaosWriteOnce(x, value)
+		if residue != nil {
+			out.Residue = append(out.Residue, *residue)
+		}
+		if err == nil {
+			out.Granted, out.Value, out.Stamp, out.Err = true, value, stamp, nil
+			return out
+		}
+		out.Err = err
+		if !retryable(err) || attempt+1 >= ch.policy.MaxAttempts {
+			ch.counters.Aborts++
+			return out
+		}
+		ch.retryBackoff(&out, attempt)
+	}
+}
+
+// ChaosReassign installs a new assignment through the hardened QR
+// protocol with retries. Message faults apply to the vote-collection
+// round; the installation messages themselves are modeled atomic
+// (StageInstall is exempt, see the faults package doc), because the QR
+// safety argument needs the new assignment at every responder it was
+// granted against.
+func (c *Cluster) ChaosReassign(x int, a quorum.Assignment) Outcome {
+	ch := c.mustChaos()
+	ch.op++
+	var out Outcome
+	if err := a.Validate(c.st.TotalVotes()); err != nil {
+		out.Err = fmt.Errorf("cluster: reassign: %w", err)
+		return out
+	}
+	for attempt := 0; ; attempt++ {
+		ch.attempt = attempt
+		out.Attempts = attempt + 1
+		if !c.st.SiteUp(x) {
+			out.Err = ErrCoordinatorDown
+			ch.counters.Aborts++
+			return out
+		}
+		replies, eff, votes, expected, _ := c.chaosCollect(x, OpReassign)
+		if votes >= eff.assign.QW {
+			version := eff.version + 1
+			self := &c.nodes[x]
+			self.assign, self.version = a, version
+			inst := installAssign{assign: a, version: version,
+				value: eff.value, stamp: eff.stamp}
+			for _, r := range replies {
+				c.send(x, r.from, inst)
+			}
+			c.drain(x)
+			out.Granted, out.Err = true, nil
+			return out
+		}
+		out.Err = c.classifyShort(len(replies), expected)
+		if !retryable(out.Err) || attempt+1 >= ch.policy.MaxAttempts {
+			ch.counters.Aborts++
+			return out
+		}
+		ch.retryBackoff(&out, attempt)
+	}
+}
+
+// retryBackoff accounts one retry and its deterministic backoff.
+func (ch *chaosState) retryBackoff(out *Outcome, attempt int) {
+	ch.counters.Retries++
+	d := ch.policy.backoff(attempt, ch.plan.Jitter(ch.op, attempt))
+	out.BackoffTicks += d
+	ch.counters.BackoffTicks += d
+}
+
+// mustChaos asserts that EnableChaos was called.
+func (c *Cluster) mustChaos() *chaosState {
+	if c.chaos == nil {
+		panic("cluster: chaos operation without EnableChaos")
+	}
+	return c.chaos
+}

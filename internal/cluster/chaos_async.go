@@ -1,0 +1,577 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"quorumkit/internal/faults"
+	"quorumkit/internal/quorum"
+	"quorumkit/internal/stats"
+)
+
+// Fault injection for the concurrent Async runtime. The same faults.Plan
+// drives both runtimes: every decision is a pure function of the logical
+// message identity, so a drop/duplicate/crash schedule that the
+// deterministic Cluster saw is reproduced here message for message. The
+// mapping of fault effects onto a real concurrent transport:
+//
+//   - drop of a request: nothing is delivered to the peer. Drop of a
+//     reply/ack: the peer still processes the message (its state changes!)
+//     but the coordinator never hears back. Both cases surface to the
+//     gather loop as an immediate loss marker — the coordinator learns
+//     "this peer will not answer" without waiting out a real timeout,
+//     which keeps chaos runs fast; a real wall-clock deadline remains as
+//     a safety net.
+//   - duplicate: the message is delivered twice; receivers dedup by
+//     sender, so the duplicate can change no decision.
+//   - delay: delivery is forwarded by a goroutine after delay×tick real
+//     time, so it can land during a later operation — the concurrent
+//     analogue of the deterministic runtime's delivery-slot delay.
+//   - reorder: arrival order is already nondeterministic here, so a
+//     reorder decision is modeled as one extra delay slot.
+//
+// Because delayed messages leak across operations, per-operation outcomes
+// under delay/reorder mixes legitimately diverge from the deterministic
+// runtime (see the cross-check test); with delay-free mixes the outcomes
+// are identical because every decision is a function of the delivered
+// message set, never of arrival order.
+
+// asyncChaosTick is the real duration of one abstract delay slot or
+// backoff tick.
+const asyncChaosTick = 50 * time.Microsecond
+
+// asyncChaosDeadline bounds one gather phase in real time. It is a safety
+// net only: loss markers account for every undelivered reply, so the
+// deadline fires only if something is genuinely wedged.
+const asyncChaosDeadline = 5 * time.Second
+
+// lostMark tells a gather loop that one expected reply was lost to the
+// transport. It never crosses the wire codec.
+type lostMark struct{}
+
+func (lostMark) kind() string { return "lostMark" }
+
+// asyncChaos is the fault-injection context attached to an Async runtime.
+type asyncChaos struct {
+	plan   *faults.Plan
+	policy RetryPolicy
+
+	mu       sync.Mutex
+	counters stats.ChaosCounters
+	crashed  []bool
+
+	// op/attempt key the fault decisions for the operation in flight;
+	// only touched under the runtime's opMu.
+	op      uint64
+	attempt int
+}
+
+// bump applies one counter mutation under the chaos lock.
+func (ch *asyncChaos) bump(f func(c *stats.ChaosCounters)) {
+	ch.mu.Lock()
+	f(&ch.counters)
+	ch.mu.Unlock()
+}
+
+// EnableChaos attaches a fault plan and retry policy to the runtime,
+// enabling ChaosRead/ChaosWrite/ChaosReassign. The baseline operations
+// stay callable but keep their reliable-transport assumptions.
+func (a *Async) EnableChaos(plan *faults.Plan, policy RetryPolicy) {
+	if policy.MaxAttempts < 1 {
+		policy.MaxAttempts = 1
+	}
+	a.chaos = &asyncChaos{plan: plan, policy: policy, crashed: make([]bool, len(a.nodes))}
+}
+
+// ChaosCounters returns a snapshot of the fault-injection counters.
+func (a *Async) ChaosCounters() stats.ChaosCounters {
+	if a.chaos == nil {
+		return stats.ChaosCounters{}
+	}
+	a.chaos.mu.Lock()
+	defer a.chaos.mu.Unlock()
+	return a.chaos.counters
+}
+
+// Crashed lists nodes currently down due to an injected crash.
+func (a *Async) Crashed() []int {
+	var out []int
+	if a.chaos == nil {
+		return out
+	}
+	a.chaos.mu.Lock()
+	defer a.chaos.mu.Unlock()
+	for i, down := range a.chaos.crashed {
+		if down {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Recover brings a crashed node back up with its durable copy state
+// intact; it re-learns newer state through the normal sync path.
+func (a *Async) Recover(x int) bool {
+	ch := a.chaos
+	if ch == nil {
+		return false
+	}
+	ch.mu.Lock()
+	wasCrashed := ch.crashed[x]
+	if wasCrashed {
+		ch.crashed[x] = false
+		ch.counters.Recoveries++
+	}
+	ch.mu.Unlock()
+	if !wasCrashed {
+		return false
+	}
+	a.RepairSite(x)
+	return true
+}
+
+// crash fails the coordinator mid-round.
+func (a *Async) crash(x int) {
+	a.FailSite(x)
+	a.chaos.mu.Lock()
+	a.chaos.crashed[x] = true
+	a.chaos.counters.Crashes++
+	a.chaos.mu.Unlock()
+}
+
+// chaosDeliver sends one message to peer p, after delaySlots ticks of real
+// delay when positive. Delayed deliveries are forwarded by a goroutine
+// that gives up if the runtime shuts down first.
+func (a *Async) chaosDeliver(p int, m asyncMsg, delaySlots int) {
+	a.sent.Add(1)
+	n := a.nodes[p]
+	if delaySlots <= 0 {
+		select {
+		case n.inbox <- m:
+		case <-n.quit:
+		}
+		return
+	}
+	d := time.Duration(delaySlots) * asyncChaosTick
+	go func() {
+		t := time.NewTimer(d)
+		defer t.Stop()
+		select {
+		case <-t.C:
+		case <-n.quit:
+			return
+		}
+		select {
+		case n.inbox <- m:
+		case <-n.quit:
+		}
+	}()
+}
+
+// slotsOf folds a round trip's delay and reorder decisions into real delay
+// slots and accounts them.
+func (ch *asyncChaos) slotsOf(out, back faults.Decision) int {
+	slots := out.Delay + back.Delay
+	if out.Reorder || back.Reorder {
+		slots++
+		ch.bump(func(c *stats.ChaosCounters) { c.MsgReordered++ })
+	}
+	if out.Delay > 0 || back.Delay > 0 {
+		ch.bump(func(c *stats.ChaosCounters) { c.MsgDelayed++ })
+	}
+	return slots
+}
+
+// chaosCollect runs one hardened vote-collection round from x. Replies are
+// deduplicated per sender and returned in canonical (sender) order; the
+// merged state, vote total, expected responder count, and the votes of
+// copies confirmed to hold the merged stamp mirror the deterministic
+// implementation exactly.
+func (a *Async) chaosCollect(x int, op OpKind) (gathered []voteReply, eff node, votes, expected, support int) {
+	ch := a.chaos
+	peers := a.peersOf(x)
+	expected = len(peers)
+
+	replies := make(chan payload, 2*len(peers)+1)
+	for _, p := range peers {
+		dreq := ch.plan.Message(ch.op, faults.StageVoteRequest, x, p, ch.attempt)
+		drep := ch.plan.Message(ch.op, faults.StageVoteReply, p, x, ch.attempt)
+		if dreq.Drop || drep.Drop {
+			// Request or reply lost: the peer's vote never arrives. A vote
+			// request causes no state change at the peer, so not delivering
+			// it at all is observationally identical.
+			ch.bump(func(c *stats.ChaosCounters) { c.MsgDropped++ })
+			replies <- lostMark{}
+			continue
+		}
+		slots := ch.slotsOf(dreq, drep)
+		a.chaosDeliver(p, asyncMsg{body: voteRequest{op: op}, reply: replies}, slots)
+		if dreq.Duplicate || drep.Duplicate {
+			ch.bump(func(c *stats.ChaosCounters) { c.MsgDuplicated++ })
+			a.chaosDeliver(p, asyncMsg{body: voteRequest{op: op}, reply: replies}, slots)
+		}
+	}
+
+	self := a.nodes[x]
+	self.mu.Lock()
+	eff = self.state
+	self.mu.Unlock()
+	votes = eff.votes
+
+	seen := make(map[int]bool, len(peers))
+	deadline := time.NewTimer(asyncChaosDeadline)
+	defer deadline.Stop()
+	for pending := len(peers); pending > 0; {
+		select {
+		case pl := <-replies:
+			r, isReply := pl.(voteReply)
+			if !isReply { // lostMark
+				pending--
+				continue
+			}
+			a.delivered.Add(1)
+			if seen[r.from] {
+				continue // duplicated reply: count each sender once
+			}
+			seen[r.from] = true
+			pending--
+			gathered = append(gathered, r)
+			votes += r.votes
+			if r.version > eff.version {
+				eff.version, eff.assign = r.version, r.assign
+			}
+			if r.stamp > eff.stamp {
+				eff.stamp, eff.value = r.stamp, r.value
+			}
+		case <-deadline.C:
+			pending = 0
+		}
+	}
+	sort.Slice(gathered, func(i, j int) bool { return gathered[i].from < gathered[j].from })
+
+	// Merge into self and record the §4.2 observation locally.
+	self.mu.Lock()
+	self.state.adopt(eff.assign, eff.version, eff.stamp, eff.value)
+	if self.state.hist == nil {
+		self.state.hist = stats.NewHistogram(self.histBins)
+	}
+	self.state.hist.Add(votes, 1)
+	support = self.state.votes
+	self.mu.Unlock()
+
+	// Best-effort gossip of the merged view, subject to the fault plan.
+	syncMsg := syncState{value: eff.value, stamp: eff.stamp, version: eff.version,
+		assign: eff.assign, votesSeen: votes}
+	for _, r := range gathered {
+		if r.stamp == eff.stamp {
+			support += r.votes
+		}
+		d := ch.plan.Message(ch.op, faults.StageSync, x, r.from, ch.attempt)
+		if d.Drop {
+			ch.bump(func(c *stats.ChaosCounters) { c.MsgDropped++ })
+			continue
+		}
+		slots := ch.slotsOf(d, faults.Decision{})
+		a.chaosDeliver(r.from, asyncMsg{body: syncMsg}, slots)
+		if d.Duplicate {
+			ch.bump(func(c *stats.ChaosCounters) { c.MsgDuplicated++ })
+			a.chaosDeliver(r.from, asyncMsg{body: syncMsg}, slots)
+		}
+	}
+	return gathered, eff, votes, expected, support
+}
+
+// chaosClassify mirrors Cluster.classifyShort for the concurrent runtime.
+func (a *Async) chaosClassify(got, expected int) error {
+	if got < expected {
+		a.chaos.bump(func(c *stats.ChaosCounters) { c.Timeouts++ })
+		return ErrTimeout
+	}
+	a.chaos.bump(func(c *stats.ChaosCounters) { c.NoQuorum++ })
+	return ErrNoQuorum
+}
+
+// chaosPushApplies fans an acknowledged applyWrite out to the responders
+// through the fault plan and returns the votes of distinct responders
+// confirming stamp (or newer) plus the count of acknowledgements received.
+// A delivered apply whose ack is dropped still mutates the peer — exactly
+// as in the deterministic runtime — but contributes nothing to the count.
+func (a *Async) chaosPushApplies(x int, targets []voteReply, value, stamp int64) (ackVotes, ackCount int) {
+	ch := a.chaos
+	acks := make(chan payload, 2*len(targets)+1)
+	for _, r := range targets {
+		dapp := ch.plan.Message(ch.op, faults.StageApply, x, r.from, ch.attempt)
+		dack := ch.plan.Message(ch.op, faults.StageApplyAck, r.from, x, ch.attempt)
+		if dapp.Drop {
+			ch.bump(func(c *stats.ChaosCounters) { c.MsgDropped++ })
+			acks <- lostMark{}
+			continue
+		}
+		slots := ch.slotsOf(dapp, dack)
+		if dack.Drop {
+			// The apply lands (the peer's copy changes) but the ack is lost.
+			ch.bump(func(c *stats.ChaosCounters) { c.MsgDropped++ })
+			a.chaosDeliver(r.from, asyncMsg{body: applyWrite{value: value, stamp: stamp}}, slots)
+			acks <- lostMark{}
+			continue
+		}
+		msg := asyncMsg{body: applyWrite{value: value, stamp: stamp, wantAck: true}, reply: acks}
+		a.chaosDeliver(r.from, msg, slots)
+		if dapp.Duplicate || dack.Duplicate {
+			ch.bump(func(c *stats.ChaosCounters) { c.MsgDuplicated++ })
+			a.chaosDeliver(r.from, msg, slots)
+		}
+	}
+	seen := make(map[int]bool, len(targets))
+	deadline := time.NewTimer(asyncChaosDeadline)
+	defer deadline.Stop()
+	for pending := len(targets); pending > 0; {
+		select {
+		case pl := <-acks:
+			ack, isAck := pl.(applyAck)
+			if !isAck { // lostMark
+				pending--
+				continue
+			}
+			a.delivered.Add(1)
+			if seen[ack.from] {
+				continue
+			}
+			seen[ack.from] = true
+			pending--
+			if ack.stamp >= stamp {
+				ackVotes += a.nodes[ack.from].state.votes
+				ackCount++
+			}
+		case <-deadline.C:
+			pending = 0
+		}
+	}
+	return ackVotes, ackCount
+}
+
+// chaosReadOnce is one hardened read attempt (see Cluster.chaosReadOnce
+// for the safety argument; the logic is identical).
+func (a *Async) chaosReadOnce(x int) (value, stamp int64, err error) {
+	gathered, eff, votes, expected, support := a.chaosCollect(x, OpRead)
+	if votes < eff.assign.QR {
+		return 0, 0, a.chaosClassify(len(gathered), expected)
+	}
+	if eff.stamp == 0 || support >= eff.assign.QW {
+		return eff.value, eff.stamp, nil
+	}
+	// ABD-style read repair: write the freshest value back and return it
+	// only once copies holding it cover a write quorum.
+	var stale []voteReply
+	for _, r := range gathered {
+		if r.stamp != eff.stamp {
+			stale = append(stale, r)
+		}
+	}
+	ackVotes, ackCount := a.chaosPushApplies(x, stale, eff.value, eff.stamp)
+	if support+ackVotes >= eff.assign.QW {
+		return eff.value, eff.stamp, nil
+	}
+	if ackCount < len(stale) {
+		a.chaos.bump(func(c *stats.ChaosCounters) { c.Timeouts++ })
+		return 0, 0, ErrTimeout
+	}
+	a.chaos.bump(func(c *stats.ChaosCounters) { c.NoQuorum++ })
+	return 0, 0, ErrNoQuorum
+}
+
+// chaosWriteOnce is one hardened write attempt, mirroring the
+// deterministic implementation decision for decision.
+func (a *Async) chaosWriteOnce(x int, value int64) (stamp int64, residue *Residue, err error) {
+	ch := a.chaos
+	cp, kSel := ch.plan.Crash(ch.op, ch.attempt)
+	if cp == faults.CrashBeforeQuorum {
+		a.crash(x)
+		return 0, nil, ErrCrashed
+	}
+	gathered, eff, votes, expected, _ := a.chaosCollect(x, OpWrite)
+	if votes < eff.assign.QW {
+		return 0, nil, a.chaosClassify(len(gathered), expected)
+	}
+	if cp == faults.CrashAfterQuorum {
+		a.crash(x)
+		return 0, nil, ErrCrashed
+	}
+	stamp = nextChaosStamp(eff.stamp, x)
+	self := a.nodes[x]
+	self.mu.Lock()
+	if stamp > self.state.stamp { // durable local apply before any send
+		self.state.stamp, self.state.value = stamp, value
+	}
+	selfVotes := self.state.votes
+	self.mu.Unlock()
+	if cp == faults.CrashMidApply {
+		// Unacknowledged applies to a prefix of the responders, then the
+		// coordinator dies: a partial apply, reported as a residue.
+		k := kSel % (len(gathered) + 1)
+		for _, r := range gathered[:k] {
+			dapp := ch.plan.Message(ch.op, faults.StageApply, x, r.from, ch.attempt)
+			if dapp.Drop {
+				ch.bump(func(c *stats.ChaosCounters) { c.MsgDropped++ })
+				continue
+			}
+			slots := ch.slotsOf(dapp, faults.Decision{})
+			a.chaosDeliver(r.from, asyncMsg{body: applyWrite{value: value, stamp: stamp}}, slots)
+		}
+		a.crash(x)
+		return 0, &Residue{Value: value, Stamp: stamp}, ErrCrashed
+	}
+	ackVotes, _ := a.chaosPushApplies(x, gathered, value, stamp)
+	if selfVotes+ackVotes >= eff.assign.QW {
+		return stamp, nil, nil
+	}
+	ch.bump(func(c *stats.ChaosCounters) { c.Indeterminate++ })
+	return 0, &Residue{Value: value, Stamp: stamp}, ErrIndeterminate
+}
+
+// siteUp snapshots one site's up state under the topology lock.
+func (a *Async) siteUp(x int) bool {
+	a.topoMu.RLock()
+	defer a.topoMu.RUnlock()
+	return a.st.SiteUp(x)
+}
+
+// chaosBackoff accounts one retry and sleeps its (deterministically
+// jittered) backoff, scaled to real time.
+func (a *Async) chaosBackoff(out *Outcome, attempt int) {
+	ch := a.chaos
+	d := ch.policy.backoff(attempt, ch.plan.Jitter(ch.op, attempt))
+	out.BackoffTicks += d
+	ch.bump(func(c *stats.ChaosCounters) {
+		c.Retries++
+		c.BackoffTicks += d
+	})
+	time.Sleep(time.Duration(d) * asyncChaosTick)
+}
+
+// mustChaos asserts that EnableChaos was called.
+func (a *Async) mustChaos() *asyncChaos {
+	if a.chaos == nil {
+		panic("cluster: chaos operation without EnableChaos")
+	}
+	return a.chaos
+}
+
+// ChaosRead performs a fault-hardened read at node x with retries.
+func (a *Async) ChaosRead(x int) Outcome {
+	ch := a.mustChaos()
+	a.opMu.Lock()
+	defer a.opMu.Unlock()
+	ch.op++
+	var out Outcome
+	for attempt := 0; ; attempt++ {
+		ch.attempt = attempt
+		out.Attempts = attempt + 1
+		if !a.siteUp(x) {
+			out.Err = ErrCoordinatorDown
+			ch.bump(func(c *stats.ChaosCounters) { c.Aborts++ })
+			return out
+		}
+		v, s, err := a.chaosReadOnce(x)
+		if err == nil {
+			out.Granted, out.Value, out.Stamp, out.Err = true, v, s, nil
+			return out
+		}
+		out.Err = err
+		if !retryable(err) || attempt+1 >= ch.policy.MaxAttempts {
+			ch.bump(func(c *stats.ChaosCounters) { c.Aborts++ })
+			return out
+		}
+		a.chaosBackoff(&out, attempt)
+	}
+}
+
+// ChaosWrite performs a fault-hardened write at node x with retries.
+func (a *Async) ChaosWrite(x int, value int64) Outcome {
+	ch := a.mustChaos()
+	a.opMu.Lock()
+	defer a.opMu.Unlock()
+	ch.op++
+	var out Outcome
+	for attempt := 0; ; attempt++ {
+		ch.attempt = attempt
+		out.Attempts = attempt + 1
+		if !a.siteUp(x) {
+			out.Err = ErrCoordinatorDown
+			ch.bump(func(c *stats.ChaosCounters) { c.Aborts++ })
+			return out
+		}
+		stamp, residue, err := a.chaosWriteOnce(x, value)
+		if residue != nil {
+			out.Residue = append(out.Residue, *residue)
+		}
+		if err == nil {
+			out.Granted, out.Value, out.Stamp, out.Err = true, value, stamp, nil
+			return out
+		}
+		out.Err = err
+		if !retryable(err) || attempt+1 >= ch.policy.MaxAttempts {
+			ch.bump(func(c *stats.ChaosCounters) { c.Aborts++ })
+			return out
+		}
+		a.chaosBackoff(&out, attempt)
+	}
+}
+
+// ChaosReassign installs a new assignment through the hardened QR protocol
+// with retries. As in the deterministic runtime, the installation messages
+// are modeled atomic (StageInstall exempt) and delivered with
+// acknowledgement.
+func (a *Async) ChaosReassign(x int, newAssign quorum.Assignment) Outcome {
+	ch := a.mustChaos()
+	var out Outcome
+	if err := newAssign.Validate(a.st.TotalVotes()); err != nil {
+		out.Err = fmt.Errorf("cluster: reassign: %w", err)
+		return out
+	}
+	a.opMu.Lock()
+	defer a.opMu.Unlock()
+	ch.op++
+	for attempt := 0; ; attempt++ {
+		ch.attempt = attempt
+		out.Attempts = attempt + 1
+		if !a.siteUp(x) {
+			out.Err = ErrCoordinatorDown
+			ch.bump(func(c *stats.ChaosCounters) { c.Aborts++ })
+			return out
+		}
+		gathered, eff, votes, expected, _ := a.chaosCollect(x, OpReassign)
+		if votes >= eff.assign.QW {
+			version := eff.version + 1
+			self := a.nodes[x]
+			self.mu.Lock()
+			self.state.assign, self.state.version = newAssign, version
+			self.mu.Unlock()
+			inst := installAssign{assign: newAssign, version: version,
+				value: eff.value, stamp: eff.stamp}
+			var ack sync.WaitGroup
+			ack.Add(len(gathered))
+			for _, r := range gathered {
+				a.sent.Add(1)
+				n := a.nodes[r.from]
+				select {
+				case n.inbox <- asyncMsg{body: inst, ack: &ack}:
+				case <-n.quit:
+					ack.Done()
+				}
+			}
+			ack.Wait()
+			a.delivered.Add(int64(len(gathered)))
+			out.Granted, out.Err = true, nil
+			return out
+		}
+		out.Err = a.chaosClassify(len(gathered), expected)
+		if !retryable(out.Err) || attempt+1 >= ch.policy.MaxAttempts {
+			ch.bump(func(c *stats.ChaosCounters) { c.Aborts++ })
+			return out
+		}
+		a.chaosBackoff(&out, attempt)
+	}
+}

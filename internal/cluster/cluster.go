@@ -79,9 +79,20 @@ type syncState struct {
 	votesSeen int
 }
 
-// applyWrite installs a new value at a peer.
+// applyWrite installs a new value at a peer. When wantAck is set (the
+// fault-hardened protocol, see chaos.go) the peer confirms the apply with
+// an applyAck, and the coordinator counts a write as committed only when
+// acknowledged copies hold a write quorum of votes.
 type applyWrite struct {
-	value int64
+	value   int64
+	stamp   int64
+	wantAck bool
+}
+
+// applyAck confirms that a peer applied (or already held) a value at or
+// above the acknowledged stamp.
+type applyAck struct {
+	from  int
 	stamp int64
 }
 
@@ -98,6 +109,7 @@ func (voteRequest) kind() string   { return "voteRequest" }
 func (voteReply) kind() string     { return "voteReply" }
 func (syncState) kind() string     { return "syncState" }
 func (applyWrite) kind() string    { return "applyWrite" }
+func (applyAck) kind() string      { return "applyAck" }
 func (installAssign) kind() string { return "installAssign" }
 
 // message is an addressed payload.
@@ -152,7 +164,14 @@ type Cluster struct {
 
 	// collected replies for the operation in flight
 	replies       []voteReply
+	ackReplies    []applyAck
 	gossipReplies []histReply
+
+	// chaos, when non-nil, interposes a fault-injecting transport between
+	// send and delivery and switches the operations exposed through
+	// ChaosRead/ChaosWrite/ChaosReassign to the hardened two-phase
+	// protocol (see chaos.go).
+	chaos *chaosState
 }
 
 // New creates a cluster over the network state with the given initial
@@ -202,6 +221,10 @@ func (c *Cluster) deliverable(m message) bool {
 // drain delivers queued messages until the queue is empty. Undeliverable
 // messages are dropped (the partition ate them).
 func (c *Cluster) drain(coordinator int) {
+	if c.chaos != nil {
+		c.drainChaos(coordinator)
+		return
+	}
 	for len(c.queue) > 0 {
 		m := c.queue[0]
 		c.queue = c.queue[1:]
@@ -239,6 +262,13 @@ func (c *Cluster) handle(coordinator int, m message) {
 	case applyWrite:
 		if b.stamp > n.stamp {
 			n.stamp, n.value = b.stamp, b.value
+		}
+		if b.wantAck {
+			c.send(m.to, m.from, applyAck{from: m.to, stamp: n.stamp})
+		}
+	case applyAck:
+		if m.to == coordinator {
+			c.ackReplies = append(c.ackReplies, b)
 		}
 	case installAssign:
 		n.adopt(b.assign, b.version, b.stamp, b.value)
@@ -354,6 +384,18 @@ func (c *Cluster) Reassign(x int, a quorum.Assignment) error {
 	c.drain(x)
 	return nil
 }
+
+// FailSite marks site i down in the shared network state.
+func (c *Cluster) FailSite(i int) { c.st.FailSite(i) }
+
+// RepairSite marks site i up in the shared network state.
+func (c *Cluster) RepairSite(i int) { c.st.RepairSite(i) }
+
+// FailLink marks link l down in the shared network state.
+func (c *Cluster) FailLink(l int) { c.st.FailLink(l) }
+
+// RepairLink marks link l up in the shared network state.
+func (c *Cluster) RepairLink(l int) { c.st.RepairLink(l) }
 
 // EffectiveAssignment runs a vote round to discover the assignment in
 // effect at node x's component.

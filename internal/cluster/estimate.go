@@ -30,8 +30,14 @@ func (histRequest) kind() string { return "histRequest" }
 func (histReply) kind() string   { return "histReply" }
 
 // recordObservation stores a vote-total observation at a node. Lazily
-// allocates the histogram (T+1 bins).
+// allocates the histogram (T+1 bins). Totals outside [0, T] are impossible
+// in a correct round and are discarded: an unreliable transport can
+// duplicate vote replies into the unhardened collection path, and a forged
+// total must corrupt neither the estimator nor the process.
 func (c *Cluster) recordObservation(nodeID, votes int) {
+	if votes < 0 || votes > c.st.TotalVotes() {
+		return
+	}
 	n := &c.nodes[nodeID]
 	if n.hist == nil {
 		n.hist = stats.NewHistogram(c.st.TotalVotes() + 1)

@@ -1,0 +1,137 @@
+package cluster
+
+import (
+	"fmt"
+
+	"quorumkit/internal/faults"
+	"quorumkit/internal/history"
+	"quorumkit/internal/quorum"
+	"quorumkit/internal/rng"
+	"quorumkit/internal/stats"
+)
+
+// ChaosRuntime is the operation surface the chaos harness drives. Both the
+// deterministic Cluster and the concurrent Async implement it.
+type ChaosRuntime interface {
+	ChaosRead(x int) Outcome
+	ChaosWrite(x int, value int64) Outcome
+	ChaosReassign(x int, a quorum.Assignment) Outcome
+	Recover(x int) bool
+	Crashed() []int
+	ChaosCounters() stats.ChaosCounters
+	FailLink(l int)
+	RepairLink(l int)
+}
+
+// OpResult is one scheduled step's outcome in a comparable form: errors
+// are flattened to strings so two runs (or two runtimes) can be compared
+// with reflect.DeepEqual.
+type OpResult struct {
+	Step     int
+	Kind     string // "read", "write", "reassign", "churn"
+	Site     int
+	Granted  bool
+	Value    int64
+	Stamp    int64
+	Err      string
+	Attempts int
+	Residues []Residue
+}
+
+// ChaosRun is the full record of one harness run.
+type ChaosRun struct {
+	Log      *history.Log
+	Results  []OpResult
+	Counters stats.ChaosCounters
+
+	Reads, Writes, Reassigns int
+	GrantedReads             int
+	GrantedWrites            int
+}
+
+// RunChaos drives steps scheduled operations against a chaos-enabled
+// runtime. The schedule — operation kinds, coordinators, link churn, new
+// assignments — is drawn purely from schedSeed, never from outcomes, so
+// the same (plan, schedSeed) pair issues an identical schedule to both
+// runtimes. Crashed nodes recover when the fault plan says so, modeling
+// repair that is independent of the workload. Every completed operation is
+// fed into the history log: granted reads/writes as themselves, residues
+// of failed writes as indeterminate writes. The caller asserts
+// Log.Check() == nil — that is the safety property faults must not break.
+func RunChaos(rt ChaosRuntime, plan *faults.Plan, schedSeed uint64, steps, totalVotes, links int) *ChaosRun {
+	src := rng.New(schedSeed)
+	run := &ChaosRun{Log: &history.Log{}}
+	n := totalVotes // harness topologies use one vote per site
+	for step := 0; step < steps; step++ {
+		for _, node := range rt.Crashed() {
+			if plan.RecoverNow(uint64(step), node) {
+				rt.Recover(node)
+			}
+		}
+		t := float64(step)
+		action := src.Intn(100)
+		site := src.Intn(n)
+		extra := src.Intn(1 << 30) // one draw reserved per step, schedule stays aligned
+		res := OpResult{Step: step, Site: site}
+		switch {
+		case action < 50: // read
+			run.Reads++
+			res.Kind = "read"
+			out := rt.ChaosRead(site)
+			res.fill(out)
+			run.Log.RecordRead(site, out.Granted, out.Value, out.Stamp, t)
+			if out.Granted {
+				run.GrantedReads++
+			}
+		case action < 85: // write
+			run.Writes++
+			res.Kind = "write"
+			value := int64(step) + 1 // unique per write, required by the checker
+			out := rt.ChaosWrite(site, value)
+			res.fill(out)
+			for _, r := range out.Residue {
+				run.Log.RecordIndeterminateWrite(site, r.Value, r.Stamp, t)
+			}
+			run.Log.RecordWrite(site, out.Granted, value, out.Stamp, t)
+			if out.Granted {
+				run.GrantedWrites++
+			}
+		case action < 90: // reassign
+			run.Reassigns++
+			res.Kind = "reassign"
+			qr := 1 + extra%((totalVotes+1)/2)
+			a := quorum.Assignment{QR: qr, QW: totalVotes + 1 - qr}
+			out := rt.ChaosReassign(site, a)
+			res.fill(out)
+		default: // link churn
+			res.Kind = "churn"
+			l := extra % links
+			if extra>>16&1 == 0 {
+				rt.FailLink(l)
+			} else {
+				rt.RepairLink(l)
+			}
+			res.Granted = true
+		}
+		run.Results = append(run.Results, res)
+	}
+	run.Counters = rt.ChaosCounters()
+	return run
+}
+
+// fill copies an Outcome into the comparable result form.
+func (r *OpResult) fill(out Outcome) {
+	r.Granted = out.Granted
+	r.Value, r.Stamp = out.Value, out.Stamp
+	r.Attempts = out.Attempts
+	r.Residues = out.Residue
+	if out.Err != nil {
+		r.Err = out.Err.Error()
+	}
+}
+
+// String summarizes a run.
+func (r *ChaosRun) String() string {
+	return fmt.Sprintf("%d ops (%d reads %d granted, %d writes %d granted, %d reassigns)",
+		len(r.Results), r.Reads, r.GrantedReads, r.Writes, r.GrantedWrites, r.Reassigns)
+}

@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"math"
 
@@ -26,6 +27,7 @@ const (
 	tagInstallAssign
 	tagHistRequest
 	tagHistReply
+	tagApplyAck
 )
 
 // marshalPayload encodes a payload to bytes.
@@ -66,9 +68,20 @@ func marshalPayload(p payload) ([]byte, error) {
 		}
 		return buf, nil
 	case applyWrite:
-		buf := make([]byte, 0, 1+8+8)
+		buf := make([]byte, 0, 1+8+8+1)
 		buf = append(buf, tagApplyWrite)
 		buf = appendI64(buf, b.value)
+		buf = appendI64(buf, b.stamp)
+		if b.wantAck {
+			buf = append(buf, 1)
+		} else {
+			buf = append(buf, 0)
+		}
+		return buf, nil
+	case applyAck:
+		buf := make([]byte, 0, 1+4+8)
+		buf = append(buf, tagApplyAck)
+		buf = appendU32(buf, uint32(b.from))
 		buf = appendI64(buf, b.stamp)
 		return buf, nil
 	case installAssign:
@@ -85,7 +98,10 @@ func marshalPayload(p payload) ([]byte, error) {
 	}
 }
 
-// unmarshalPayload decodes bytes produced by marshalPayload.
+// unmarshalPayload decodes bytes produced by marshalPayload. Every field
+// read is bounds-checked; a short or oversized buffer yields a wrapped
+// error naming the message tag, never a panic. Decoding is canonical: a
+// buffer that decodes successfully re-encodes to the same bytes.
 func unmarshalPayload(data []byte) (payload, error) {
 	if len(data) == 0 {
 		return nil, fmt.Errorf("cluster: empty message")
@@ -94,10 +110,7 @@ func unmarshalPayload(data []byte) (payload, error) {
 	switch data[0] {
 	case tagVoteRequest:
 		op := d.u8()
-		if d.err != nil {
-			return nil, d.err
-		}
-		return voteRequest{op: OpKind(op)}, nil
+		return d.finish("voteRequest", voteRequest{op: OpKind(op)})
 	case tagVoteReply:
 		v := voteReply{
 			from:  int(d.u32()),
@@ -107,28 +120,28 @@ func unmarshalPayload(data []byte) (payload, error) {
 		}
 		v.version = d.i64()
 		v.assign = quorum.Assignment{QR: int(d.u32()), QW: int(d.u32())}
-		if d.err != nil {
-			return nil, d.err
-		}
-		return v, nil
+		return d.finish("voteReply", v)
 	case tagSyncState:
 		s := syncState{value: d.i64(), stamp: d.i64(), version: d.i64()}
 		s.assign = quorum.Assignment{QR: int(d.u32()), QW: int(d.u32())}
 		s.votesSeen = int(d.u32())
-		if d.err != nil {
-			return nil, d.err
-		}
-		return s, nil
+		return d.finish("syncState", s)
 	case tagHistRequest:
-		return histRequest{}, nil
+		return d.finish("histRequest", histRequest{})
 	case tagHistReply:
 		h := histReply{from: int(d.u32())}
 		count := d.u32()
 		if d.err != nil {
-			return nil, d.err
+			return d.finish("histReply", nil)
 		}
 		if count > 1<<20 {
-			return nil, fmt.Errorf("cluster: histogram too large (%d bins)", count)
+			return nil, fmt.Errorf("cluster: decode histReply: histogram too large (%d bins)", count)
+		}
+		// Check the remaining length before allocating, so a forged count
+		// cannot demand a large allocation backed by a short buffer.
+		if uint64(len(d.buf)) < 8*uint64(count) {
+			d.err = errShortBuffer
+			return d.finish("histReply", nil)
 		}
 		if count > 0 {
 			h.weights = make([]float64, count)
@@ -136,26 +149,25 @@ func unmarshalPayload(data []byte) (payload, error) {
 				h.weights[i] = math.Float64frombits(uint64(d.i64()))
 			}
 		}
-		if d.err != nil {
-			return nil, d.err
-		}
-		return h, nil
+		return d.finish("histReply", h)
 	case tagApplyWrite:
 		a := applyWrite{value: d.i64(), stamp: d.i64()}
-		if d.err != nil {
-			return nil, d.err
+		wa := d.u8()
+		if d.err == nil && wa > 1 {
+			return nil, fmt.Errorf("cluster: decode applyWrite: invalid wantAck byte %d", wa)
 		}
-		return a, nil
+		a.wantAck = wa == 1
+		return d.finish("applyWrite", a)
+	case tagApplyAck:
+		a := applyAck{from: int(d.u32()), stamp: d.i64()}
+		return d.finish("applyAck", a)
 	case tagInstallAssign:
 		i := installAssign{}
 		i.assign = quorum.Assignment{QR: int(d.u32()), QW: int(d.u32())}
 		i.version = d.i64()
 		i.value = d.i64()
 		i.stamp = d.i64()
-		if d.err != nil {
-			return nil, d.err
-		}
-		return i, nil
+		return d.finish("installAssign", i)
 	default:
 		return nil, fmt.Errorf("cluster: unknown message tag %d", data[0])
 	}
@@ -169,10 +181,25 @@ func appendI64(buf []byte, v int64) []byte {
 	return binary.LittleEndian.AppendUint64(buf, uint64(v))
 }
 
+// errShortBuffer reports a field read past the end of the message body.
+var errShortBuffer = errors.New("short buffer")
+
 // decoder is a bounds-checked cursor over a message body.
 type decoder struct {
 	buf []byte
 	err error
+}
+
+// finish wraps any field-read error with the message tag name and rejects
+// trailing bytes, so every accepted buffer is a canonical encoding.
+func (d *decoder) finish(tag string, p payload) (payload, error) {
+	if d.err != nil {
+		return nil, fmt.Errorf("cluster: decode %s: %w", tag, d.err)
+	}
+	if len(d.buf) != 0 {
+		return nil, fmt.Errorf("cluster: decode %s: %d trailing bytes", tag, len(d.buf))
+	}
+	return p, nil
 }
 
 func (d *decoder) u8() byte {
@@ -180,7 +207,7 @@ func (d *decoder) u8() byte {
 		return 0
 	}
 	if len(d.buf) < 1 {
-		d.err = fmt.Errorf("cluster: short message")
+		d.err = errShortBuffer
 		return 0
 	}
 	v := d.buf[0]
@@ -193,7 +220,7 @@ func (d *decoder) u32() uint32 {
 		return 0
 	}
 	if len(d.buf) < 4 {
-		d.err = fmt.Errorf("cluster: short message")
+		d.err = errShortBuffer
 		return 0
 	}
 	v := binary.LittleEndian.Uint32(d.buf)
@@ -206,7 +233,7 @@ func (d *decoder) i64() int64 {
 		return 0
 	}
 	if len(d.buf) < 8 {
-		d.err = fmt.Errorf("cluster: short message")
+		d.err = errShortBuffer
 		return 0
 	}
 	v := int64(binary.LittleEndian.Uint64(d.buf))

@@ -1,7 +1,9 @@
 package cluster
 
 import (
+	"bytes"
 	"reflect"
+	"strings"
 	"testing"
 
 	"quorumkit/internal/graph"
@@ -17,6 +19,8 @@ func TestCodecRoundTripAll(t *testing.T) {
 		syncState{value: 1, stamp: 2, version: 3,
 			assign: quorum.Assignment{QR: 1, QW: 101}, votesSeen: 64},
 		applyWrite{value: -1, stamp: 1 << 40},
+		applyWrite{value: 12, stamp: 34, wantAck: true},
+		applyAck{from: 6, stamp: 1<<40 + 3},
 		installAssign{assign: quorum.Assignment{QR: 50, QW: 52}, version: 9, value: 4, stamp: 8},
 		histRequest{},
 		histReply{from: 3, weights: []float64{0, 1.5, 0, 2.25}},
@@ -40,10 +44,46 @@ func TestCodecRejectsGarbage(t *testing.T) {
 		{tagApplyWrite, 1, 2, 3},
 		{tagSyncState, 0},
 		{tagInstallAssign},
-		{tagVoteRequest}, // missing op byte
+		{tagVoteRequest},       // missing op byte
+		{tagApplyAck},          // truncated body
+		{tagApplyAck, 1, 2, 3}, // still truncated
+		{tagHistRequest, 0},    // trailing bytes
+		append(mustMarshal(applyAck{from: 1, stamp: 2}), 0xff), // trailing bytes
+		// histReply whose bin count promises far more data than the buffer
+		// holds: must be rejected before the weights allocation.
+		{tagHistReply, 1, 0, 0, 0, 0xff, 0xff, 0x0f, 0, 1, 2, 3},
 	} {
 		if _, err := unmarshalPayload(data); err == nil {
 			t.Fatalf("garbage %v accepted", data)
+		}
+	}
+}
+
+func mustMarshal(p payload) []byte {
+	data, err := marshalPayload(p)
+	if err != nil {
+		panic(err)
+	}
+	return data
+}
+
+// TestDecodeErrorsNameTag checks that decode failures identify the message
+// kind, which is what makes wire-level corruption debuggable.
+func TestDecodeErrorsNameTag(t *testing.T) {
+	for tag, want := range map[byte]string{
+		tagVoteReply:     "voteReply",
+		tagSyncState:     "syncState",
+		tagApplyWrite:    "applyWrite",
+		tagApplyAck:      "applyAck",
+		tagInstallAssign: "installAssign",
+		tagHistReply:     "histReply",
+	} {
+		_, err := unmarshalPayload([]byte{tag, 7})
+		if err == nil {
+			t.Fatalf("tag %d: truncated body accepted", tag)
+		}
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("tag %d: error %q does not name %q", tag, err, want)
 		}
 	}
 }
@@ -116,10 +156,28 @@ func TestWireModeProtocolEquivalence(t *testing.T) {
 	}
 }
 
+// FuzzUnmarshalPayload drives arbitrary bytes through the decoder. The
+// decoder must never panic, and any buffer it accepts must be a canonical
+// encoding: marshal(unmarshal(data)) == data, and a second
+// marshal→unmarshal→marshal cycle must be byte-stable. Byte-level
+// comparison (rather than DeepEqual) also covers NaN histogram weights,
+// which round-trip bit-exactly.
 func FuzzUnmarshalPayload(f *testing.F) {
-	seed, _ := marshalPayload(voteReply{from: 1, votes: 2, value: 3, stamp: 4, version: 5,
-		assign: quorum.Assignment{QR: 1, QW: 5}})
-	f.Add(seed)
+	seeds := []payload{
+		voteRequest{op: OpWrite},
+		voteReply{from: 1, votes: 2, value: 3, stamp: 4, version: 5,
+			assign: quorum.Assignment{QR: 1, QW: 5}},
+		syncState{value: 1, stamp: 2, version: 3,
+			assign: quorum.Assignment{QR: 2, QW: 6}, votesSeen: 7},
+		applyWrite{value: -9, stamp: 11, wantAck: true},
+		applyAck{from: 3, stamp: 17},
+		installAssign{assign: quorum.Assignment{QR: 3, QW: 5}, version: 2, value: 1, stamp: 6},
+		histRequest{},
+		histReply{from: 2, weights: []float64{0, 1.5, 2.25}},
+	}
+	for _, p := range seeds {
+		f.Add(mustMarshal(p))
+	}
 	f.Add([]byte{tagApplyWrite})
 	f.Add([]byte{})
 	f.Fuzz(func(t *testing.T, data []byte) {
@@ -127,17 +185,23 @@ func FuzzUnmarshalPayload(f *testing.F) {
 		if err != nil {
 			return
 		}
-		// NaN weights round-trip bit-exactly but defeat DeepEqual.
-		if h, ok := p.(histReply); ok {
-			for _, w := range h.weights {
-				if w != w {
-					return
-				}
-			}
+		enc, err := marshalPayload(p)
+		if err != nil {
+			t.Fatalf("decoded %#v does not re-encode: %v", p, err)
 		}
-		// Valid decodes must re-encode and decode to the same payload.
-		if got := roundTrip(p); !reflect.DeepEqual(got, p) {
-			t.Fatalf("unstable round trip: %#v vs %#v", p, got)
+		if !bytes.Equal(enc, data) {
+			t.Fatalf("non-canonical decode: input %v re-encoded as %v", data, enc)
+		}
+		p2, err := unmarshalPayload(enc)
+		if err != nil {
+			t.Fatalf("re-encoded %v does not decode: %v", enc, err)
+		}
+		enc2, err := marshalPayload(p2)
+		if err != nil {
+			t.Fatalf("second marshal of %#v failed: %v", p2, err)
+		}
+		if !bytes.Equal(enc, enc2) {
+			t.Fatalf("unstable round trip: %v vs %v", enc, enc2)
 		}
 	})
 }

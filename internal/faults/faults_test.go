@@ -1,0 +1,171 @@
+package faults
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPlanDeterministic(t *testing.T) {
+	mix, err := Named("reorder-delay")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1 := NewPlan(77, mix)
+	p2 := NewPlan(77, mix)
+	for op := uint64(0); op < 200; op++ {
+		for stage := StageVoteRequest; stage <= StageHistReply; stage++ {
+			d1 := p1.Message(op, stage, 0, 3, 1)
+			d2 := p2.Message(op, stage, 0, 3, 1)
+			if d1 != d2 {
+				t.Fatalf("op=%d stage=%d: %+v vs %+v", op, stage, d1, d2)
+			}
+		}
+		if p1.Jitter(op, 2) != p2.Jitter(op, 2) {
+			t.Fatalf("jitter diverged at op %d", op)
+		}
+		c1, k1 := p1.Crash(op, 0)
+		c2, k2 := p2.Crash(op, 0)
+		if c1 != c2 || k1 != k2 {
+			t.Fatalf("crash decision diverged at op %d", op)
+		}
+		if p1.RecoverNow(op, 4) != p2.RecoverNow(op, 4) {
+			t.Fatalf("recovery decision diverged at op %d", op)
+		}
+	}
+}
+
+func TestPlanKeysAreIndependent(t *testing.T) {
+	p := NewPlan(9, Mix{Name: "t", Drop: 0.5})
+	base := p.Message(10, StageVoteReply, 1, 2, 0)
+	differs := 0
+	for _, other := range []Decision{
+		p.Message(11, StageVoteReply, 1, 2, 0), // op
+		p.Message(10, StageApply, 1, 2, 0),     // stage
+		p.Message(10, StageVoteReply, 2, 1, 0), // direction
+		p.Message(10, StageVoteReply, 1, 2, 1), // attempt
+	} {
+		if other != base {
+			differs++
+		}
+	}
+	if differs == 0 {
+		t.Fatal("changing every key component never changed the decision — keys are not being hashed")
+	}
+}
+
+func TestInstallStageExempt(t *testing.T) {
+	p := NewPlan(1, Mix{Name: "t", Drop: 1, Duplicate: 1, Reorder: 1, Delay: 1, MaxDelay: 4})
+	for op := uint64(0); op < 50; op++ {
+		if d := p.Message(op, StageInstall, 0, 1, 0); d != (Decision{}) {
+			t.Fatalf("install message faulted: %+v", d)
+		}
+		// Sanity: the same plan faults every other stage.
+		if d := p.Message(op, StageApply, 0, 1, 0); !d.Drop {
+			t.Fatalf("Drop=1 plan did not drop an apply message")
+		}
+	}
+}
+
+func TestPlanApproximateRates(t *testing.T) {
+	const trials = 20000
+	p := NewPlan(3, Mix{Name: "t", Drop: 0.2, Duplicate: 0.3, Delay: 0.25, MaxDelay: 5})
+	var drops, dups, delays int
+	for op := uint64(0); op < trials; op++ {
+		d := p.Message(op, StageVoteRequest, 0, 1, 0)
+		if d.Drop {
+			drops++
+			continue // duplicate/delay are not decided for dropped messages
+		}
+		if d.Duplicate {
+			dups++
+		}
+		if d.Delay > 0 {
+			delays++
+			if d.Delay > 5 {
+				t.Fatalf("delay %d exceeds MaxDelay", d.Delay)
+			}
+		}
+	}
+	check := func(name string, got int, of int, want float64) {
+		rate := float64(got) / float64(of)
+		if rate < want-0.02 || rate > want+0.02 {
+			t.Errorf("%s rate %.3f, want ~%.2f", name, rate, want)
+		}
+	}
+	check("drop", drops, trials, 0.2)
+	check("duplicate", dups, trials-drops, 0.3)
+	check("delay", delays, trials-drops, 0.25)
+}
+
+func TestMixValidate(t *testing.T) {
+	if err := (Mix{Drop: 1.5}).Validate(); err == nil {
+		t.Error("Drop=1.5 accepted")
+	}
+	if err := (Mix{Crash: -0.1}).Validate(); err == nil {
+		t.Error("Crash=-0.1 accepted")
+	}
+	if err := (Mix{Delay: 0.5}).Validate(); err == nil {
+		t.Error("Delay without MaxDelay accepted")
+	}
+	if err := (Mix{Delay: 0.5, MaxDelay: 3, Duplicate: 0.2}).Validate(); err != nil {
+		t.Errorf("valid mix rejected: %v", err)
+	}
+}
+
+func TestNamedMixes(t *testing.T) {
+	names := Names()
+	if len(names) < 5 {
+		t.Fatalf("expected at least 5 predefined mixes, got %v", names)
+	}
+	for _, name := range names {
+		m, err := Named(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Name != name {
+			t.Errorf("mix %q carries Name %q", name, m.Name)
+		}
+		if err := m.Validate(); err != nil {
+			t.Errorf("predefined mix %q invalid: %v", name, err)
+		}
+	}
+	if _, err := Named("no-such-mix"); err == nil || !strings.Contains(err.Error(), "unknown mix") {
+		t.Errorf("unknown mix error = %v", err)
+	}
+}
+
+func TestCrashPointString(t *testing.T) {
+	for p, want := range map[CrashPoint]string{
+		NoCrash: "none", CrashBeforeQuorum: "before-quorum",
+		CrashAfterQuorum: "after-quorum", CrashMidApply: "mid-apply",
+		CrashPoint(9): "CrashPoint(9)",
+	} {
+		if got := p.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", p, got, want)
+		}
+	}
+}
+
+func TestCrashRespectsRate(t *testing.T) {
+	p := NewPlan(5, Mix{Name: "t", Crash: 0.1})
+	crashes := 0
+	for op := uint64(0); op < 10000; op++ {
+		point, _ := p.Crash(op, 0)
+		if point != NoCrash {
+			crashes++
+			if point < CrashBeforeQuorum || point > CrashMidApply {
+				t.Fatalf("invalid crash point %v", point)
+			}
+		}
+	}
+	if rate := float64(crashes) / 10000; rate < 0.08 || rate > 0.12 {
+		t.Errorf("crash rate %.3f, want ~0.10", rate)
+	}
+	// A zero-crash plan never crashes.
+	none := NewPlan(5, Mix{Name: "t"})
+	for op := uint64(0); op < 1000; op++ {
+		if point, _ := none.Crash(op, 0); point != NoCrash {
+			t.Fatal("Crash=0 plan crashed")
+		}
+	}
+}

@@ -46,6 +46,14 @@ type Op struct {
 	Value   int64 // value written, or value returned by a granted read
 	Stamp   int64 // stamp written, or stamp returned by a granted read
 	Time    float64
+
+	// Indeterminate marks a write that failed without resolving: it was
+	// applied at some copies but never acknowledged by a write quorum
+	// (partial apply, coordinator crash mid-apply). Such a write is not
+	// granted, yet its value may legitimately surface in a later read — at
+	// which point it retroactively serializes at that read. Requires a
+	// unique Stamp per write so the checker can match the surfaced value.
+	Indeterminate bool
 }
 
 // Violation describes a detected serializability failure.
@@ -81,6 +89,16 @@ func (l *Log) RecordWrite(site int, granted bool, value, stamp int64, t float64)
 	})
 }
 
+// RecordIndeterminateWrite appends a write that neither succeeded nor
+// cleanly failed: the value reached some copies (stamp must be the unique
+// stamp the attempt issued) and may surface in a later read.
+func (l *Log) RecordIndeterminateWrite(site int, value, stamp int64, t float64) {
+	l.ops = append(l.ops, Op{
+		Seq: len(l.ops), Kind: Write, Site: site,
+		Granted: false, Indeterminate: true, Value: value, Stamp: stamp, Time: t,
+	})
+}
+
 // Len returns the number of recorded operations.
 func (l *Log) Len() int { return len(l.ops) }
 
@@ -106,76 +124,115 @@ func (l *Log) GrantedCounts() (rg, rt, wg, wt int) {
 	return
 }
 
+// checker is the shared state machine behind Check and CheckAll. It tracks
+// the committed (stamp, value) — the state every later granted operation
+// must be consistent with — plus the set of pending indeterminate writes
+// whose values may still surface.
+//
+// Without indeterminate records the semantics reduce exactly to the three
+// conditions in the package comment. With them:
+//
+//   - a granted write must carry a stamp strictly above the committed one
+//     (pending writes may hold higher stamps — they serialize later if
+//     they ever surface);
+//   - a granted read must return either the committed state exactly, or a
+//     pending indeterminate write with a stamp above the committed one. In
+//     the latter case that write retroactively serializes here: it becomes
+//     the committed state, and every pending write at or below it can
+//     never surface again.
+type checker struct {
+	committedStamp int64
+	committedValue int64
+	haveCommit     bool // a granted write or surfaced pending write exists
+	pending        map[int64]int64
+}
+
+// step advances the checker by one operation, returning a non-empty reason
+// on a violation.
+func (c *checker) step(op Op) string {
+	if op.Indeterminate {
+		if op.Kind == Write && op.Stamp > c.committedStamp {
+			if c.pending == nil {
+				c.pending = make(map[int64]int64)
+			}
+			c.pending[op.Stamp] = op.Value
+		}
+		return ""
+	}
+	if !op.Granted {
+		return ""
+	}
+	switch op.Kind {
+	case Write:
+		if op.Stamp <= c.committedStamp {
+			return fmt.Sprintf("write stamp %d not above committed %d", op.Stamp, c.committedStamp)
+		}
+		if v, ok := c.pending[op.Stamp]; ok && v != op.Value {
+			return fmt.Sprintf("write stamp %d collides with pending write of value %d", op.Stamp, v)
+		}
+		c.commit(op.Stamp, op.Value)
+	case Read:
+		switch {
+		case op.Stamp == c.committedStamp:
+			// The committed value; before any write the initial stamp is 0
+			// and the value is unconstrained by the history alone.
+			if c.haveCommit && op.Value != c.committedValue {
+				return fmt.Sprintf("read returned value %d at stamp %d, committed value is %d",
+					op.Value, op.Stamp, c.committedValue)
+			}
+		case op.Stamp > c.committedStamp:
+			v, ok := c.pending[op.Stamp]
+			if !ok {
+				return fmt.Sprintf("read returned stamp %d, above committed %d but not a pending write",
+					op.Stamp, c.committedStamp)
+			}
+			if v != op.Value {
+				return fmt.Sprintf("read returned value %d at stamp %d, pending write wrote %d",
+					op.Value, op.Stamp, v)
+			}
+			// The indeterminate write surfaced: it serializes here.
+			c.commit(op.Stamp, op.Value)
+		default:
+			return fmt.Sprintf("read returned stamp %d, committed state is %d (stale read)",
+				op.Stamp, c.committedStamp)
+		}
+	}
+	return ""
+}
+
+// commit installs a new committed state and discards pending writes that
+// can never surface again (their stamps no longer exceed the committed
+// one, so a read returning them would already be a violation).
+func (c *checker) commit(stamp, value int64) {
+	c.committedStamp, c.committedValue, c.haveCommit = stamp, value, true
+	for s := range c.pending {
+		if s <= stamp {
+			delete(c.pending, s)
+		}
+	}
+}
+
 // Check verifies one-copy serializability of the recorded history and
 // returns the first violation, or nil.
 func (l *Log) Check() error {
-	var lastStamp int64
-	var lastValue int64
-	haveWrite := false
+	var c checker
 	for _, op := range l.ops {
-		if !op.Granted {
-			continue
-		}
-		switch op.Kind {
-		case Write:
-			if op.Stamp <= lastStamp && haveWrite {
-				return Violation{Op: op, Reason: fmt.Sprintf(
-					"write stamp %d not above previous %d", op.Stamp, lastStamp)}
-			}
-			if !haveWrite && op.Stamp <= 0 {
-				return Violation{Op: op, Reason: fmt.Sprintf(
-					"first write has non-positive stamp %d", op.Stamp)}
-			}
-			lastStamp, lastValue, haveWrite = op.Stamp, op.Value, true
-		case Read:
-			if !haveWrite {
-				// Reads before any write must return the initial state.
-				if op.Stamp != 0 {
-					return Violation{Op: op, Reason: fmt.Sprintf(
-						"read before any write returned stamp %d", op.Stamp)}
-				}
-				continue
-			}
-			if op.Stamp != lastStamp {
-				return Violation{Op: op, Reason: fmt.Sprintf(
-					"read returned stamp %d, latest write is %d", op.Stamp, lastStamp)}
-			}
-			if op.Value != lastValue {
-				return Violation{Op: op, Reason: fmt.Sprintf(
-					"read returned value %d, latest write wrote %d", op.Value, lastValue)}
-			}
+		if reason := c.step(op); reason != "" {
+			return Violation{Op: op, Reason: reason}
 		}
 	}
 	return nil
 }
 
 // CheckAll returns every violation in the history (useful in analysis
-// tooling; Check short-circuits on the first).
+// tooling; Check short-circuits on the first). Violating operations do not
+// advance the committed state, mirroring Check's treatment.
 func (l *Log) CheckAll() []Violation {
 	var out []Violation
-	var lastStamp, lastValue int64
-	haveWrite := false
+	var c checker
 	for _, op := range l.ops {
-		if !op.Granted {
-			continue
-		}
-		switch op.Kind {
-		case Write:
-			if haveWrite && op.Stamp <= lastStamp {
-				out = append(out, Violation{Op: op, Reason: "non-monotonic write stamp"})
-				continue
-			}
-			lastStamp, lastValue, haveWrite = op.Stamp, op.Value, true
-		case Read:
-			if !haveWrite {
-				if op.Stamp != 0 {
-					out = append(out, Violation{Op: op, Reason: "read before first write"})
-				}
-				continue
-			}
-			if op.Stamp != lastStamp || op.Value != lastValue {
-				out = append(out, Violation{Op: op, Reason: "stale read"})
-			}
+		if reason := c.step(op); reason != "" {
+			out = append(out, Violation{Op: op, Reason: reason})
 		}
 	}
 	return out

@@ -245,6 +245,60 @@ func (h *Histogram) Mean() float64 {
 	return s / h.total
 }
 
+// ChaosCounters is the observability snapshot of a fault-injected protocol
+// run: transport-level fault counts plus operation-level retry/abort and
+// crash-recovery accounting. The zero value is ready to use; runtimes
+// accumulate into one and expose copies through their stats snapshots.
+type ChaosCounters struct {
+	// Transport faults actually injected.
+	MsgDropped    int64
+	MsgDuplicated int64
+	MsgReordered  int64
+	MsgDelayed    int64
+
+	// Operation-level outcomes.
+	Retries       int64 // attempts beyond the first
+	Aborts        int64 // operations given up after exhausting retries
+	Timeouts      int64 // attempts that lost expected replies to faults
+	NoQuorum      int64 // attempts cleanly denied for lack of votes
+	Indeterminate int64 // write attempts that applied to only some copies
+
+	// Crash-recovery.
+	Crashes    int64 // injected coordinator crashes
+	Recoveries int64 // crashed nodes that rejoined with durable state
+
+	// Total simulated backoff accumulated across retries, in abstract
+	// ticks (the deterministic runtime has no clock; the concurrent
+	// runtime scales ticks to a real duration).
+	BackoffTicks int64
+}
+
+// Merge adds another counter snapshot into c.
+func (c *ChaosCounters) Merge(o ChaosCounters) {
+	c.MsgDropped += o.MsgDropped
+	c.MsgDuplicated += o.MsgDuplicated
+	c.MsgReordered += o.MsgReordered
+	c.MsgDelayed += o.MsgDelayed
+	c.Retries += o.Retries
+	c.Aborts += o.Aborts
+	c.Timeouts += o.Timeouts
+	c.NoQuorum += o.NoQuorum
+	c.Indeterminate += o.Indeterminate
+	c.Crashes += o.Crashes
+	c.Recoveries += o.Recoveries
+	c.BackoffTicks += o.BackoffTicks
+}
+
+// String renders the counters as a compact two-line report.
+func (c ChaosCounters) String() string {
+	return fmt.Sprintf(
+		"msgs: dropped=%d duplicated=%d reordered=%d delayed=%d\n"+
+			"ops:  retries=%d aborts=%d timeouts=%d no-quorum=%d indeterminate=%d crashes=%d recoveries=%d backoff=%d",
+		c.MsgDropped, c.MsgDuplicated, c.MsgReordered, c.MsgDelayed,
+		c.Retries, c.Aborts, c.Timeouts, c.NoQuorum, c.Indeterminate,
+		c.Crashes, c.Recoveries, c.BackoffTicks)
+}
+
 // Median of a float64 slice (used in reporting); returns 0 for empty input.
 func Median(xs []float64) float64 {
 	if len(xs) == 0 {
