@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check vet build test race fuzz chaos bench
+.PHONY: check vet build test race fuzz chaos soak bench bench-robustness
 
 check: vet build test race
 
@@ -18,7 +18,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/cluster/ ./internal/sim/
+	$(GO) test -race ./...
 
 # Short continuous fuzz of the wire codec (the committed corpus always
 # replays as part of `make test`).
@@ -30,5 +30,14 @@ chaos:
 	$(GO) run ./cmd/quorumsim -chaos -chaosmix all -ops 5000 -seed 1
 	$(GO) run ./cmd/quorumsim -chaos -chaosmix all -ops 5000 -seed 1 -async
 
+# Churn soak: self-healing daemon on vs off on identical schedules, both
+# runtimes, asserting 1SR + convergence + the availability win.
+soak:
+	$(GO) run ./cmd/quorumsim -churn -seeds 3 -soakops 4000 -seed 1
+
 bench:
 	$(GO) test -bench=. -benchmem
+
+# Regenerate the committed robustness benchmark snapshot.
+bench-robustness:
+	$(GO) run ./cmd/quorumsim -benchjson BENCH_robustness.json -seed 1

@@ -1,0 +1,203 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"quorumkit/internal/cluster"
+	"quorumkit/internal/faults"
+	"quorumkit/internal/graph"
+	"quorumkit/internal/quorum"
+)
+
+// soakChurn is the churn regime the soak CLI exercises: links flap hard
+// (partitioning the ring into arcs most of the time), sites fail rarely and
+// repair fast. Under this regime a static majority assignment denies most
+// operations, which is exactly the condition the adaptive daemon exists to
+// repair.
+func soakChurn() faults.ChurnConfig {
+	return faults.ChurnConfig{
+		SiteMTBF: 250, SiteMTTR: 25,
+		LinkMTBF: 60, LinkMTTR: 25,
+	}
+}
+
+// soakHealth is the daemon tuning for the soak: the optimizer must chase
+// the workload's actual read fraction.
+func soakHealth(alpha float64) cluster.HealthConfig {
+	cfg := cluster.DefaultHealthConfig()
+	cfg.Alpha = alpha
+	return cfg
+}
+
+// newSoakRuntime builds a fresh runtime on a fresh ring. The async runtime
+// must be Closed by the caller.
+func newSoakRuntime(sites int, async bool) (cluster.SoakRuntime, func(), error) {
+	g := graph.Ring(sites)
+	st := graph.NewState(g, nil)
+	if async {
+		a, err := cluster.NewAsync(st, quorum.Majority(sites))
+		if err != nil {
+			return nil, nil, err
+		}
+		return a, a.Close, nil
+	}
+	c, err := cluster.New(st, quorum.Majority(sites))
+	if err != nil {
+		return nil, nil, err
+	}
+	return c, func() {}, nil
+}
+
+// runChurn runs the churn soak for both runtimes over several seeds, daemon
+// on and off on the identical schedule, and prints per-run reports plus the
+// three verdicts the harness asserts: one-copy serializability on every
+// run, post-churn assignment-version convergence with the daemon on, and
+// daemon-on availability at or above daemon-off on every seed (strictly
+// above in aggregate). Exit status is non-zero when any verdict fails.
+func runChurn(seeds, ops, sites int, alpha float64, baseSeed uint64) int {
+	links := graph.Ring(sites).M()
+	status := 0
+	for _, rtName := range []string{"deterministic", "async"} {
+		var sumOn, sumOff float64
+		perSeedOK := true
+		for s := 0; s < seeds; s++ {
+			seed := baseSeed + uint64(s)
+			var runs [2]*cluster.SoakRun
+			for i, daemon := range []bool{false, true} {
+				rt, closer, err := newSoakRuntime(sites, rtName == "async")
+				if err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					return 2
+				}
+				runs[i] = cluster.RunSoak(rt, cluster.SoakConfig{
+					Seed: seed, Steps: ops, Sites: sites, Links: links,
+					Alpha: alpha, Churn: soakChurn(),
+					Daemon: daemon, Health: soakHealth(alpha),
+				})
+				closer()
+			}
+			off, on := runs[0], runs[1]
+			fmt.Printf("runtime=%-13s seed=%d daemon=off %v\n", rtName, seed, off)
+			fmt.Printf("runtime=%-13s seed=%d daemon=on  %v\n", rtName, seed, on)
+			fmt.Printf("  health: %v\n", on.Health)
+			if off.ViolationErr != nil || on.ViolationErr != nil {
+				fmt.Printf("  FAIL: one-copy serializability violated\n")
+				status = 1
+			}
+			if !on.Converged {
+				fmt.Printf("  FAIL: assignment versions diverged after healing: %v\n", on.FinalVersions)
+				status = 1
+			}
+			if on.Availability() < off.Availability() {
+				perSeedOK = false
+			}
+			sumOn += on.Availability()
+			sumOff += off.Availability()
+		}
+		fmt.Printf("runtime=%-13s mean availability: daemon on %.3f vs off %.3f over %d seeds\n",
+			rtName, sumOn/float64(seeds), sumOff/float64(seeds), seeds)
+		if !perSeedOK || sumOn <= sumOff {
+			fmt.Printf("  FAIL: self-healing daemon did not improve availability\n")
+			status = 1
+		}
+	}
+	if status == 0 {
+		fmt.Println("churn soak: all verdicts OK (1SR, convergence, availability)")
+	}
+	return status
+}
+
+// benchResult is one entry of the BENCH_robustness.json report.
+type benchResult struct {
+	Name      string  `json:"name"`
+	Ops       int     `json:"ops"`
+	OpsPerSec float64 `json:"ops_per_sec"`
+	GrantRate float64 `json:"grant_rate,omitempty"`
+}
+
+// runBenchJSON times the robustness hot paths — the vote-collection round
+// (collect/drain), the failure-detector tick, and the full daemon step —
+// plus a short churn soak for an end-to-end ops/sec and grant-rate figure,
+// and writes the results as JSON. Mirrors the Go benchmarks in
+// internal/cluster/bench_robustness_test.go in a form CI can archive.
+func runBenchJSON(path string, seed uint64) int {
+	const sites = 9
+	var results []benchResult
+
+	time1 := func(name string, ops int, granted int, f func()) {
+		start := time.Now()
+		f()
+		el := time.Since(start).Seconds()
+		r := benchResult{Name: name, Ops: ops, OpsPerSec: float64(ops) / el}
+		if granted >= 0 {
+			r.GrantRate = float64(granted) / float64(ops)
+		}
+		results = append(results, r)
+	}
+
+	// collect/drain: baseline quorum reads on a healthy ring.
+	{
+		rt, closer, _ := newSoakRuntime(sites, false)
+		c := rt.(*cluster.Cluster)
+		const ops = 20000
+		granted := 0
+		time1("deterministic/read-collect-drain", ops, 0, func() {
+			for i := 0; i < ops; i++ {
+				if _, _, ok := c.Read(i % sites); ok {
+					granted++
+				}
+			}
+		})
+		results[len(results)-1].GrantRate = float64(granted) / float64(ops)
+		closer()
+	}
+
+	// detector tick: heartbeat round + suspicion update, healthy ring.
+	{
+		rt, closer, _ := newSoakRuntime(sites, false)
+		rt.EnableSelfHealing(cluster.DefaultHealthConfig())
+		const ops = 20000
+		time1("deterministic/daemon-step", ops, -1, func() {
+			for i := 0; i < ops; i++ {
+				rt.DaemonStep(i % sites)
+			}
+		})
+		closer()
+	}
+
+	// end-to-end churn soak, daemon on.
+	{
+		rt, closer, _ := newSoakRuntime(sites, false)
+		const ops = 4000
+		var run *cluster.SoakRun
+		time1("deterministic/churn-soak", ops, 0, func() {
+			run = cluster.RunSoak(rt, cluster.SoakConfig{
+				Seed: seed, Steps: ops, Sites: sites, Links: graph.Ring(sites).M(),
+				Alpha: 0.9, Churn: soakChurn(),
+				Daemon: true, Health: soakHealth(0.9),
+			})
+		})
+		results[len(results)-1].GrantRate = run.Availability()
+		closer()
+	}
+
+	out, err := json.MarshalIndent(map[string]any{
+		"suite":   "robustness",
+		"seed":    seed,
+		"results": results,
+	}, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	out = append(out, '\n')
+	if err := os.WriteFile(path, out, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	fmt.Printf("wrote %s (%d benchmarks)\n", path, len(results))
+	return 0
+}

@@ -8,11 +8,22 @@
 // crashes) and reports the fault counters together with the history
 // checker's one-copy-serializability verdict.
 //
+// With -churn it runs the self-healing soak: a ring under seeded site/link
+// churn, serving a read-heavy workload with the adaptive reassignment
+// daemon on versus off on the identical schedule, asserting one-copy
+// serializability, post-churn assignment-version convergence, and an
+// availability win for the daemon.
+//
+// With -benchjson it times the robustness hot paths and writes
+// BENCH_robustness.json-style output.
+//
 // Usage:
 //
 //	quorumsim -topology 2 -qr 28 -alpha 0.75
 //	quorumsim -topology 0 -qr 50 -alpha 0.5 -batch 1000000 -paper
 //	quorumsim -chaos -chaosmix all -ops 5000 -seed 7
+//	quorumsim -churn -seeds 3 -soakops 4000
+//	quorumsim -benchjson BENCH_robustness.json
 package main
 
 import (
@@ -47,9 +58,22 @@ func main() {
 		ops      = flag.Int("ops", 2000, "scheduled operations per chaos run")
 		nodes    = flag.Int("nodes", 7, "sites in the chaos cluster (complete graph)")
 		async    = flag.Bool("async", false, "use the concurrent runtime for the chaos run")
+
+		churn     = flag.Bool("churn", false, "run the churn soak: self-healing daemon on vs off under site/link churn")
+		soakSeeds = flag.Int("seeds", 3, "churn soak: seeds per configuration")
+		soakOps   = flag.Int("soakops", 4000, "churn soak: churn-phase operations per run")
+		soakSites = flag.Int("sites", 9, "churn soak: ring size")
+		soakAlpha = flag.Float64("soakalpha", 0.9, "churn soak: read fraction")
+		benchJSON = flag.String("benchjson", "", "write robustness micro-benchmark results (ops/sec, grant rate) to this JSON file and exit")
 	)
 	flag.Parse()
 
+	if *benchJSON != "" {
+		os.Exit(runBenchJSON(*benchJSON, *seed))
+	}
+	if *churn {
+		os.Exit(runChurn(*soakSeeds, *soakOps, *soakSites, *soakAlpha, *seed))
+	}
 	if *chaos {
 		os.Exit(runChaos(*chaosMix, *ops, *nodes, *seed, *async))
 	}

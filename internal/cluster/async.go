@@ -40,6 +40,14 @@ type Async struct {
 	// enables the hardened ChaosRead/ChaosWrite/ChaosReassign operations
 	// (see chaos_async.go).
 	chaos *asyncChaos
+
+	// health, when non-nil, holds the failure detector, adaptive
+	// reassignment daemon, and degradation gate (see health_async.go).
+	health *healthState
+	// daemonStop, when non-nil, stops the background daemon goroutine
+	// started by StartDaemon; Close closes it.
+	daemonStop chan struct{}
+	daemonDone chan struct{}
 }
 
 // asyncNode is one site's goroutine-owned state.
@@ -82,8 +90,14 @@ func NewAsync(st *graph.State, initial quorum.Assignment) (*Async, error) {
 	return a, nil
 }
 
-// Close stops all node goroutines and waits for them to exit.
+// Close stops the background daemon (if started) and all node goroutines,
+// waiting for them to exit.
 func (a *Async) Close() {
+	if a.daemonStop != nil {
+		close(a.daemonStop)
+		<-a.daemonDone
+		a.daemonStop = nil
+	}
 	for _, n := range a.nodes {
 		close(n.quit)
 	}
@@ -133,6 +147,24 @@ func (n *asyncNode) handle(m asyncMsg) {
 		}
 	case installAssign:
 		n.state.adopt(b.assign, b.version, b.stamp, b.value)
+	case histRequest:
+		if m.reply != nil {
+			var weights []float64
+			if h := n.state.hist; h != nil {
+				weights = make([]float64, n.histBins)
+				for v := range weights {
+					weights[v] = h.Weight(v)
+				}
+			}
+			m.reply <- histReply{from: n.id, weights: weights}
+		}
+	case heartbeat:
+		if m.reply != nil {
+			m.reply <- heartbeatAck{
+				from: n.id, seq: b.seq,
+				votes: n.state.votes, version: n.state.version,
+			}
+		}
 	}
 	if m.ack != nil {
 		m.ack.Done()
@@ -272,9 +304,16 @@ func (a *Async) Read(x int) (value int64, stamp int64, granted bool) {
 func (a *Async) Write(x int, value int64) bool {
 	a.opMu.Lock()
 	defer a.opMu.Unlock()
+	_, ok := a.writeLocked(x, value)
+	return ok
+}
+
+// writeLocked is Write's body, exposed with the chosen stamp so the serving
+// layer can record it into histories. Caller holds opMu.
+func (a *Async) writeLocked(x int, value int64) (int64, bool) {
 	votes, peers, eff, ok := a.collect(x)
 	if !ok || votes < eff.assign.QW {
-		return false
+		return 0, false
 	}
 	stamp := eff.stamp + 1
 	var ack sync.WaitGroup
@@ -287,16 +326,22 @@ func (a *Async) Write(x int, value int64) bool {
 	}
 	ack.Wait()
 	a.delivered.Add(int64(len(targets)))
-	return true
+	return stamp, true
 }
 
 // Reassign installs a new assignment through the QR protocol.
 func (a *Async) Reassign(x int, newAssign quorum.Assignment) error {
+	a.opMu.Lock()
+	defer a.opMu.Unlock()
+	return a.reassignLocked(x, newAssign)
+}
+
+// reassignLocked is Reassign's body; caller holds opMu (the adaptive daemon
+// calls it from inside its own operation slot).
+func (a *Async) reassignLocked(x int, newAssign quorum.Assignment) error {
 	if err := newAssign.Validate(a.st.TotalVotes()); err != nil {
 		return fmt.Errorf("cluster: reassign: %w", err)
 	}
-	a.opMu.Lock()
-	defer a.opMu.Unlock()
 	votes, peers, eff, ok := a.collect(x)
 	if !ok {
 		return fmt.Errorf("cluster: reassign: node %d is down", x)

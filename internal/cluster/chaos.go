@@ -223,6 +223,10 @@ func stageOf(p payload) uint8 {
 		return faults.StageHistRequest
 	case histReply:
 		return faults.StageHistReply
+	case heartbeat:
+		return faults.StageHeartbeat
+	case heartbeatAck:
+		return faults.StageHeartbeatAck
 	default:
 		panic(fmt.Sprintf("cluster: unknown payload %T", p))
 	}

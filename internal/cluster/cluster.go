@@ -166,12 +166,17 @@ type Cluster struct {
 	replies       []voteReply
 	ackReplies    []applyAck
 	gossipReplies []histReply
+	hbReplies     []heartbeatAck
 
 	// chaos, when non-nil, interposes a fault-injecting transport between
 	// send and delivery and switches the operations exposed through
 	// ChaosRead/ChaosWrite/ChaosReassign to the hardened two-phase
 	// protocol (see chaos.go).
 	chaos *chaosState
+
+	// health, when non-nil, holds the failure detector, adaptive
+	// reassignment daemon, and degradation gate (see health.go).
+	health *healthState
 }
 
 // New creates a cluster over the network state with the given initial
@@ -285,6 +290,14 @@ func (c *Cluster) handle(coordinator int, m message) {
 		if m.to == coordinator {
 			c.gossipReplies = append(c.gossipReplies, b)
 		}
+	case heartbeat:
+		c.send(m.to, m.from, heartbeatAck{
+			from: m.to, seq: b.seq, votes: n.votes, version: n.version,
+		})
+	case heartbeatAck:
+		if m.to == coordinator {
+			c.hbReplies = append(c.hbReplies, b)
+		}
 	default:
 		panic(fmt.Sprintf("cluster: unknown payload %T", m.body))
 	}
@@ -302,6 +315,10 @@ func (c *Cluster) collect(x int, op OpKind) (votes int, responders []int, eff no
 	votes = self.votes
 	eff = *self
 	responders = responders[:0]
+	// NOTE: deliberately no duplicate-reply filtering here. This is the
+	// paper's idealized protocol, which assumes exactly-once delivery; the
+	// hardened chaos path (chaos.go) dedups, and the contrast is what
+	// TestUnhardenedProtocolViolatesUnderChaos demonstrates.
 	for _, r := range c.replies {
 		votes += r.votes
 		responders = append(responders, r.from)
@@ -342,21 +359,28 @@ func (c *Cluster) Read(x int) (value int64, stamp int64, granted bool) {
 // Write submits a write at node x. When the effective write quorum is met,
 // the new value is applied at every responding node.
 func (c *Cluster) Write(x int, value int64) bool {
+	_, ok := c.writeOp(x, value)
+	return ok
+}
+
+// writeOp is Write exposing the stamp the write committed under, which the
+// serving layer records into operation histories.
+func (c *Cluster) writeOp(x int, value int64) (stamp int64, ok bool) {
 	if !c.st.SiteUp(x) {
-		return false
+		return 0, false
 	}
 	votes, responders, eff := c.collect(x, OpWrite)
 	if votes < eff.assign.QW {
-		return false
+		return 0, false
 	}
-	stamp := eff.stamp + 1
+	stamp = eff.stamp + 1
 	self := &c.nodes[x]
 	self.value, self.stamp = value, stamp
 	for _, to := range responders {
 		c.send(x, to, applyWrite{value: value, stamp: stamp})
 	}
 	c.drain(x)
-	return true
+	return stamp, true
 }
 
 // Reassign attempts to install a new assignment from node x under the QR

@@ -78,9 +78,14 @@ func (c *Cluster) GossipEstimates(x int) (*core.Estimator, error) {
 	c.gossipReplies = c.gossipReplies[:0]
 	c.broadcast(x, histRequest{})
 	c.drain(x)
+	seen := make(map[int]bool, len(c.gossipReplies))
 	for _, r := range c.gossipReplies {
+		if seen[r.from] || r.from == x || r.from < 0 || r.from >= len(c.nodes) {
+			continue // duplicated or forged row: each site contributes once
+		}
+		seen[r.from] = true
 		for v, w := range r.weights {
-			if w > 0 {
+			if w > 0 && v <= c.st.TotalVotes() {
 				est.ObserveFor(r.from, v, w)
 			}
 		}

@@ -1,0 +1,652 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"quorumkit/internal/quorum"
+	"quorumkit/internal/stats"
+)
+
+// This file closes the loop from failure detection to quorum reassignment
+// that the paper's §5 protocol leaves to an operator: a heartbeat-based
+// failure detector feeds each node's view of its component, an adaptive
+// daemon re-runs the §4.2 on-line estimator and the Figure-1 optimizer when
+// that view shifts, and a degradation gate keeps the serving surface
+// non-blocking when no quorum is reachable. The same state machine drives
+// both runtimes; the deterministic Cluster implements the message rounds
+// here, the concurrent Async in health_async.go.
+//
+// Failure detector. Node x periodically broadcasts a heartbeat; every peer
+// that can be reached answers with its votes and assignment version. A peer
+// that misses SuspectAfter consecutive probes is *suspected* — a miss-count
+// accrual detector, the discrete analogue of phi-accrual suspicion: one
+// lost message (a transport fault) does not flip the view, a run of losses
+// (a dead peer or a partition) does. An answer from a suspected peer
+// unsuspects it immediately. The detector is purely local: it learns only
+// from messages, never from the shared topology state, so its view can be
+// wrong in exactly the ways a real deployment's can.
+//
+// Adaptive daemon. Each detector tick doubles as a quorum probe: the acked
+// votes plus the node's own bound the votes reachable right now. From that
+// the daemon runs a small state machine per node:
+//
+//	healthy ──suspicion change or grant-rate drop──▶ triggered
+//	triggered ──cooldown expired, leader, write quorum reachable──▶ optimize
+//	optimize ──ReassignOptimal installs / keeps incumbent──▶ healthy (cooldown)
+//
+// Anti-flap controls: suspicion triggers are edge-triggered (a *change* in
+// the suspected set, not its size), the optimizer's hysteresis demands a
+// minimum predicted improvement before installing, a cooldown rate-limits
+// attempts, and the grant-rate window resets after every attempt so the
+// daemon judges the new assignment on fresh evidence. Only the smallest-id
+// unsuspected member of a component attempts reassignment ("leader" below),
+// so partitioned components heal independently without dueling optimizers;
+// the QR protocol's version numbers keep even dueling attempts safe.
+//
+// Graceful degradation. When the probe shows fewer reachable votes than the
+// write quorum the node downgrades to read-only service; below the read
+// quorum it is unavailable. Operations submitted through ServeRead /
+// ServeWrite fail fast with typed errors instead of running (and retrying)
+// a round the probe already proved futile — degraded operations never hang.
+// The next probe that sees a quorum again heals the mode automatically.
+
+// Typed degradation errors.
+var (
+	// ErrDegradedWrites: the coordinator's component holds a read quorum
+	// but not a write quorum; the node serves reads only.
+	ErrDegradedWrites = errors.New("cluster: degraded: no write quorum reachable, serving reads only")
+	// ErrUnavailable: not even a read quorum is reachable.
+	ErrUnavailable = errors.New("cluster: unavailable: no read quorum reachable")
+)
+
+// Mode is a node's current service level, derived from its latest quorum
+// probe.
+type Mode uint8
+
+// Service levels.
+const (
+	ModeHealthy     Mode = iota // read and write quorums reachable
+	ModeReadOnly                // read quorum only
+	ModeWriteOnly               // write quorum only (degenerate assignments)
+	ModeUnavailable             // neither quorum reachable
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case ModeHealthy:
+		return "healthy"
+	case ModeReadOnly:
+		return "read-only"
+	case ModeWriteOnly:
+		return "write-only"
+	case ModeUnavailable:
+		return "unavailable"
+	default:
+		return fmt.Sprintf("Mode(%d)", uint8(m))
+	}
+}
+
+// HealthConfig tunes the failure detector and the adaptive daemon.
+type HealthConfig struct {
+	// SuspectAfter is the number of consecutive missed heartbeats before a
+	// peer is suspected.
+	SuspectAfter int
+	// WindowSize is the per-node sliding window of operation outcomes that
+	// feeds the grant-rate trigger.
+	WindowSize int
+	// GrantRateFloor triggers the daemon when the windowed grant rate drops
+	// below it (only once the window is full).
+	GrantRateFloor float64
+	// CooldownTicks is the minimum number of daemon ticks between two
+	// reassignment attempts at the same node (the rate limiter).
+	CooldownTicks int64
+	// Alpha is the read fraction handed to the optimizer (paper's α).
+	Alpha float64
+	// MinWrite is the optional §5.4 write-availability floor (0 disables).
+	MinWrite float64
+	// Hysteresis is the minimum predicted availability improvement before a
+	// new assignment is installed (anti-flap).
+	Hysteresis float64
+}
+
+// DefaultHealthConfig mirrors conservative production defaults: suspect
+// after two misses, judge grant rate over 32 operations with a 75% floor,
+// at most one reassignment attempt per four ticks, and demand a predicted
+// improvement of at least one availability point.
+func DefaultHealthConfig() HealthConfig {
+	return HealthConfig{
+		SuspectAfter:   2,
+		WindowSize:     32,
+		GrantRateFloor: 0.75,
+		CooldownTicks:  4,
+		Alpha:          0.75,
+		Hysteresis:     0.01,
+	}
+}
+
+// normalize fills zero fields with defaults so a partially specified config
+// behaves sanely.
+func (cfg HealthConfig) normalize() HealthConfig {
+	d := DefaultHealthConfig()
+	if cfg.SuspectAfter < 1 {
+		cfg.SuspectAfter = d.SuspectAfter
+	}
+	if cfg.WindowSize < 1 {
+		cfg.WindowSize = d.WindowSize
+	}
+	if cfg.GrantRateFloor <= 0 {
+		cfg.GrantRateFloor = d.GrantRateFloor
+	}
+	if cfg.CooldownTicks < 1 {
+		cfg.CooldownTicks = d.CooldownTicks
+	}
+	if cfg.Alpha <= 0 {
+		cfg.Alpha = d.Alpha
+	}
+	if cfg.Hysteresis <= 0 {
+		cfg.Hysteresis = d.Hysteresis
+	}
+	return cfg
+}
+
+// heartbeat is a failure-detector probe.
+type heartbeat struct {
+	from int
+	seq  int64
+}
+
+// heartbeatAck answers a probe with the peer's votes (the quorum-probe
+// half) and assignment version (the convergence-check half).
+type heartbeatAck struct {
+	from    int
+	seq     int64
+	votes   int
+	version int64
+}
+
+func (heartbeat) kind() string    { return "heartbeat" }
+func (heartbeatAck) kind() string { return "heartbeatAck" }
+
+// healthView is one node's local detector and service state.
+type healthView struct {
+	misses      []int
+	suspected   []bool
+	peerVersion []int64 // last assignment version heard per peer; -1 unknown
+
+	mode     Mode
+	canRead  bool
+	canWrite bool
+
+	window  []bool // ring buffer of recent operation grants
+	winNext int
+	winFill int
+
+	hbSeq        int64
+	tick         int64
+	suspectEpoch int64 // bumped whenever the suspected set changes
+	attemptEpoch int64 // suspectEpoch consumed by the last reassign attempt
+	nextAllowed  int64 // earliest tick the next attempt may run (cooldown)
+}
+
+// healthState is the self-healing context shared by the views of all nodes
+// of one runtime. The mutex makes snapshots and mutations safe against a
+// concurrent daemon goroutine (the Async runtime); the deterministic
+// runtime takes it uncontended.
+type healthState struct {
+	cfg HealthConfig
+
+	mu       sync.Mutex
+	views    []*healthView
+	counters stats.HealthCounters
+}
+
+func newHealthState(cfg HealthConfig, n int) *healthState {
+	h := &healthState{cfg: cfg.normalize(), views: make([]*healthView, n)}
+	for i := range h.views {
+		v := &healthView{
+			misses:      make([]int, n),
+			suspected:   make([]bool, n),
+			peerVersion: make([]int64, n),
+			window:      make([]bool, h.cfg.WindowSize),
+			mode:        ModeHealthy,
+			canRead:     true,
+			canWrite:    true,
+		}
+		for p := range v.peerVersion {
+			v.peerVersion[p] = -1
+		}
+		h.views[i] = v
+	}
+	return h
+}
+
+// DaemonReport describes one daemon step at one node.
+type DaemonReport struct {
+	Node           int
+	Mode           Mode
+	ReachableVotes int
+	Suspected      []int // peers suspected after this tick
+	Triggered      bool  // a trigger condition held
+	Attempted      bool  // an optimizer run was started
+	Reassigned     bool  // a new assignment was installed
+	Synced         bool  // a version-divergence repair round was issued
+	Err            error
+}
+
+// reassignRunner abstracts the runtime operations the shared daemon step
+// needs: the §4.3 gossip-optimize-install loop and a plain vote-collection
+// round (whose sync push repairs version divergence).
+type reassignRunner interface {
+	runReassignOptimal(x int, alpha, minWrite, hysteresis float64) (bool, error)
+	runSyncRound(x int)
+}
+
+// recordGrant feeds one operation outcome into node x's grant window.
+func (h *healthState) recordGrant(x int, granted bool) {
+	h.mu.Lock()
+	v := h.views[x]
+	v.window[v.winNext] = granted
+	v.winNext = (v.winNext + 1) % len(v.window)
+	if v.winFill < len(v.window) {
+		v.winFill++
+	}
+	h.mu.Unlock()
+}
+
+// grantRate returns the windowed grant rate and whether the window is full.
+func (v *healthView) grantRate() (float64, bool) {
+	if v.winFill < len(v.window) {
+		return 1, false
+	}
+	granted := 0
+	for _, g := range v.window {
+		if g {
+			granted++
+		}
+	}
+	return float64(granted) / float64(len(v.window)), true
+}
+
+// applyAcks runs the detector update for node x from one heartbeat round:
+// acked peers reset their miss counts (and unsuspect), silent peers accrue
+// misses, and the service mode is recomputed from the reachable votes.
+// Returns the probe's reachable-vote bound and whether the suspected set
+// changed. Callers hold h.mu.
+func (h *healthState) applyAcks(x int, acks []heartbeatAck, assign quorum.Assignment, selfVotes int) (reachable int, changed bool) {
+	v := h.views[x]
+	n := len(h.views)
+	acked := make([]bool, n)
+	reachable = selfVotes
+	for _, a := range acks {
+		if a.from < 0 || a.from >= n || a.from == x {
+			continue
+		}
+		acked[a.from] = true
+		reachable += a.votes
+		v.peerVersion[a.from] = a.version
+	}
+	h.counters.HeartbeatsSent += int64(n - 1)
+	for p := 0; p < n; p++ {
+		if p == x {
+			continue
+		}
+		if acked[p] {
+			h.counters.HeartbeatAcks++
+			v.misses[p] = 0
+			if v.suspected[p] {
+				v.suspected[p] = false
+				h.counters.Unsuspicions++
+				changed = true
+			}
+			continue
+		}
+		v.misses[p]++
+		if !v.suspected[p] && v.misses[p] >= h.cfg.SuspectAfter {
+			v.suspected[p] = true
+			h.counters.Suspicions++
+			changed = true
+		}
+	}
+	if changed {
+		v.suspectEpoch++
+	}
+
+	canRead := reachable >= assign.QR
+	canWrite := reachable >= assign.QW
+	mode := ModeHealthy
+	switch {
+	case canRead && canWrite:
+		mode = ModeHealthy
+	case canRead:
+		mode = ModeReadOnly
+	case canWrite:
+		mode = ModeWriteOnly
+	default:
+		mode = ModeUnavailable
+	}
+	if mode != v.mode {
+		if mode == ModeHealthy {
+			h.counters.Healings++
+		} else if v.mode == ModeHealthy {
+			h.counters.Degradations++
+		}
+		v.mode = mode
+	}
+	v.canRead, v.canWrite = canRead, canWrite
+	return reachable, changed
+}
+
+// daemonStep runs the shared daemon state machine for node x after a
+// heartbeat round. The runtime r performs the optimize/install and sync
+// rounds; h.mu must NOT be held by the caller.
+func (h *healthState) daemonStep(r reassignRunner, x int, acks []heartbeatAck, assign quorum.Assignment, selfVotes int, version int64) DaemonReport {
+	h.mu.Lock()
+	v := h.views[x]
+	v.tick++
+	h.counters.DaemonTicks++
+	reachable, _ := h.applyAcks(x, acks, assign, selfVotes)
+
+	rep := DaemonReport{Node: x, Mode: v.mode, ReachableVotes: reachable}
+	for p, s := range v.suspected {
+		if s {
+			rep.Suspected = append(rep.Suspected, p)
+		}
+	}
+
+	// A peer that answered with an older assignment version has missed an
+	// installation (it was partitioned away or freshly recovered). One
+	// ordinary vote-collection round pushes the merged state — newest
+	// version included — back to every reachable member, which is what
+	// drives post-churn convergence even when the optimizer has nothing
+	// to change.
+	staleVersion := false
+	for p, ver := range v.peerVersion {
+		if p != x && !v.suspected[p] && ver >= 0 && ver < version {
+			staleVersion = true
+			break
+		}
+	}
+
+	// Trigger conditions: an edge on the suspected set, or a sustained
+	// grant-rate drop.
+	trigger := v.suspectEpoch != v.attemptEpoch
+	if rate, full := v.grantRate(); full && rate < h.cfg.GrantRateFloor {
+		trigger = true
+	}
+	rep.Triggered = trigger
+
+	if !trigger {
+		h.mu.Unlock()
+		if staleVersion {
+			h.mu.Lock()
+			h.counters.SyncRounds++
+			h.mu.Unlock()
+			r.runSyncRound(x)
+			rep.Synced = true
+		}
+		return rep
+	}
+	h.counters.DaemonTriggers++
+
+	// Rate limiter.
+	if v.tick < v.nextAllowed {
+		h.counters.CooldownSkips++
+		h.mu.Unlock()
+		return rep
+	}
+	// Leader gate: defer to an unsuspected member with a smaller id. The
+	// trigger stays pending, so leadership changes re-arm it.
+	for p := 0; p < x; p++ {
+		if !v.suspected[p] {
+			h.counters.NotLeaderSkips++
+			h.mu.Unlock()
+			return rep
+		}
+	}
+	// No reachable write quorum: the QR protocol cannot install anything
+	// from this component. Leave the trigger pending; healing will both
+	// change the suspected set and lift the gate.
+	if !v.canWrite {
+		h.counters.DegradedSkips++
+		h.mu.Unlock()
+		return rep
+	}
+
+	v.attemptEpoch = v.suspectEpoch
+	v.nextAllowed = v.tick + h.cfg.CooldownTicks
+	// Judge the next assignment on fresh evidence.
+	v.winFill, v.winNext = 0, 0
+	cfg := h.cfg
+	h.mu.Unlock()
+
+	rep.Attempted = true
+	changed, err := r.runReassignOptimal(x, cfg.Alpha, cfg.MinWrite, cfg.Hysteresis)
+	rep.Reassigned, rep.Err = changed, err
+
+	h.mu.Lock()
+	switch {
+	case err != nil:
+		h.counters.DaemonErrors++
+	case changed:
+		h.counters.DaemonReassigns++
+	default:
+		h.counters.DaemonNoChanges++
+	}
+	h.mu.Unlock()
+	if !changed && err == nil && staleVersion {
+		// The optimizer kept the incumbent without a full install round;
+		// still repair the observed version divergence.
+		h.mu.Lock()
+		h.counters.SyncRounds++
+		h.mu.Unlock()
+		r.runSyncRound(x)
+		rep.Synced = true
+	}
+	return rep
+}
+
+// gate checks the degradation gate for one operation kind at node x,
+// returning a typed error when the node's probe-derived mode rejects it
+// (nil when healthy or when self-healing is disabled).
+func (h *healthState) gate(x int, write bool) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	v := h.views[x]
+	if write {
+		if !v.canWrite {
+			h.counters.DegradedWrites++
+			if !v.canRead {
+				return ErrUnavailable
+			}
+			return ErrDegradedWrites
+		}
+		return nil
+	}
+	if !v.canRead {
+		h.counters.DegradedReads++
+		return ErrUnavailable
+	}
+	return nil
+}
+
+// snapshot returns a copy of the counters.
+func (h *healthState) snapshot() stats.HealthCounters {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.counters
+}
+
+// modeOf returns node x's current service mode.
+func (h *healthState) modeOf(x int) Mode {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.views[x].mode
+}
+
+// ---- Deterministic runtime implementation -------------------------------
+
+// EnableSelfHealing attaches the failure detector, adaptive reassignment
+// daemon, and degradation gate to the cluster. Heartbeat rounds and
+// optimizer gossip travel through the normal message queue, so an attached
+// chaos transport faults them like any other traffic.
+func (c *Cluster) EnableSelfHealing(cfg HealthConfig) {
+	c.health = newHealthState(cfg, len(c.nodes))
+}
+
+// HealthCounters returns a snapshot of the self-healing counters.
+func (c *Cluster) HealthCounters() stats.HealthCounters {
+	if c.health == nil {
+		return stats.HealthCounters{}
+	}
+	return c.health.snapshot()
+}
+
+// Mode returns node x's current service mode (ModeHealthy when self-healing
+// is disabled).
+func (c *Cluster) Mode(x int) Mode {
+	if c.health == nil {
+		return ModeHealthy
+	}
+	return c.health.modeOf(x)
+}
+
+// heartbeatRound broadcasts one probe from node x and gathers the
+// deduplicated acknowledgements of the current sequence number. A down
+// coordinator probes nothing and hears nothing — every peer accrues a miss.
+func (c *Cluster) heartbeatRound(x int) []heartbeatAck {
+	h := c.health
+	h.mu.Lock()
+	h.views[x].hbSeq++
+	seq := h.views[x].hbSeq
+	h.mu.Unlock()
+	c.hbReplies = c.hbReplies[:0]
+	if c.st.SiteUp(x) {
+		c.broadcast(x, heartbeat{from: x, seq: seq})
+		c.drain(x)
+	}
+	seen := make(map[int]bool, len(c.hbReplies))
+	acks := make([]heartbeatAck, 0, len(c.hbReplies))
+	for _, a := range c.hbReplies {
+		if a.seq != seq || seen[a.from] {
+			continue // stale or duplicated ack
+		}
+		seen[a.from] = true
+		acks = append(acks, a)
+	}
+	return acks
+}
+
+// runReassignOptimal implements reassignRunner for the deterministic
+// runtime.
+func (c *Cluster) runReassignOptimal(x int, alpha, minWrite, hysteresis float64) (bool, error) {
+	return c.ReassignOptimal(x, alpha, minWrite, hysteresis)
+}
+
+// runSyncRound implements reassignRunner: one ordinary vote-collection
+// round, whose merged-state push refreshes every reachable member.
+func (c *Cluster) runSyncRound(x int) {
+	if c.st.SiteUp(x) {
+		c.collect(x, OpRead)
+	}
+}
+
+// DaemonStep runs one failure-detector tick and daemon decision at node x:
+// probe, update suspicions and service mode, and — when triggered, allowed
+// by the rate limiter, leading its component, and holding a write quorum —
+// run the on-line estimator and optimizer and install the result through
+// the QR protocol. Requires EnableSelfHealing.
+func (c *Cluster) DaemonStep(x int) DaemonReport {
+	h := c.mustHealth()
+	if !c.st.SiteUp(x) {
+		// A down node cannot probe; its detector accrues misses for every
+		// peer so that, on recovery, it re-learns the world before acting.
+		// The §4.2 estimator counts down time as a component of zero votes.
+		c.recordObservation(x, 0)
+		return h.daemonStep(c, x, nil, c.nodes[x].assign, c.nodes[x].votes, c.nodes[x].version)
+	}
+	acks := c.heartbeatRound(x)
+	n := &c.nodes[x]
+	// Each probe is a free, unbiased periodic sample of the component's
+	// vote total — exactly the §4.2 recording the paper prescribes. The
+	// samples taken during ordinary collect rounds over-weight large
+	// components (a site in a component of size k responds to ~k rounds per
+	// step), which skews the optimizer toward large quorums; the detector's
+	// fixed-rate samples correct that bias.
+	reach := n.votes
+	for _, a := range acks {
+		reach += a.votes
+	}
+	c.recordObservation(x, reach)
+	return h.daemonStep(c, x, acks, n.assign, n.votes, n.version)
+}
+
+// ServeRead is the serving-layer read at node x: it fails fast with a typed
+// error when the degradation gate rejects reads, and otherwise runs the
+// fault-hardened read when a chaos transport is attached or the baseline
+// read when not. The outcome feeds the daemon's grant-rate window.
+func (c *Cluster) ServeRead(x int) Outcome {
+	if !c.st.SiteUp(x) {
+		return Outcome{Err: ErrCoordinatorDown}
+	}
+	if c.health != nil {
+		if err := c.health.gate(x, false); err != nil {
+			c.health.recordGrant(x, false)
+			return Outcome{Err: err}
+		}
+	}
+	var out Outcome
+	if c.chaos != nil {
+		out = c.ChaosRead(x)
+	} else {
+		v, s, ok := c.Read(x)
+		out = Outcome{Granted: ok, Value: v, Stamp: s, Attempts: 1}
+		if !ok {
+			out.Err = ErrNoQuorum
+		}
+	}
+	if c.health != nil {
+		c.health.recordGrant(x, out.Granted)
+	}
+	return out
+}
+
+// ServeWrite is the serving-layer write at node x, with the same gating as
+// ServeRead: a read-only or unavailable node rejects the write immediately
+// with ErrDegradedWrites or ErrUnavailable rather than running a doomed
+// round.
+func (c *Cluster) ServeWrite(x int, value int64) Outcome {
+	if !c.st.SiteUp(x) {
+		return Outcome{Err: ErrCoordinatorDown}
+	}
+	if c.health != nil {
+		if err := c.health.gate(x, true); err != nil {
+			c.health.recordGrant(x, false)
+			return Outcome{Err: err}
+		}
+	}
+	var out Outcome
+	if c.chaos != nil {
+		out = c.ChaosWrite(x, value)
+	} else {
+		stamp, ok := c.writeOp(x, value)
+		out = Outcome{Granted: ok, Value: value, Stamp: stamp, Attempts: 1}
+		if !ok {
+			out.Err = ErrNoQuorum
+		}
+	}
+	if c.health != nil {
+		c.health.recordGrant(x, out.Granted)
+	}
+	return out
+}
+
+// mustHealth asserts that EnableSelfHealing was called.
+func (c *Cluster) mustHealth() *healthState {
+	if c.health == nil {
+		panic("cluster: self-healing operation without EnableSelfHealing")
+	}
+	return c.health
+}

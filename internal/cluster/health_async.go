@@ -1,0 +1,386 @@
+package cluster
+
+import (
+	"fmt"
+	"time"
+
+	"quorumkit/internal/core"
+	"quorumkit/internal/faults"
+	"quorumkit/internal/stats"
+)
+
+// Concurrent-runtime side of the self-healing loop (see health.go for the
+// design). The detector, daemon state machine, and degradation gate are the
+// shared healthState; this file supplies the message rounds — heartbeat
+// scatter/gather, histogram gossip, and the optimize/install loop — on the
+// goroutine-per-node transport. When a chaos transport is attached, the
+// heartbeat and gossip fan-outs consult the same fault plan as client
+// operations (drops and duplicates; delays fold into delivery slots), so a
+// partition the detector reacts to can be injected rather than declared.
+
+// EnableSelfHealing attaches the failure detector, adaptive reassignment
+// daemon, and degradation gate to the runtime.
+func (a *Async) EnableSelfHealing(cfg HealthConfig) {
+	a.health = newHealthState(cfg, len(a.nodes))
+}
+
+// HealthCounters returns a snapshot of the self-healing counters.
+func (a *Async) HealthCounters() stats.HealthCounters {
+	if a.health == nil {
+		return stats.HealthCounters{}
+	}
+	return a.health.snapshot()
+}
+
+// Mode returns node x's current service mode (ModeHealthy when self-healing
+// is disabled).
+func (a *Async) Mode(x int) Mode {
+	if a.health == nil {
+		return ModeHealthy
+	}
+	return a.health.modeOf(x)
+}
+
+// NodeVersion returns node x's current assignment version (for convergence
+// checks). Thread-safe.
+func (a *Async) NodeVersion(x int) int64 {
+	n := a.nodes[x]
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.state.version
+}
+
+// heartbeatRound broadcasts one probe from node x and gathers the
+// deduplicated acknowledgements. A down coordinator hears nothing. With a
+// chaos transport attached, each probe/ack pair is subject to the fault
+// plan's drop, duplicate, and delay decisions at the heartbeat stages.
+func (a *Async) heartbeatRound(x int) []heartbeatAck {
+	h := a.health
+	h.mu.Lock()
+	h.views[x].hbSeq++
+	seq := h.views[x].hbSeq
+	h.mu.Unlock()
+	if !a.siteUpAny(x) {
+		return nil
+	}
+	peers := a.peersOf(x)
+	replies := make(chan payload, 2*len(peers)+1)
+	probe := heartbeat{from: x, seq: seq}
+	for _, p := range peers {
+		if ch := a.chaos; ch != nil {
+			dreq := ch.plan.Message(ch.op, faults.StageHeartbeat, x, p, ch.attempt)
+			dack := ch.plan.Message(ch.op, faults.StageHeartbeatAck, p, x, ch.attempt)
+			if dreq.Drop || dack.Drop {
+				// A lost probe or ack: the peer accrues a miss. The probe
+				// mutates no peer state, so not delivering it is
+				// observationally identical.
+				ch.bump(func(c *stats.ChaosCounters) { c.MsgDropped++ })
+				replies <- lostMark{}
+				continue
+			}
+			slots := ch.slotsOf(dreq, dack)
+			a.chaosDeliver(p, asyncMsg{body: probe, reply: replies}, slots)
+			if dreq.Duplicate || dack.Duplicate {
+				ch.bump(func(c *stats.ChaosCounters) { c.MsgDuplicated++ })
+				a.chaosDeliver(p, asyncMsg{body: probe, reply: replies}, slots)
+			}
+			continue
+		}
+		a.sent.Add(1)
+		a.nodes[p].inbox <- asyncMsg{body: probe, reply: replies}
+	}
+
+	seen := make(map[int]bool, len(peers))
+	acks := make([]heartbeatAck, 0, len(peers))
+	deadline := time.NewTimer(asyncChaosDeadline)
+	defer deadline.Stop()
+	for pending := len(peers); pending > 0; {
+		select {
+		case pl := <-replies:
+			ack, isAck := pl.(heartbeatAck)
+			if !isAck { // lostMark
+				pending--
+				continue
+			}
+			a.delivered.Add(1)
+			if ack.seq != seq || seen[ack.from] {
+				continue // stale or duplicated ack
+			}
+			seen[ack.from] = true
+			pending--
+			acks = append(acks, ack)
+		case <-deadline.C:
+			pending = 0
+		}
+	}
+	return acks
+}
+
+// siteUpAny snapshots one site's up state whether or not chaos is enabled.
+func (a *Async) siteUpAny(x int) bool {
+	a.topoMu.RLock()
+	defer a.topoMu.RUnlock()
+	return a.st.SiteUp(x)
+}
+
+// gossipEstimates runs the §4.3 histogram-collection round from node x on
+// the concurrent transport and assembles a network-wide estimator, exactly
+// mirroring Cluster.GossipEstimates (including the duplicate- and
+// forged-row guards).
+func (a *Async) gossipEstimates(x int) (*core.Estimator, error) {
+	if !a.siteUpAny(x) {
+		return nil, fmt.Errorf("cluster: gossip: node %d is down", x)
+	}
+	est := core.NewEstimator(len(a.nodes), a.st.TotalVotes())
+	self := a.nodes[x]
+	self.mu.Lock()
+	if h := self.state.hist; h != nil {
+		for v := 0; v <= a.st.TotalVotes(); v++ {
+			if w := h.Weight(v); w > 0 {
+				est.ObserveFor(x, v, w)
+			}
+		}
+	}
+	self.mu.Unlock()
+
+	peers := a.peersOf(x)
+	replies := make(chan payload, 2*len(peers)+1)
+	for _, p := range peers {
+		if ch := a.chaos; ch != nil {
+			dreq := ch.plan.Message(ch.op, faults.StageHistRequest, x, p, ch.attempt)
+			drep := ch.plan.Message(ch.op, faults.StageHistReply, p, x, ch.attempt)
+			if dreq.Drop || drep.Drop {
+				ch.bump(func(c *stats.ChaosCounters) { c.MsgDropped++ })
+				replies <- lostMark{}
+				continue
+			}
+			slots := ch.slotsOf(dreq, drep)
+			a.chaosDeliver(p, asyncMsg{body: histRequest{}, reply: replies}, slots)
+			if dreq.Duplicate || drep.Duplicate {
+				ch.bump(func(c *stats.ChaosCounters) { c.MsgDuplicated++ })
+				a.chaosDeliver(p, asyncMsg{body: histRequest{}, reply: replies}, slots)
+			}
+			continue
+		}
+		a.sent.Add(1)
+		a.nodes[p].inbox <- asyncMsg{body: histRequest{}, reply: replies}
+	}
+
+	seen := make(map[int]bool, len(peers))
+	deadline := time.NewTimer(asyncChaosDeadline)
+	defer deadline.Stop()
+	for pending := len(peers); pending > 0; {
+		select {
+		case pl := <-replies:
+			r, isReply := pl.(histReply)
+			if !isReply { // lostMark
+				pending--
+				continue
+			}
+			a.delivered.Add(1)
+			if seen[r.from] || r.from == x || r.from < 0 || r.from >= len(a.nodes) {
+				continue // duplicated or forged row: each site contributes once
+			}
+			seen[r.from] = true
+			pending--
+			for v, w := range r.weights {
+				if w > 0 && v <= a.st.TotalVotes() {
+					est.ObserveFor(r.from, v, w)
+				}
+			}
+		case <-deadline.C:
+			pending = 0
+		}
+	}
+	return est, nil
+}
+
+// runReassignOptimal implements reassignRunner for the concurrent runtime:
+// the full §4.3 gossip-optimize-install loop, under the opMu already held
+// by DaemonStep.
+func (a *Async) runReassignOptimal(x int, alpha, minWrite, hysteresis float64) (bool, error) {
+	if !a.siteUpAny(x) {
+		return false, fmt.Errorf("cluster: reassign-optimal: node %d is down", x)
+	}
+	est, err := a.gossipEstimates(x)
+	if err != nil {
+		return false, err
+	}
+	model, err := est.Model(nil, nil)
+	if err != nil {
+		return false, err
+	}
+	var want core.Result
+	if minWrite > 0 {
+		want, err = model.OptimizeConstrained(alpha, minWrite)
+		if err != nil {
+			return false, err
+		}
+	} else {
+		want = model.Optimize(alpha)
+	}
+	_, _, eff, ok := a.collect(x)
+	if !ok {
+		return false, fmt.Errorf("cluster: reassign-optimal: node %d lost its component", x)
+	}
+	current := eff.assign
+	if current == want.Assignment {
+		return false, nil
+	}
+	predicted := model.AvailabilityFor(alpha, want.Assignment)
+	incumbent := model.AvailabilityFor(alpha, current)
+	if predicted-incumbent < hysteresis {
+		return false, nil
+	}
+	if err := a.reassignLocked(x, want.Assignment); err != nil {
+		return false, nil // component lacks the write quorum right now
+	}
+	return true, nil
+}
+
+// runSyncRound implements reassignRunner: one ordinary vote-collection
+// round, whose merged-state push refreshes every reachable member.
+func (a *Async) runSyncRound(x int) {
+	if a.siteUpAny(x) {
+		a.collect(x)
+	}
+}
+
+// DaemonStep runs one failure-detector tick and daemon decision at node x
+// (see Cluster.DaemonStep). It occupies one client-operation slot, so the
+// detector's probes and any resulting installation serialize with reads and
+// writes. Requires EnableSelfHealing.
+func (a *Async) DaemonStep(x int) DaemonReport {
+	h := a.mustHealthAsync()
+	a.opMu.Lock()
+	defer a.opMu.Unlock()
+	// A down node cannot probe (heartbeatRound returns no acks for it);
+	// every peer accrues a miss until the node recovers and re-learns the
+	// world.
+	var acks []heartbeatAck
+	up := a.siteUpAny(x)
+	if up {
+		acks = a.heartbeatRound(x)
+	}
+	n := a.nodes[x]
+	n.mu.Lock()
+	assign, votes, version := n.state.assign, n.state.votes, n.state.version
+	// Each probe is a free, unbiased periodic sample of the component's
+	// vote total — the §4.2 recording (see Cluster.DaemonStep); down time
+	// counts as a component of zero votes.
+	reach := 0
+	if up {
+		reach = votes
+		for _, ack := range acks {
+			reach += ack.votes
+		}
+	}
+	if reach < n.histBins {
+		if n.state.hist == nil {
+			n.state.hist = stats.NewHistogram(n.histBins)
+		}
+		n.state.hist.Add(reach, 1)
+	}
+	n.mu.Unlock()
+	return h.daemonStep(a, x, acks, assign, votes, version)
+}
+
+// StartDaemon launches a background goroutine that sweeps DaemonStep over
+// every node each interval until Close. It is the deployment shape of the
+// daemon; tests and the soak harness call DaemonStep directly for
+// schedulable, reproducible ticks.
+func (a *Async) StartDaemon(interval time.Duration) {
+	a.mustHealthAsync()
+	if a.daemonStop != nil {
+		return // already running
+	}
+	a.daemonStop = make(chan struct{})
+	a.daemonDone = make(chan struct{})
+	go func() {
+		defer close(a.daemonDone)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-a.daemonStop:
+				return
+			case <-t.C:
+				for x := range a.nodes {
+					select {
+					case <-a.daemonStop:
+						return
+					default:
+					}
+					a.DaemonStep(x)
+				}
+			}
+		}
+	}()
+}
+
+// ServeRead is the serving-layer read at node x: fail fast with a typed
+// error when the degradation gate rejects reads, otherwise run the hardened
+// read when chaos is attached or the baseline read when not.
+func (a *Async) ServeRead(x int) Outcome {
+	if !a.siteUpAny(x) {
+		return Outcome{Err: ErrCoordinatorDown}
+	}
+	if a.health != nil {
+		if err := a.health.gate(x, false); err != nil {
+			a.health.recordGrant(x, false)
+			return Outcome{Err: err}
+		}
+	}
+	var out Outcome
+	if a.chaos != nil {
+		out = a.ChaosRead(x)
+	} else {
+		v, s, ok := a.Read(x)
+		out = Outcome{Granted: ok, Value: v, Stamp: s, Attempts: 1}
+		if !ok {
+			out.Err = ErrNoQuorum
+		}
+	}
+	if a.health != nil {
+		a.health.recordGrant(x, out.Granted)
+	}
+	return out
+}
+
+// ServeWrite is the serving-layer write at node x, with the same gating as
+// ServeRead.
+func (a *Async) ServeWrite(x int, value int64) Outcome {
+	if !a.siteUpAny(x) {
+		return Outcome{Err: ErrCoordinatorDown}
+	}
+	if a.health != nil {
+		if err := a.health.gate(x, true); err != nil {
+			a.health.recordGrant(x, false)
+			return Outcome{Err: err}
+		}
+	}
+	var out Outcome
+	if a.chaos != nil {
+		out = a.ChaosWrite(x, value)
+	} else {
+		a.opMu.Lock()
+		stamp, ok := a.writeLocked(x, value)
+		a.opMu.Unlock()
+		out = Outcome{Granted: ok, Value: value, Stamp: stamp, Attempts: 1}
+		if !ok {
+			out.Err = ErrNoQuorum
+		}
+	}
+	if a.health != nil {
+		a.health.recordGrant(x, out.Granted)
+	}
+	return out
+}
+
+// mustHealthAsync asserts that EnableSelfHealing was called.
+func (a *Async) mustHealthAsync() *healthState {
+	if a.health == nil {
+		panic("cluster: self-healing operation without EnableSelfHealing")
+	}
+	return a.health
+}

@@ -1,0 +1,269 @@
+package cluster
+
+import (
+	"fmt"
+
+	"quorumkit/internal/faults"
+	"quorumkit/internal/history"
+	"quorumkit/internal/rng"
+	"quorumkit/internal/stats"
+)
+
+// Churn soak harness: drive a serving-layer workload against a runtime
+// while seeded renewal processes fail and repair sites and links, with the
+// self-healing daemon (optionally) sweeping in the background; then heal
+// everything and check the liveness properties the daemon promises —
+// assignment-version convergence and availability back at (or above) the
+// static baseline — on top of the safety property every run must keep:
+// one-copy serializability, including across reassignments.
+//
+// Determinism: the operation schedule (coordinator, kind) is drawn purely
+// from the soak seed, the churn events purely from the churn seed, and the
+// daemon sweeps at fixed step indices consuming no schedule randomness.
+// The same SoakConfig therefore issues an identical stimulus to both
+// runtimes, to daemon-on and daemon-off runs, and across repeated runs —
+// which is what makes the daemon-on vs daemon-off availability comparison
+// meaningful rather than noise.
+
+// SoakRuntime is the serving surface the soak harness drives. Both the
+// deterministic Cluster and the concurrent Async implement it.
+type SoakRuntime interface {
+	EnableSelfHealing(cfg HealthConfig)
+	ServeRead(x int) Outcome
+	ServeWrite(x int, value int64) Outcome
+	DaemonStep(x int) DaemonReport
+	Mode(x int) Mode
+	NodeVersion(x int) int64
+	HealthCounters() stats.HealthCounters
+	FailSite(i int)
+	RepairSite(i int)
+	FailLink(l int)
+	RepairLink(l int)
+}
+
+// SoakConfig parameterizes one soak run.
+type SoakConfig struct {
+	Seed  uint64
+	Steps int     // churn-phase operations
+	Sites int     // must match the runtime's topology
+	Links int     // must match the runtime's topology
+	Alpha float64 // read fraction of the workload
+
+	Churn faults.ChurnConfig
+
+	// Daemon enables self-healing: EnableSelfHealing(Health) at start and a
+	// full DaemonStep sweep every DaemonEvery steps. When false the run is
+	// the unassisted baseline the daemon-on run is compared against.
+	Daemon      bool
+	DaemonEvery int
+	Health      HealthConfig
+
+	// SettleSteps is the post-heal measurement window (default Steps/10).
+	SettleSteps int
+}
+
+// normalized fills defaults.
+func (cfg SoakConfig) normalized() SoakConfig {
+	if cfg.DaemonEvery < 1 {
+		cfg.DaemonEvery = 2
+	}
+	if cfg.SettleSteps < 1 {
+		cfg.SettleSteps = cfg.Steps / 10
+		if cfg.SettleSteps < 1 {
+			cfg.SettleSteps = 1
+		}
+	}
+	return cfg
+}
+
+// SoakRun is the full record of one soak run.
+type SoakRun struct {
+	Log *history.Log
+
+	Ops, Granted               int // churn phase
+	Reads, GrantedReads        int
+	Writes, GrantedWrites      int
+	DegradedRejects            int // typed fast-fail denials from the gate
+	SettleOps, SettleGranted   int // post-heal window
+	SiteEvents, LinkEvents     int
+	Health                     stats.HealthCounters
+	FinalVersions              []int64
+	Converged                  bool  // all nodes share one assignment version post-heal
+	ViolationErr               error // Log.Check() result
+}
+
+// Availability is the churn-phase grant rate.
+func (r *SoakRun) Availability() float64 {
+	if r.Ops == 0 {
+		return 0
+	}
+	return float64(r.Granted) / float64(r.Ops)
+}
+
+// SettleAvailability is the post-heal grant rate.
+func (r *SoakRun) SettleAvailability() float64 {
+	if r.SettleOps == 0 {
+		return 0
+	}
+	return float64(r.SettleGranted) / float64(r.SettleOps)
+}
+
+// String summarizes a run.
+func (r *SoakRun) String() string {
+	verdict := "1SR OK"
+	if r.ViolationErr != nil {
+		verdict = "VIOLATION: " + r.ViolationErr.Error()
+	}
+	conv := "converged"
+	if !r.Converged {
+		conv = "DIVERGED " + fmt.Sprint(r.FinalVersions)
+	}
+	return fmt.Sprintf(
+		"churn %d ops %.3f avail (%d/%d reads, %d/%d writes, %d degraded-fastfail, %d site / %d link events); settle %d ops %.3f avail; %s; %s",
+		r.Ops, r.Availability(), r.GrantedReads, r.Reads, r.GrantedWrites, r.Writes,
+		r.DegradedRejects, r.SiteEvents, r.LinkEvents,
+		r.SettleOps, r.SettleAvailability(), conv, verdict)
+}
+
+// RunSoak drives one churn soak against rt, which must have been built on a
+// fresh topology matching cfg.Sites/cfg.Links. The phases:
+//
+//  1. Churn: cfg.Steps serving-layer operations while the renewal
+//     processes toggle sites and links; the daemon (when enabled) sweeps
+//     every DaemonEvery steps. Every outcome — including indeterminate
+//     residues — feeds the history log.
+//  2. Heal: repair every site and link, then sweep the daemon until its
+//     views unsuspect and re-sync (bounded number of sweeps).
+//  3. Settle: cfg.SettleSteps more operations on the healed topology (the
+//     availability-recovered check), then record per-node assignment
+//     versions (the convergence check).
+//
+// Safety (Log.Check) is asserted by the caller; liveness is reported in
+// the returned SoakRun.
+func RunSoak(rt SoakRuntime, cfg SoakConfig) *SoakRun {
+	cfg = cfg.normalized()
+	if cfg.Daemon {
+		rt.EnableSelfHealing(cfg.Health)
+	}
+	churn := faults.NewChurn(cfg.Seed, cfg.Sites, cfg.Links, cfg.Churn)
+	src := rng.New(cfg.Seed ^ 0x50ac)
+	run := &SoakRun{Log: &history.Log{}}
+
+	downSites := make([]bool, cfg.Sites)
+	step := 0
+	value := int64(0)
+	doOp := func(t float64, settling bool) {
+		site := src.Intn(cfg.Sites)
+		read := src.Float64() < cfg.Alpha
+		var out Outcome
+		if read {
+			out = rt.ServeRead(site)
+			run.Log.RecordRead(site, out.Granted, out.Value, out.Stamp, t)
+		} else {
+			value++
+			out = rt.ServeWrite(site, value)
+			for _, res := range out.Residue {
+				run.Log.RecordIndeterminateWrite(site, res.Value, res.Stamp, t)
+			}
+			run.Log.RecordWrite(site, out.Granted, value, out.Stamp, t)
+		}
+		if out.Err == ErrDegradedWrites || out.Err == ErrUnavailable {
+			run.DegradedRejects++
+		}
+		if settling {
+			run.SettleOps++
+			if out.Granted {
+				run.SettleGranted++
+			}
+			return
+		}
+		run.Ops++
+		if read {
+			run.Reads++
+		} else {
+			run.Writes++
+		}
+		if out.Granted {
+			run.Granted++
+			if read {
+				run.GrantedReads++
+			} else {
+				run.GrantedWrites++
+			}
+		}
+	}
+
+	// Phase 1: churn.
+	for ; step < cfg.Steps; step++ {
+		t := float64(step)
+		for _, ev := range churn.Step(t) {
+			switch ev.Kind {
+			case faults.SiteFail:
+				rt.FailSite(ev.Index)
+				downSites[ev.Index] = true
+				run.SiteEvents++
+			case faults.SiteRepair:
+				rt.RepairSite(ev.Index)
+				downSites[ev.Index] = false
+				run.SiteEvents++
+			case faults.LinkFail:
+				rt.FailLink(ev.Index)
+				run.LinkEvents++
+			case faults.LinkRepair:
+				rt.RepairLink(ev.Index)
+				run.LinkEvents++
+			}
+		}
+		if cfg.Daemon && step%cfg.DaemonEvery == 0 {
+			for x := 0; x < cfg.Sites; x++ {
+				rt.DaemonStep(x)
+			}
+		}
+		doOp(t, false)
+	}
+
+	// Phase 2: heal everything the churn (not the workload) took down.
+	for i, down := range downSites {
+		if down {
+			rt.RepairSite(i)
+		}
+	}
+	for l := 0; l < cfg.Links; l++ {
+		rt.RepairLink(l)
+	}
+	if cfg.Daemon {
+		// Sweep until every view is back to healthy — bounded by the number
+		// of sweeps it takes to unsuspect (SuspectAfter misses to suspect,
+		// one ack to clear) plus the cooldown before the convergence
+		// reassign/sync may run.
+		sweeps := cfg.Health.normalize().SuspectAfter + int(cfg.Health.normalize().CooldownTicks) + 4
+		for s := 0; s < sweeps; s++ {
+			for x := 0; x < cfg.Sites; x++ {
+				rt.DaemonStep(x)
+			}
+		}
+	}
+
+	// Phase 3: settle.
+	for s := 0; s < cfg.SettleSteps; s++ {
+		t := float64(cfg.Steps + s)
+		if cfg.Daemon && (cfg.Steps+s)%cfg.DaemonEvery == 0 {
+			for x := 0; x < cfg.Sites; x++ {
+				rt.DaemonStep(x)
+			}
+		}
+		doOp(t, true)
+	}
+
+	run.FinalVersions = make([]int64, cfg.Sites)
+	run.Converged = true
+	for x := 0; x < cfg.Sites; x++ {
+		run.FinalVersions[x] = rt.NodeVersion(x)
+		if run.FinalVersions[x] != run.FinalVersions[0] {
+			run.Converged = false
+		}
+	}
+	run.Health = rt.HealthCounters()
+	run.ViolationErr = run.Log.Check()
+	return run
+}

@@ -28,6 +28,8 @@ const (
 	tagHistRequest
 	tagHistReply
 	tagApplyAck
+	tagHeartbeat
+	tagHeartbeatAck
 )
 
 // marshalPayload encodes a payload to bytes.
@@ -83,6 +85,20 @@ func marshalPayload(p payload) ([]byte, error) {
 		buf = append(buf, tagApplyAck)
 		buf = appendU32(buf, uint32(b.from))
 		buf = appendI64(buf, b.stamp)
+		return buf, nil
+	case heartbeat:
+		buf := make([]byte, 0, 1+4+8)
+		buf = append(buf, tagHeartbeat)
+		buf = appendU32(buf, uint32(b.from))
+		buf = appendI64(buf, b.seq)
+		return buf, nil
+	case heartbeatAck:
+		buf := make([]byte, 0, 1+4+8+4+8)
+		buf = append(buf, tagHeartbeatAck)
+		buf = appendU32(buf, uint32(b.from))
+		buf = appendI64(buf, b.seq)
+		buf = appendU32(buf, uint32(b.votes))
+		buf = appendI64(buf, b.version)
 		return buf, nil
 	case installAssign:
 		buf := make([]byte, 0, 1+4+4+8+8+8)
@@ -161,6 +177,14 @@ func unmarshalPayload(data []byte) (payload, error) {
 	case tagApplyAck:
 		a := applyAck{from: int(d.u32()), stamp: d.i64()}
 		return d.finish("applyAck", a)
+	case tagHeartbeat:
+		h := heartbeat{from: int(d.u32()), seq: d.i64()}
+		return d.finish("heartbeat", h)
+	case tagHeartbeatAck:
+		h := heartbeatAck{from: int(d.u32()), seq: d.i64()}
+		h.votes = int(d.u32())
+		h.version = d.i64()
+		return d.finish("heartbeatAck", h)
 	case tagInstallAssign:
 		i := installAssign{}
 		i.assign = quorum.Assignment{QR: int(d.u32()), QW: int(d.u32())}

@@ -25,6 +25,8 @@ func TestCodecRoundTripAll(t *testing.T) {
 		histRequest{},
 		histReply{from: 3, weights: []float64{0, 1.5, 0, 2.25}},
 		histReply{from: 5}, // empty histogram
+		heartbeat{from: 4, seq: 1<<40 + 7},
+		heartbeatAck{from: 8, seq: 1<<40 + 7, votes: 3, version: 12},
 	}
 	for _, p := range payloads {
 		got := roundTrip(p)
@@ -48,7 +50,12 @@ func TestCodecRejectsGarbage(t *testing.T) {
 		{tagApplyAck},          // truncated body
 		{tagApplyAck, 1, 2, 3}, // still truncated
 		{tagHistRequest, 0},    // trailing bytes
+		{tagHeartbeat},         // truncated body
+		{tagHeartbeat, 1, 2},   // still truncated
+		{tagHeartbeatAck, 1},   // truncated body
 		append(mustMarshal(applyAck{from: 1, stamp: 2}), 0xff), // trailing bytes
+		append(mustMarshal(heartbeat{from: 1, seq: 2}), 0),     // trailing bytes
+		append(mustMarshal(heartbeatAck{from: 1, seq: 2, votes: 1, version: 3}), 7),
 		// histReply whose bin count promises far more data than the buffer
 		// holds: must be rejected before the weights allocation.
 		{tagHistReply, 1, 0, 0, 0, 0xff, 0xff, 0x0f, 0, 1, 2, 3},
@@ -77,6 +84,8 @@ func TestDecodeErrorsNameTag(t *testing.T) {
 		tagApplyAck:      "applyAck",
 		tagInstallAssign: "installAssign",
 		tagHistReply:     "histReply",
+		tagHeartbeat:     "heartbeat",
+		tagHeartbeatAck:  "heartbeatAck",
 	} {
 		_, err := unmarshalPayload([]byte{tag, 7})
 		if err == nil {
@@ -174,6 +183,8 @@ func FuzzUnmarshalPayload(f *testing.F) {
 		installAssign{assign: quorum.Assignment{QR: 3, QW: 5}, version: 2, value: 1, stamp: 6},
 		histRequest{},
 		histReply{from: 2, weights: []float64{0, 1.5, 2.25}},
+		heartbeat{from: 5, seq: 42},
+		heartbeatAck{from: 6, seq: 42, votes: 2, version: 9},
 	}
 	for _, p := range seeds {
 		f.Add(mustMarshal(p))

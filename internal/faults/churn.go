@@ -1,0 +1,182 @@
+package faults
+
+import (
+	"fmt"
+
+	"quorumkit/internal/rng"
+)
+
+// Churn drives seeded site/link failure-repair renewal processes over long
+// horizons, the fault-arrival side of the soak harness. Every element (site
+// or link) alternates independently between an up phase and a down phase
+// with exponentially distributed holding times — the classic alternating
+// renewal model the paper's availability analysis assumes — discretized
+// onto the harness's integer step clock.
+//
+// The schedule is a pure function of (seed, config): the event sequence is
+// drawn once from a dedicated rng substream per element class, so replaying
+// the same churn against two runtimes (or with the daemon on and off)
+// injects exactly the same topology history.
+
+// ChurnKind identifies one topology event.
+type ChurnKind uint8
+
+// Topology event kinds.
+const (
+	SiteFail ChurnKind = iota
+	SiteRepair
+	LinkFail
+	LinkRepair
+)
+
+// String implements fmt.Stringer.
+func (k ChurnKind) String() string {
+	switch k {
+	case SiteFail:
+		return "site-fail"
+	case SiteRepair:
+		return "site-repair"
+	case LinkFail:
+		return "link-fail"
+	case LinkRepair:
+		return "link-repair"
+	default:
+		return fmt.Sprintf("ChurnKind(%d)", uint8(k))
+	}
+}
+
+// ChurnEvent is one scheduled topology change.
+type ChurnEvent struct {
+	Kind  ChurnKind
+	Index int // site or link index
+}
+
+// ChurnConfig sets the mean holding times of the renewal processes, in
+// harness steps. A zero MTBF disables churn for that element class (MTTR is
+// then ignored); a zero MTTR with a positive MTBF is invalid — a failed
+// element would never repair within the renewal model.
+type ChurnConfig struct {
+	SiteMTBF float64 // mean up duration of a site
+	SiteMTTR float64 // mean down duration of a site
+	LinkMTBF float64 // mean up duration of a link
+	LinkMTTR float64 // mean down duration of a link
+}
+
+// Validate rejects nonsensical configurations.
+func (c ChurnConfig) Validate() error {
+	for _, p := range []struct {
+		name       string
+		mtbf, mttr float64
+	}{
+		{"Site", c.SiteMTBF, c.SiteMTTR},
+		{"Link", c.LinkMTBF, c.LinkMTTR},
+	} {
+		if p.mtbf < 0 || p.mttr < 0 {
+			return fmt.Errorf("faults: %sMTBF/%sMTTR must be non-negative", p.name, p.name)
+		}
+		if p.mtbf > 0 && p.mttr <= 0 {
+			return fmt.Errorf("faults: %sMTBF=%g needs a positive %sMTTR", p.name, p.mtbf, p.name)
+		}
+	}
+	return nil
+}
+
+// Churn is a deterministic alternating renewal schedule over the sites and
+// links of one topology. It is not safe for concurrent use; the soak
+// harness advances it from a single goroutine.
+type Churn struct {
+	cfg ChurnConfig
+
+	siteDown []bool
+	siteNext []float64 // next toggle time; +Inf when churn disabled
+	linkDown []bool
+	linkNext []float64
+
+	src *rng.Source
+}
+
+// never is a sentinel toggle time for disabled element classes.
+const never = 1e300
+
+// NewChurn builds the renewal schedule for a topology with the given number
+// of sites and links. It panics on an invalid config (churn schedules are
+// constructed from trusted test/CLI configuration, like fault plans).
+func NewChurn(seed uint64, sites, links int, cfg ChurnConfig) *Churn {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	c := &Churn{
+		cfg:      cfg,
+		siteDown: make([]bool, sites),
+		siteNext: make([]float64, sites),
+		linkDown: make([]bool, links),
+		linkNext: make([]float64, links),
+		src:      rng.New(seed ^ 0x5eaf00d),
+	}
+	for i := range c.siteNext {
+		c.siteNext[i] = c.firstToggle(cfg.SiteMTBF)
+	}
+	for l := range c.linkNext {
+		c.linkNext[l] = c.firstToggle(cfg.LinkMTBF)
+	}
+	return c
+}
+
+// firstToggle draws the first failure time of an element, or never when the
+// class is disabled.
+func (c *Churn) firstToggle(mtbf float64) float64 {
+	if mtbf <= 0 {
+		return never
+	}
+	return c.src.Exp(mtbf)
+}
+
+// Step returns every event scheduled at or before time t, in deterministic
+// (element-index, occurrence) order, advancing each element's renewal
+// process past t. Call with strictly increasing t.
+func (c *Churn) Step(t float64) []ChurnEvent {
+	var out []ChurnEvent
+	for i := range c.siteNext {
+		for c.siteNext[i] <= t {
+			if c.siteDown[i] {
+				c.siteDown[i] = false
+				out = append(out, ChurnEvent{Kind: SiteRepair, Index: i})
+				c.siteNext[i] += c.src.Exp(c.cfg.SiteMTBF)
+			} else {
+				c.siteDown[i] = true
+				out = append(out, ChurnEvent{Kind: SiteFail, Index: i})
+				c.siteNext[i] += c.src.Exp(c.cfg.SiteMTTR)
+			}
+		}
+	}
+	for l := range c.linkNext {
+		for c.linkNext[l] <= t {
+			if c.linkDown[l] {
+				c.linkDown[l] = false
+				out = append(out, ChurnEvent{Kind: LinkRepair, Index: l})
+				c.linkNext[l] += c.src.Exp(c.cfg.LinkMTBF)
+			} else {
+				c.linkDown[l] = true
+				out = append(out, ChurnEvent{Kind: LinkFail, Index: l})
+				c.linkNext[l] += c.src.Exp(c.cfg.LinkMTTR)
+			}
+		}
+	}
+	return out
+}
+
+// DownCounts reports how many sites and links the schedule currently holds
+// down (for harness diagnostics).
+func (c *Churn) DownCounts() (sites, links int) {
+	for _, d := range c.siteDown {
+		if d {
+			sites++
+		}
+	}
+	for _, d := range c.linkDown {
+		if d {
+			links++
+		}
+	}
+	return sites, links
+}

@@ -1,0 +1,92 @@
+package faults
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestChurnDeterministic(t *testing.T) {
+	cfg := ChurnConfig{SiteMTBF: 50, SiteMTTR: 10, LinkMTBF: 30, LinkMTTR: 20}
+	a := NewChurn(7, 9, 9, cfg)
+	b := NewChurn(7, 9, 9, cfg)
+	for step := 0; step < 2000; step++ {
+		ea := a.Step(float64(step))
+		eb := b.Step(float64(step))
+		if !reflect.DeepEqual(ea, eb) {
+			t.Fatalf("step %d: schedules diverged: %v vs %v", step, ea, eb)
+		}
+	}
+	// A different seed must produce a different schedule.
+	c := NewChurn(8, 9, 9, cfg)
+	same := true
+	for step := 0; step < 2000 && same; step++ {
+		if !reflect.DeepEqual(a.Step(float64(step+2000)), c.Step(float64(step+2000))) {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("seeds 7 and 8 produced identical schedules")
+	}
+}
+
+func TestChurnAlternatesAndBalances(t *testing.T) {
+	// Events must strictly alternate fail/repair per element, and the
+	// long-run down fraction must approach MTTR/(MTBF+MTTR).
+	cfg := ChurnConfig{LinkMTBF: 40, LinkMTTR: 60}
+	c := NewChurn(3, 0, 4, cfg)
+	down := make([]bool, 4)
+	downSteps, totalSteps := 0, 60000
+	for step := 0; step < totalSteps; step++ {
+		for _, e := range c.Step(float64(step)) {
+			switch e.Kind {
+			case LinkFail:
+				if down[e.Index] {
+					t.Fatalf("step %d: link %d failed while down", step, e.Index)
+				}
+				down[e.Index] = true
+			case LinkRepair:
+				if !down[e.Index] {
+					t.Fatalf("step %d: link %d repaired while up", step, e.Index)
+				}
+				down[e.Index] = false
+			default:
+				t.Fatalf("unexpected site event %v with site churn disabled", e)
+			}
+		}
+		for _, d := range down {
+			if d {
+				downSteps++
+			}
+		}
+	}
+	frac := float64(downSteps) / float64(totalSteps*4)
+	want := cfg.LinkMTTR / (cfg.LinkMTBF + cfg.LinkMTTR)
+	if frac < want-0.08 || frac > want+0.08 {
+		t.Fatalf("down fraction %.3f, want about %.3f", frac, want)
+	}
+}
+
+func TestChurnDisabled(t *testing.T) {
+	c := NewChurn(1, 5, 5, ChurnConfig{})
+	for step := 0; step < 1000; step++ {
+		if ev := c.Step(float64(step)); len(ev) != 0 {
+			t.Fatalf("disabled churn produced events %v", ev)
+		}
+	}
+	s, l := c.DownCounts()
+	if s != 0 || l != 0 {
+		t.Fatalf("disabled churn holds %d sites, %d links down", s, l)
+	}
+}
+
+func TestChurnConfigValidate(t *testing.T) {
+	if err := (ChurnConfig{SiteMTBF: 10}).Validate(); err == nil {
+		t.Fatal("MTBF without MTTR accepted")
+	}
+	if err := (ChurnConfig{LinkMTBF: -1, LinkMTTR: 1}).Validate(); err == nil {
+		t.Fatal("negative MTBF accepted")
+	}
+	if err := (ChurnConfig{SiteMTBF: 10, SiteMTTR: 5}).Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -45,6 +45,8 @@ const (
 	StageInstall // exempt from message faults (atomic installation)
 	StageHistRequest
 	StageHistReply
+	StageHeartbeat
+	StageHeartbeatAck
 )
 
 // Mix is a fault mixture: per-message fault probabilities plus the
