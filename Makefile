@@ -1,12 +1,13 @@
 # Verification tiers for quorumkit. `make check` is the gate a change must
-# pass before it lands: vet, build, the full test suite, and the race
-# detector over the concurrent runtime and the simulator.
+# pass before it lands: vet, build, the full test suite, the race detector
+# over the concurrent runtime and the simulator, and the observability
+# coverage gate.
 
 GO ?= go
 
-.PHONY: check vet build test race fuzz chaos soak bench bench-robustness
+.PHONY: check vet build test race cover-obs fuzz chaos soak bench bench-robustness bench-obs
 
-check: vet build test race
+check: vet build test race cover-obs
 
 vet:
 	$(GO) vet ./...
@@ -19,6 +20,15 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# The observability substrate must stay near-fully covered: it is the one
+# layer whose bugs silently corrupt what every harness asserts on.
+cover-obs:
+	$(GO) test -coverprofile=/tmp/obs.cover ./internal/obs/ >/dev/null
+	@$(GO) tool cover -func=/tmp/obs.cover | awk '/^total:/ { \
+		pct = $$3 + 0; \
+		printf "internal/obs coverage: %s (gate: 90%%)\n", $$3; \
+		if (pct < 90) { print "FAIL: internal/obs coverage below 90%"; exit 1 } }'
 
 # Short continuous fuzz of the wire codec (the committed corpus always
 # replays as part of `make test`).
@@ -41,3 +51,8 @@ bench:
 # Regenerate the committed robustness benchmark snapshot.
 bench-robustness:
 	$(GO) run ./cmd/quorumsim -benchjson BENCH_robustness.json -seed 1
+
+# Regenerate the committed observability overhead snapshot (asserts the
+# no-op path stays effectively free).
+bench-obs:
+	$(GO) run ./cmd/quorumsim -benchobs BENCH_obs.json -seed 1

@@ -1,0 +1,123 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"quorumkit/internal/cluster"
+	"quorumkit/internal/obs"
+)
+
+// runBenchObs measures what observation costs on the protocol hot path and
+// writes the results as BENCH_obs.json-style output. Three configurations
+// run the identical quorum-read loop on the identical ring:
+//
+//   - noop: no registry attached — every instrumented call site takes the
+//     nil-guard fast path;
+//   - counting: a counting registry (atomic counters + histograms);
+//   - tracing: a tracing registry (counters plus the ring-buffer tracer).
+//
+// The no-op overhead figure is derived from a direct measurement of the
+// nil-receiver call cost scaled by the number of instrumented calls one
+// read performs (itself read back from the counting registry), expressed
+// as a fraction of the uninstrumented op cost.
+func runBenchObs(path string, seed uint64) int {
+	const (
+		sites = 9
+		ops   = 30_000
+		reps  = 3
+	)
+
+	// best runs one rep-timed loop and returns the best ops/sec over reps,
+	// using the fastest rep to suppress scheduler noise.
+	best := func(f func()) float64 {
+		bestSec := 0.0
+		for r := 0; r < reps; r++ {
+			start := time.Now()
+			f()
+			if s := float64(ops) / time.Since(start).Seconds(); s > bestSec {
+				bestSec = s
+			}
+		}
+		return bestSec
+	}
+
+	readLoop := func(reg *obs.Registry) float64 {
+		rt, closer, err := newSoakRuntime(sites, false)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return -1
+		}
+		defer closer()
+		c := rt.(*cluster.Cluster)
+		c.SetObserver(reg)
+		return best(func() {
+			for i := 0; i < ops; i++ {
+				c.Read(i % sites)
+			}
+		})
+	}
+
+	noopPerSec := readLoop(nil)
+	counting := obs.New()
+	countingPerSec := readLoop(counting)
+	tracingPerSec := readLoop(obs.NewTracing(obs.DefaultTraceCap))
+	if noopPerSec < 0 || countingPerSec < 0 || tracingPerSec < 0 {
+		return 2
+	}
+
+	// Instrumented calls per read, from the counting run's own counters:
+	// one counter bump per message event plus one decision counter, plus
+	// one histogram observation per op.
+	snap := counting.Snapshot()
+	var bumps int64
+	for _, v := range snap.Counters {
+		bumps += v
+	}
+	totalOps := int64(ops * reps)
+	callsPerOp := float64(bumps)/float64(totalOps) + 1
+
+	// Direct cost of one nil-receiver registry call.
+	var nilReg *obs.Registry
+	const nilCalls = 50_000_000
+	start := time.Now()
+	for i := 0; i < nilCalls; i++ {
+		nilReg.Inc(obs.CReadGrant)
+	}
+	nsPerNilCall := float64(time.Since(start).Nanoseconds()) / nilCalls
+
+	nsPerOp := 1e9 / noopPerSec
+	noopOverheadPct := 100 * callsPerOp * nsPerNilCall / nsPerOp
+	countingOverheadPct := 100 * (noopPerSec/countingPerSec - 1)
+	tracingOverheadPct := 100 * (noopPerSec/tracingPerSec - 1)
+
+	out, err := json.MarshalIndent(map[string]any{
+		"suite": "obs",
+		"seed":  seed,
+		"ops":   ops,
+		"results": []benchResult{
+			{Name: "deterministic/read/noop", Ops: ops, OpsPerSec: noopPerSec},
+			{Name: "deterministic/read/counting", Ops: ops, OpsPerSec: countingPerSec},
+			{Name: "deterministic/read/tracing", Ops: ops, OpsPerSec: tracingPerSec},
+			{Name: "nil-registry-call", Ops: nilCalls, OpsPerSec: 1e9 / nsPerNilCall},
+		},
+		"instrumented_calls_per_op": callsPerOp,
+		"noop_overhead_pct":         noopOverheadPct,
+		"counting_overhead_pct":     countingOverheadPct,
+		"tracing_overhead_pct":      tracingOverheadPct,
+	}, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	out = append(out, '\n')
+	if err := os.WriteFile(path, out, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	fmt.Printf("wrote %s (no-op overhead %.3f%%, counting %.1f%%, tracing %.1f%%)\n",
+		path, noopOverheadPct, countingOverheadPct, tracingOverheadPct)
+	return 0
+}

@@ -51,13 +51,36 @@ func newSoakRuntime(sites int, async bool) (cluster.SoakRuntime, func(), error) 
 	return c, func() {}, nil
 }
 
+// churnSoakOnce runs a single deterministic-runtime soak with the daemon
+// on, observed through sink. It is the reproducible slice of what -churn
+// runs, which is what the golden artifact tests pin down.
+func churnSoakOnce(sink *obsSink, seed uint64, ops, sites int, alpha float64) int {
+	rt, closer, err := newSoakRuntime(sites, false)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	defer closer()
+	sink.attach(rt)
+	run := cluster.RunSoak(rt, cluster.SoakConfig{
+		Seed: seed, Steps: ops, Sites: sites, Links: graph.Ring(sites).M(),
+		Alpha: alpha, Churn: soakChurn(),
+		Daemon: true, Health: soakHealth(alpha),
+	})
+	if run.ViolationErr != nil {
+		fmt.Fprintln(os.Stderr, run.ViolationErr)
+		return 1
+	}
+	return 0
+}
+
 // runChurn runs the churn soak for both runtimes over several seeds, daemon
 // on and off on the identical schedule, and prints per-run reports plus the
 // three verdicts the harness asserts: one-copy serializability on every
 // run, post-churn assignment-version convergence with the daemon on, and
 // daemon-on availability at or above daemon-off on every seed (strictly
 // above in aggregate). Exit status is non-zero when any verdict fails.
-func runChurn(seeds, ops, sites int, alpha float64, baseSeed uint64) int {
+func runChurn(seeds, ops, sites int, alpha float64, baseSeed uint64, sink *obsSink) int {
 	links := graph.Ring(sites).M()
 	status := 0
 	for _, rtName := range []string{"deterministic", "async"} {
@@ -72,6 +95,7 @@ func runChurn(seeds, ops, sites int, alpha float64, baseSeed uint64) int {
 					fmt.Fprintln(os.Stderr, err)
 					return 2
 				}
+				sink.attach(rt)
 				runs[i] = cluster.RunSoak(rt, cluster.SoakConfig{
 					Seed: seed, Steps: ops, Sites: sites, Links: links,
 					Alpha: alpha, Churn: soakChurn(),

@@ -15,7 +15,13 @@
 // availability win for the daemon.
 //
 // With -benchjson it times the robustness hot paths and writes
-// BENCH_robustness.json-style output.
+// BENCH_robustness.json-style output; -benchobs measures the observability
+// layer's own overhead and writes BENCH_obs.json-style output.
+//
+// Observability flags compose with every mode: -metrics writes a Prometheus
+// text snapshot of the run's counters, gauges, and histograms; -trace writes
+// the structured protocol event trace as JSONL; -pprof writes stdlib CPU and
+// heap profiles. All three are off by default and cost nothing when off.
 //
 // Usage:
 //
@@ -23,7 +29,9 @@
 //	quorumsim -topology 0 -qr 50 -alpha 0.5 -batch 1000000 -paper
 //	quorumsim -chaos -chaosmix all -ops 5000 -seed 7
 //	quorumsim -churn -seeds 3 -soakops 4000
+//	quorumsim -churn -metrics metrics.prom -trace trace.jsonl -pprof churn
 //	quorumsim -benchjson BENCH_robustness.json
+//	quorumsim -benchobs BENCH_obs.json
 package main
 
 import (
@@ -34,6 +42,7 @@ import (
 	"quorumkit/internal/cluster"
 	"quorumkit/internal/faults"
 	"quorumkit/internal/graph"
+	"quorumkit/internal/obs"
 	"quorumkit/internal/quorum"
 	"quorumkit/internal/sim"
 	"quorumkit/internal/topo"
@@ -65,70 +74,98 @@ func main() {
 		soakSites = flag.Int("sites", 9, "churn soak: ring size")
 		soakAlpha = flag.Float64("soakalpha", 0.9, "churn soak: read fraction")
 		benchJSON = flag.String("benchjson", "", "write robustness micro-benchmark results (ops/sec, grant rate) to this JSON file and exit")
+		benchObs  = flag.String("benchobs", "", "write observability overhead benchmark results to this JSON file and exit")
+
+		metricsOut  = flag.String("metrics", "", "write a Prometheus text metrics snapshot to this file after the run ('-' for stdout)")
+		traceOut    = flag.String("trace", "", "write the structured protocol event trace as JSONL to this file after the run ('-' for stdout)")
+		traceCap    = flag.Int("tracecap", obs.DefaultTraceCap, "trace ring capacity (oldest events overwritten beyond this)")
+		pprofPrefix = flag.String("pprof", "", "write CPU and heap profiles to <prefix>.cpu.pprof and <prefix>.heap.pprof")
 	)
 	flag.Parse()
 
-	if *benchJSON != "" {
-		os.Exit(runBenchJSON(*benchJSON, *seed))
-	}
-	if *churn {
-		os.Exit(runChurn(*soakSeeds, *soakOps, *soakSites, *soakAlpha, *seed))
-	}
-	if *chaos {
-		os.Exit(runChaos(*chaosMix, *ops, *nodes, *seed, *async))
+	sink, err := newObsSink(*metricsOut, *traceOut, *pprofPrefix, *traceCap)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
 	}
 
-	cfg := sim.StudyConfig{
-		Warmup:        *warmup,
-		BatchAccesses: *batch,
-		MinBatches:    *minB,
-		MaxBatches:    *maxB,
-		CIHalfWidth:   *ci,
-		Seed:          *seed,
+	var status int
+	switch {
+	case *benchObs != "":
+		status = runBenchObs(*benchObs, *seed)
+	case *benchJSON != "":
+		status = runBenchJSON(*benchJSON, *seed)
+	case *churn:
+		status = runChurn(*soakSeeds, *soakOps, *soakSites, *soakAlpha, *seed, sink)
+	case *chaos:
+		status = runChaos(*chaosMix, *ops, *nodes, *seed, *async, sink)
+	default:
+		cfg := sim.StudyConfig{
+			Warmup:        *warmup,
+			BatchAccesses: *batch,
+			MinBatches:    *minB,
+			MaxBatches:    *maxB,
+			CIHalfWidth:   *ci,
+			Seed:          *seed,
+		}
+		if *paper {
+			cfg = sim.PaperStudy()
+			cfg.Seed = *seed
+		}
+		cfg.Obs = sink.registry()
+		status = runMeasure(*topology, *qr, *alpha, *sweepAll, cfg)
 	}
-	if *paper {
-		cfg = sim.PaperStudy()
-		cfg.Seed = *seed
+	if err := sink.finish(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		if status == 0 {
+			status = 2
+		}
 	}
+	os.Exit(status)
+}
 
-	g := topo.Paper(*topology)
+// runMeasure runs the direct availability measurement (the default mode):
+// either one assignment or, with sweep, the full family.
+func runMeasure(topology, qr int, alpha float64, sweep bool, cfg sim.StudyConfig) int {
+	g := topo.Paper(topology)
 	T := g.N()
 
-	if *sweepAll {
+	if sweep {
 		fmt.Printf("%s, α=%g: direct measurement of the full assignment family\n",
-			topo.Name(*topology), *alpha)
-		measurements, err := sim.Sweep(g, nil, sim.PaperParams(), *alpha, cfg)
+			topo.Name(topology), alpha)
+		measurements, err := sim.Sweep(g, nil, sim.PaperParams(), alpha, cfg)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Printf("%-6s %-28s %s\n", "q_r", "availability (95% CI)", "batches")
 		for i, m := range measurements {
 			fmt.Printf("%-6d %-28v %d\n", i+1, m.Overall, m.Batches)
 		}
-		return
+		return 0
 	}
 
-	a := quorum.Assignment{QR: *qr, QW: T - *qr + 1}
+	a := quorum.Assignment{QR: qr, QW: T - qr + 1}
 	if err := a.Validate(T); err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		return 2
 	}
 
 	fmt.Printf("%s, %v, α=%g, batches of %d accesses\n",
-		topo.Name(*topology), a, *alpha, cfg.BatchAccesses)
-	meas, err := sim.MeasureAvailability(g, nil, sim.PaperParams(), a, *alpha, cfg)
+		topo.Name(topology), a, alpha, cfg.BatchAccesses)
+	meas, err := sim.MeasureAvailability(g, nil, sim.PaperParams(), a, alpha, cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		return 1
 	}
 	fmt.Printf("availability (ACC): %v over %d batches\n", meas.Overall, meas.Batches)
-	if *alpha > 0 {
+	if alpha > 0 {
 		fmt.Printf("read availability:  %v\n", meas.Read)
 	}
-	if *alpha < 1 {
+	if alpha < 1 {
 		fmt.Printf("write availability: %v\n", meas.Write)
 	}
+	return 0
 }
 
 func joinNames() string {
@@ -147,7 +184,7 @@ func joinNames() string {
 // checker's verdict. Exit status is non-zero when any run violates
 // one-copy serializability (which would be a protocol bug, not a fault
 // effect).
-func runChaos(mixName string, steps, n int, seed uint64, async bool) int {
+func runChaos(mixName string, steps, n int, seed uint64, async bool, sink *obsSink) int {
 	names := []string{mixName}
 	if mixName == "all" {
 		names = faults.Names()
@@ -184,6 +221,7 @@ func runChaos(mixName string, steps, n int, seed uint64, async bool) int {
 			c.EnableChaos(plan, cluster.DefaultRetryPolicy())
 			rt = c
 		}
+		sink.attach(rt)
 
 		run := cluster.RunChaos(rt, plan, seed^0xc4a05, steps, n, g.M())
 		verdict := "1SR OK"

@@ -7,6 +7,7 @@ import (
 
 	"quorumkit/internal/dist"
 	"quorumkit/internal/graph"
+	"quorumkit/internal/obs"
 	"quorumkit/internal/quorum"
 	"quorumkit/internal/stats"
 )
@@ -48,6 +49,12 @@ type Async struct {
 	// started by StartDaemon; Close closes it.
 	daemonStop chan struct{}
 	daemonDone chan struct{}
+
+	// obs, when non-nil, receives counters, histograms, and — at the
+	// serialized decision level only — trace events (see obs.go). The
+	// concurrent runtime emits no per-message events because its delivery
+	// order is scheduler-dependent.
+	obs *obs.Registry
 }
 
 // asyncNode is one site's goroutine-owned state.
@@ -248,6 +255,7 @@ func (a *Async) collect(x int) (votes int, peers []int, eff node, ok bool) {
 	peers = a.peersOf(x)
 
 	replies := make(chan payload, len(peers))
+	a.obs.Add(obs.CMsgSent, int64(len(peers)))
 	for _, p := range peers {
 		a.sent.Add(1)
 		a.nodes[p].inbox <- asyncMsg{body: voteRequest{op: OpRead}, reply: replies}
@@ -259,6 +267,7 @@ func (a *Async) collect(x int) (votes int, peers []int, eff node, ok bool) {
 	self.mu.Unlock()
 	votes = eff.votes
 
+	a.obs.Add(obs.CMsgDelivered, int64(len(peers)))
 	for range peers {
 		r := (<-replies).(voteReply)
 		a.delivered.Add(1)
@@ -279,12 +288,14 @@ func (a *Async) collect(x int) (votes int, peers []int, eff node, ok bool) {
 		assign: eff.assign, votesSeen: votes}
 	targets := append([]int{x}, peers...)
 	ack.Add(len(targets))
+	a.obs.Add(obs.CMsgSent, int64(len(targets)))
 	for _, p := range targets {
 		a.sent.Add(1)
 		a.nodes[p].inbox <- asyncMsg{body: sync1, ack: &ack}
 	}
 	ack.Wait()
 	a.delivered.Add(int64(len(targets)))
+	a.obs.Add(obs.CMsgDelivered, int64(len(targets)))
 	return votes, peers, eff, true
 }
 
@@ -292,10 +303,16 @@ func (a *Async) collect(x int) (votes int, peers []int, eff node, ok bool) {
 func (a *Async) Read(x int) (value int64, stamp int64, granted bool) {
 	a.opMu.Lock()
 	defer a.opMu.Unlock()
-	votes, _, eff, ok := a.collect(x)
-	if !ok || votes < eff.assign.QR {
+	votes, peers, eff, ok := a.collect(x)
+	if !ok {
 		return 0, 0, false
 	}
+	a.obs.Observe(obs.HReadMsgs, int64(2*len(peers)+1))
+	if votes < eff.assign.QR {
+		observeDecision(a.obs, OpRead, x, votes, false, int64(eff.assign.QR))
+		return 0, 0, false
+	}
+	observeDecision(a.obs, OpRead, x, votes, true, eff.stamp)
 	return eff.value, eff.stamp, true
 }
 
@@ -312,7 +329,12 @@ func (a *Async) Write(x int, value int64) bool {
 // layer can record it into histories. Caller holds opMu.
 func (a *Async) writeLocked(x int, value int64) (int64, bool) {
 	votes, peers, eff, ok := a.collect(x)
-	if !ok || votes < eff.assign.QW {
+	if !ok {
+		return 0, false
+	}
+	if votes < eff.assign.QW {
+		a.obs.Observe(obs.HWriteMsgs, int64(2*len(peers)+1))
+		observeDecision(a.obs, OpWrite, x, votes, false, int64(eff.assign.QW))
 		return 0, false
 	}
 	stamp := eff.stamp + 1
@@ -320,12 +342,16 @@ func (a *Async) writeLocked(x int, value int64) (int64, bool) {
 	targets := append([]int{x}, peers...)
 	ack.Add(len(targets))
 	msg := applyWrite{value: value, stamp: stamp}
+	a.obs.Add(obs.CMsgSent, int64(len(targets)))
 	for _, p := range targets {
 		a.sent.Add(1)
 		a.nodes[p].inbox <- asyncMsg{body: msg, ack: &ack}
 	}
 	ack.Wait()
 	a.delivered.Add(int64(len(targets)))
+	a.obs.Add(obs.CMsgDelivered, int64(len(targets)))
+	a.obs.Observe(obs.HWriteMsgs, int64(3*len(peers)+2))
+	observeDecision(a.obs, OpWrite, x, votes, true, stamp)
 	return stamp, true
 }
 
@@ -347,17 +373,22 @@ func (a *Async) reassignLocked(x int, newAssign quorum.Assignment) error {
 		return fmt.Errorf("cluster: reassign: node %d is down", x)
 	}
 	if votes < eff.assign.QW {
+		observeDecision(a.obs, OpReassign, x, votes, false, int64(eff.assign.QW))
 		return fmt.Errorf("cluster: reassign: collected %d votes, need %d", votes, eff.assign.QW)
 	}
 	var ack sync.WaitGroup
 	targets := append([]int{x}, peers...)
 	ack.Add(len(targets))
-	msg := installAssign{assign: newAssign, version: eff.version + 1, value: eff.value, stamp: eff.stamp}
+	version := eff.version + 1
+	msg := installAssign{assign: newAssign, version: version, value: eff.value, stamp: eff.stamp}
+	a.obs.Add(obs.CMsgSent, int64(len(targets)))
 	for _, p := range targets {
 		a.sent.Add(1)
 		a.nodes[p].inbox <- asyncMsg{body: msg, ack: &ack}
 	}
 	ack.Wait()
 	a.delivered.Add(int64(len(targets)))
+	a.obs.Add(obs.CMsgDelivered, int64(len(targets)))
+	observeInstall(a.obs, x, version, newAssign)
 	return nil
 }

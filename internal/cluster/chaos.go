@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"quorumkit/internal/faults"
+	"quorumkit/internal/obs"
 	"quorumkit/internal/quorum"
 	"quorumkit/internal/stats"
 )
@@ -194,6 +195,7 @@ func (c *Cluster) Recover(x int) bool {
 	ch.crashed[x] = false
 	c.st.RepairSite(x)
 	ch.counters.Recoveries++
+	observeRecover(c.obs, x)
 	return true
 }
 
@@ -202,6 +204,7 @@ func (c *Cluster) crash(x int) {
 	c.st.FailSite(x)
 	c.chaos.crashed[x] = true
 	c.chaos.counters.Crashes++
+	observeCrash(c.obs, x)
 }
 
 // stageOf maps a payload to its fault-decision stage.
@@ -239,12 +242,14 @@ func (ch *chaosState) admit(c *Cluster, m message) {
 	if d.Drop {
 		ch.counters.MsgDropped++
 		c.stats.Dropped++
+		c.observeMsg(obs.EvMsgDrop, obs.CMsgDropped, m)
 		return
 	}
 	ch.push(m, d)
 	if d.Duplicate {
 		ch.counters.MsgDuplicated++
 		c.stats.Sent++ // the twin is an extra transmission
+		c.observeMsg(obs.EvMsgSend, obs.CMsgSent, m)
 		ch.push(m, d)
 	}
 }
@@ -326,9 +331,11 @@ func (c *Cluster) drainChaos(coordinator int) {
 		m := ch.pop()
 		if !c.deliverable(m) {
 			c.stats.Dropped++
+			c.observeMsg(obs.EvMsgDrop, obs.CMsgDropped, m)
 			continue
 		}
 		c.stats.Delivered++
+		c.observeMsg(obs.EvMsgRecv, obs.CMsgDelivered, m)
 		if c.wireMode {
 			m.body = roundTrip(m.body)
 		}
@@ -530,6 +537,12 @@ func retryable(err error) bool {
 // ChaosRead performs a fault-hardened read at node x with retries under
 // the configured policy. Requires EnableChaos.
 func (c *Cluster) ChaosRead(x int) Outcome {
+	out := c.chaosReadOp(x)
+	observeOutcome(c.obs, OpRead, x, out)
+	return out
+}
+
+func (c *Cluster) chaosReadOp(x int) Outcome {
 	ch := c.mustChaos()
 	ch.op++
 	var out Outcome
@@ -551,7 +564,7 @@ func (c *Cluster) ChaosRead(x int) Outcome {
 			ch.counters.Aborts++
 			return out
 		}
-		ch.retryBackoff(&out, attempt)
+		c.retryBackoff(x, &out, attempt)
 	}
 }
 
@@ -559,6 +572,12 @@ func (c *Cluster) ChaosRead(x int) Outcome {
 // Failed attempts that left the value on some copies are reported in
 // Outcome.Residue so history checkers can treat them as indeterminate.
 func (c *Cluster) ChaosWrite(x int, value int64) Outcome {
+	out := c.chaosWriteOp(x, value)
+	observeOutcome(c.obs, OpWrite, x, out)
+	return out
+}
+
+func (c *Cluster) chaosWriteOp(x int, value int64) Outcome {
 	ch := c.mustChaos()
 	ch.op++
 	var out Outcome
@@ -583,7 +602,7 @@ func (c *Cluster) ChaosWrite(x int, value int64) Outcome {
 			ch.counters.Aborts++
 			return out
 		}
-		ch.retryBackoff(&out, attempt)
+		c.retryBackoff(x, &out, attempt)
 	}
 }
 
@@ -594,6 +613,15 @@ func (c *Cluster) ChaosWrite(x int, value int64) Outcome {
 // safety argument needs the new assignment at every responder it was
 // granted against.
 func (c *Cluster) ChaosReassign(x int, a quorum.Assignment) Outcome {
+	out := c.chaosReassignOp(x, a)
+	if !out.Granted && c.obs != nil {
+		c.obs.Inc(obs.CReassignDeny)
+		c.obs.Emit(obs.EvQuorumDeny, int32(x), int32(OpReassign), -1, 0)
+	}
+	return out
+}
+
+func (c *Cluster) chaosReassignOp(x int, a quorum.Assignment) Outcome {
 	ch := c.mustChaos()
 	ch.op++
 	var out Outcome
@@ -621,6 +649,7 @@ func (c *Cluster) ChaosReassign(x int, a quorum.Assignment) Outcome {
 			}
 			c.drain(x)
 			out.Granted, out.Err = true, nil
+			observeInstall(c.obs, x, version, a)
 			return out
 		}
 		out.Err = c.classifyShort(len(replies), expected)
@@ -628,16 +657,18 @@ func (c *Cluster) ChaosReassign(x int, a quorum.Assignment) Outcome {
 			ch.counters.Aborts++
 			return out
 		}
-		ch.retryBackoff(&out, attempt)
+		c.retryBackoff(x, &out, attempt)
 	}
 }
 
 // retryBackoff accounts one retry and its deterministic backoff.
-func (ch *chaosState) retryBackoff(out *Outcome, attempt int) {
+func (c *Cluster) retryBackoff(x int, out *Outcome, attempt int) {
+	ch := c.chaos
 	ch.counters.Retries++
 	d := ch.policy.backoff(attempt, ch.plan.Jitter(ch.op, attempt))
 	out.BackoffTicks += d
 	ch.counters.BackoffTicks += d
+	observeRetry(c.obs, x, attempt, d)
 }
 
 // mustChaos asserts that EnableChaos was called.

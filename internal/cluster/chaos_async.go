@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"quorumkit/internal/faults"
+	"quorumkit/internal/obs"
 	"quorumkit/internal/quorum"
 	"quorumkit/internal/stats"
 )
@@ -129,6 +130,7 @@ func (a *Async) Recover(x int) bool {
 		return false
 	}
 	a.RepairSite(x)
+	observeRecover(a.obs, x)
 	return true
 }
 
@@ -139,6 +141,7 @@ func (a *Async) crash(x int) {
 	a.chaos.crashed[x] = true
 	a.chaos.counters.Crashes++
 	a.chaos.mu.Unlock()
+	observeCrash(a.obs, x)
 }
 
 // chaosDeliver sends one message to peer p, after delaySlots ticks of real
@@ -146,6 +149,7 @@ func (a *Async) crash(x int) {
 // that gives up if the runtime shuts down first.
 func (a *Async) chaosDeliver(p int, m asyncMsg, delaySlots int) {
 	a.sent.Add(1)
+	a.obs.Inc(obs.CMsgSent)
 	n := a.nodes[p]
 	if delaySlots <= 0 {
 		select {
@@ -203,6 +207,7 @@ func (a *Async) chaosCollect(x int, op OpKind) (gathered []voteReply, eff node, 
 			// request causes no state change at the peer, so not delivering
 			// it at all is observationally identical.
 			ch.bump(func(c *stats.ChaosCounters) { c.MsgDropped++ })
+			a.obs.Inc(obs.CMsgDropped)
 			replies <- lostMark{}
 			continue
 		}
@@ -232,6 +237,7 @@ func (a *Async) chaosCollect(x int, op OpKind) (gathered []voteReply, eff node, 
 				continue
 			}
 			a.delivered.Add(1)
+			a.obs.Inc(obs.CMsgDelivered)
 			if seen[r.from] {
 				continue // duplicated reply: count each sender once
 			}
@@ -271,6 +277,7 @@ func (a *Async) chaosCollect(x int, op OpKind) (gathered []voteReply, eff node, 
 		d := ch.plan.Message(ch.op, faults.StageSync, x, r.from, ch.attempt)
 		if d.Drop {
 			ch.bump(func(c *stats.ChaosCounters) { c.MsgDropped++ })
+			a.obs.Inc(obs.CMsgDropped)
 			continue
 		}
 		slots := ch.slotsOf(d, faults.Decision{})
@@ -306,6 +313,7 @@ func (a *Async) chaosPushApplies(x int, targets []voteReply, value, stamp int64)
 		dack := ch.plan.Message(ch.op, faults.StageApplyAck, r.from, x, ch.attempt)
 		if dapp.Drop {
 			ch.bump(func(c *stats.ChaosCounters) { c.MsgDropped++ })
+			a.obs.Inc(obs.CMsgDropped)
 			acks <- lostMark{}
 			continue
 		}
@@ -313,6 +321,7 @@ func (a *Async) chaosPushApplies(x int, targets []voteReply, value, stamp int64)
 		if dack.Drop {
 			// The apply lands (the peer's copy changes) but the ack is lost.
 			ch.bump(func(c *stats.ChaosCounters) { c.MsgDropped++ })
+			a.obs.Inc(obs.CMsgDropped)
 			a.chaosDeliver(r.from, asyncMsg{body: applyWrite{value: value, stamp: stamp}}, slots)
 			acks <- lostMark{}
 			continue
@@ -336,6 +345,7 @@ func (a *Async) chaosPushApplies(x int, targets []voteReply, value, stamp int64)
 				continue
 			}
 			a.delivered.Add(1)
+			a.obs.Inc(obs.CMsgDelivered)
 			if seen[ack.from] {
 				continue
 			}
@@ -415,6 +425,7 @@ func (a *Async) chaosWriteOnce(x int, value int64) (stamp int64, residue *Residu
 			dapp := ch.plan.Message(ch.op, faults.StageApply, x, r.from, ch.attempt)
 			if dapp.Drop {
 				ch.bump(func(c *stats.ChaosCounters) { c.MsgDropped++ })
+				a.obs.Inc(obs.CMsgDropped)
 				continue
 			}
 			slots := ch.slotsOf(dapp, faults.Decision{})
@@ -440,7 +451,7 @@ func (a *Async) siteUp(x int) bool {
 
 // chaosBackoff accounts one retry and sleeps its (deterministically
 // jittered) backoff, scaled to real time.
-func (a *Async) chaosBackoff(out *Outcome, attempt int) {
+func (a *Async) chaosBackoff(x int, out *Outcome, attempt int) {
 	ch := a.chaos
 	d := ch.policy.backoff(attempt, ch.plan.Jitter(ch.op, attempt))
 	out.BackoffTicks += d
@@ -448,6 +459,7 @@ func (a *Async) chaosBackoff(out *Outcome, attempt int) {
 		c.Retries++
 		c.BackoffTicks += d
 	})
+	observeRetry(a.obs, x, attempt, d)
 	time.Sleep(time.Duration(d) * asyncChaosTick)
 }
 
@@ -461,6 +473,12 @@ func (a *Async) mustChaos() *asyncChaos {
 
 // ChaosRead performs a fault-hardened read at node x with retries.
 func (a *Async) ChaosRead(x int) Outcome {
+	out := a.chaosReadOp(x)
+	observeOutcome(a.obs, OpRead, x, out)
+	return out
+}
+
+func (a *Async) chaosReadOp(x int) Outcome {
 	ch := a.mustChaos()
 	a.opMu.Lock()
 	defer a.opMu.Unlock()
@@ -484,12 +502,18 @@ func (a *Async) ChaosRead(x int) Outcome {
 			ch.bump(func(c *stats.ChaosCounters) { c.Aborts++ })
 			return out
 		}
-		a.chaosBackoff(&out, attempt)
+		a.chaosBackoff(x, &out, attempt)
 	}
 }
 
 // ChaosWrite performs a fault-hardened write at node x with retries.
 func (a *Async) ChaosWrite(x int, value int64) Outcome {
+	out := a.chaosWriteOp(x, value)
+	observeOutcome(a.obs, OpWrite, x, out)
+	return out
+}
+
+func (a *Async) chaosWriteOp(x int, value int64) Outcome {
 	ch := a.mustChaos()
 	a.opMu.Lock()
 	defer a.opMu.Unlock()
@@ -516,7 +540,7 @@ func (a *Async) ChaosWrite(x int, value int64) Outcome {
 			ch.bump(func(c *stats.ChaosCounters) { c.Aborts++ })
 			return out
 		}
-		a.chaosBackoff(&out, attempt)
+		a.chaosBackoff(x, &out, attempt)
 	}
 }
 
@@ -525,6 +549,15 @@ func (a *Async) ChaosWrite(x int, value int64) Outcome {
 // are modeled atomic (StageInstall exempt) and delivered with
 // acknowledgement.
 func (a *Async) ChaosReassign(x int, newAssign quorum.Assignment) Outcome {
+	out := a.chaosReassignOp(x, newAssign)
+	if !out.Granted && a.obs != nil {
+		a.obs.Inc(obs.CReassignDeny)
+		a.obs.Emit(obs.EvQuorumDeny, int32(x), int32(OpReassign), -1, 0)
+	}
+	return out
+}
+
+func (a *Async) chaosReassignOp(x int, newAssign quorum.Assignment) Outcome {
 	ch := a.mustChaos()
 	var out Outcome
 	if err := newAssign.Validate(a.st.TotalVotes()); err != nil {
@@ -553,6 +586,7 @@ func (a *Async) ChaosReassign(x int, newAssign quorum.Assignment) Outcome {
 				value: eff.value, stamp: eff.stamp}
 			var ack sync.WaitGroup
 			ack.Add(len(gathered))
+			a.obs.Add(obs.CMsgSent, int64(len(gathered)))
 			for _, r := range gathered {
 				a.sent.Add(1)
 				n := a.nodes[r.from]
@@ -564,7 +598,9 @@ func (a *Async) ChaosReassign(x int, newAssign quorum.Assignment) Outcome {
 			}
 			ack.Wait()
 			a.delivered.Add(int64(len(gathered)))
+			a.obs.Add(obs.CMsgDelivered, int64(len(gathered)))
 			out.Granted, out.Err = true, nil
+			observeInstall(a.obs, x, version, newAssign)
 			return out
 		}
 		out.Err = a.chaosClassify(len(gathered), expected)
@@ -572,6 +608,6 @@ func (a *Async) ChaosReassign(x int, newAssign quorum.Assignment) Outcome {
 			ch.bump(func(c *stats.ChaosCounters) { c.Aborts++ })
 			return out
 		}
-		a.chaosBackoff(&out, attempt)
+		a.chaosBackoff(x, &out, attempt)
 	}
 }

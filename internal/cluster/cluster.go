@@ -21,6 +21,7 @@ import (
 	"fmt"
 
 	"quorumkit/internal/graph"
+	"quorumkit/internal/obs"
 	"quorumkit/internal/quorum"
 	"quorumkit/internal/stats"
 )
@@ -177,6 +178,10 @@ type Cluster struct {
 	// health, when non-nil, holds the failure detector, adaptive
 	// reassignment daemon, and degradation gate (see health.go).
 	health *healthState
+
+	// obs, when non-nil, receives counters, histograms, and trace events
+	// (see obs.go); observation is write-only and never affects behaviour.
+	obs *obs.Registry
 }
 
 // New creates a cluster over the network state with the given initial
@@ -204,7 +209,9 @@ func (c *Cluster) NodeStamp(i int) int64 { return c.nodes[i].stamp }
 // send enqueues a message.
 func (c *Cluster) send(from, to int, body payload) {
 	c.stats.Sent++
-	c.queue = append(c.queue, message{from: from, to: to, body: body})
+	m := message{from: from, to: to, body: body}
+	c.observeMsg(obs.EvMsgSend, obs.CMsgSent, m)
+	c.queue = append(c.queue, m)
 }
 
 // broadcast enqueues a message to every other node. Partition filtering
@@ -235,9 +242,11 @@ func (c *Cluster) drain(coordinator int) {
 		c.queue = c.queue[1:]
 		if !c.deliverable(m) {
 			c.stats.Dropped++
+			c.observeMsg(obs.EvMsgDrop, obs.CMsgDropped, m)
 			continue
 		}
 		c.stats.Delivered++
+		c.observeMsg(obs.EvMsgRecv, obs.CMsgDelivered, m)
 		if c.wireMode {
 			m.body = roundTrip(m.body)
 		}
@@ -349,10 +358,14 @@ func (c *Cluster) Read(x int) (value int64, stamp int64, granted bool) {
 	if !c.st.SiteUp(x) {
 		return 0, 0, false
 	}
+	sentBefore := c.stats.Sent
 	votes, _, eff := c.collect(x, OpRead)
+	c.obs.Observe(obs.HReadMsgs, c.stats.Sent-sentBefore)
 	if votes < eff.assign.QR {
+		observeDecision(c.obs, OpRead, x, votes, false, int64(eff.assign.QR))
 		return 0, 0, false
 	}
+	observeDecision(c.obs, OpRead, x, votes, true, eff.stamp)
 	return eff.value, eff.stamp, true
 }
 
@@ -369,8 +382,11 @@ func (c *Cluster) writeOp(x int, value int64) (stamp int64, ok bool) {
 	if !c.st.SiteUp(x) {
 		return 0, false
 	}
+	sentBefore := c.stats.Sent
 	votes, responders, eff := c.collect(x, OpWrite)
 	if votes < eff.assign.QW {
+		c.obs.Observe(obs.HWriteMsgs, c.stats.Sent-sentBefore)
+		observeDecision(c.obs, OpWrite, x, votes, false, int64(eff.assign.QW))
 		return 0, false
 	}
 	stamp = eff.stamp + 1
@@ -380,6 +396,8 @@ func (c *Cluster) writeOp(x int, value int64) (stamp int64, ok bool) {
 		c.send(x, to, applyWrite{value: value, stamp: stamp})
 	}
 	c.drain(x)
+	c.obs.Observe(obs.HWriteMsgs, c.stats.Sent-sentBefore)
+	observeDecision(c.obs, OpWrite, x, votes, true, stamp)
 	return stamp, true
 }
 
@@ -396,6 +414,7 @@ func (c *Cluster) Reassign(x int, a quorum.Assignment) error {
 	}
 	votes, responders, eff := c.collect(x, OpReassign)
 	if votes < eff.assign.QW {
+		observeDecision(c.obs, OpReassign, x, votes, false, int64(eff.assign.QW))
 		return fmt.Errorf("cluster: reassign: collected %d votes, need %d", votes, eff.assign.QW)
 	}
 	version := eff.version + 1
@@ -406,6 +425,7 @@ func (c *Cluster) Reassign(x int, a quorum.Assignment) error {
 		c.send(x, to, inst)
 	}
 	c.drain(x)
+	observeInstall(c.obs, x, version, a)
 	return nil
 }
 

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sync"
 
+	"quorumkit/internal/obs"
 	"quorumkit/internal/quorum"
 	"quorumkit/internal/stats"
 )
@@ -201,6 +202,10 @@ type healthState struct {
 	mu       sync.Mutex
 	views    []*healthView
 	counters stats.HealthCounters
+
+	// obs mirrors the owning runtime's registry (nil when off); detector
+	// edges, mode transitions, and daemon verdicts are reported through it.
+	obs *obs.Registry
 }
 
 func newHealthState(cfg HealthConfig, n int) *healthState {
@@ -300,6 +305,9 @@ func (h *healthState) applyAcks(x int, acks []heartbeatAck, assign quorum.Assign
 				v.suspected[p] = false
 				h.counters.Unsuspicions++
 				changed = true
+				h.obs.Inc(obs.CUnsuspect)
+				h.obs.AddGauge(obs.GSuspectedPeers, -1)
+				h.obs.Emit(obs.EvUnsuspect, int32(x), int32(p), 0, 0)
 			}
 			continue
 		}
@@ -308,6 +316,9 @@ func (h *healthState) applyAcks(x int, acks []heartbeatAck, assign quorum.Assign
 			v.suspected[p] = true
 			h.counters.Suspicions++
 			changed = true
+			h.obs.Inc(obs.CSuspect)
+			h.obs.AddGauge(obs.GSuspectedPeers, 1)
+			h.obs.Emit(obs.EvSuspect, int32(x), int32(p), int64(v.misses[p]), 0)
 		}
 	}
 	if changed {
@@ -330,9 +341,14 @@ func (h *healthState) applyAcks(x int, acks []heartbeatAck, assign quorum.Assign
 	if mode != v.mode {
 		if mode == ModeHealthy {
 			h.counters.Healings++
+			h.obs.Inc(obs.CHeal)
+			h.obs.AddGauge(obs.GDegradedNodes, -1)
 		} else if v.mode == ModeHealthy {
 			h.counters.Degradations++
+			h.obs.Inc(obs.CDegrade)
+			h.obs.AddGauge(obs.GDegradedNodes, 1)
 		}
+		h.obs.Emit(obs.EvModeChange, int32(x), -1, int64(v.mode), int64(mode))
 		v.mode = mode
 	}
 	v.canRead, v.canWrite = canRead, canWrite
@@ -384,6 +400,7 @@ func (h *healthState) daemonStep(r reassignRunner, x int, acks []heartbeatAck, a
 			h.mu.Lock()
 			h.counters.SyncRounds++
 			h.mu.Unlock()
+			h.obs.Inc(obs.CSyncRound)
 			r.runSyncRound(x)
 			rep.Synced = true
 		}
@@ -432,6 +449,7 @@ func (h *healthState) daemonStep(r reassignRunner, x int, acks []heartbeatAck, a
 		h.counters.DaemonErrors++
 	case changed:
 		h.counters.DaemonReassigns++
+		h.obs.Inc(obs.CDaemonReassign)
 	default:
 		h.counters.DaemonNoChanges++
 	}
@@ -442,6 +460,7 @@ func (h *healthState) daemonStep(r reassignRunner, x int, acks []heartbeatAck, a
 		h.mu.Lock()
 		h.counters.SyncRounds++
 		h.mu.Unlock()
+		h.obs.Inc(obs.CSyncRound)
 		r.runSyncRound(x)
 		rep.Synced = true
 	}
@@ -458,6 +477,7 @@ func (h *healthState) gate(x int, write bool) error {
 	if write {
 		if !v.canWrite {
 			h.counters.DegradedWrites++
+			h.obs.Inc(obs.CDegradedReject)
 			if !v.canRead {
 				return ErrUnavailable
 			}
@@ -467,6 +487,7 @@ func (h *healthState) gate(x int, write bool) error {
 	}
 	if !v.canRead {
 		h.counters.DegradedReads++
+		h.obs.Inc(obs.CDegradedReject)
 		return ErrUnavailable
 	}
 	return nil
@@ -494,6 +515,7 @@ func (h *healthState) modeOf(x int) Mode {
 // chaos transport faults them like any other traffic.
 func (c *Cluster) EnableSelfHealing(cfg HealthConfig) {
 	c.health = newHealthState(cfg, len(c.nodes))
+	c.health.obs = c.obs
 }
 
 // HealthCounters returns a snapshot of the self-healing counters.

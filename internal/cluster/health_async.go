@@ -6,6 +6,7 @@ import (
 
 	"quorumkit/internal/core"
 	"quorumkit/internal/faults"
+	"quorumkit/internal/obs"
 	"quorumkit/internal/stats"
 )
 
@@ -22,6 +23,7 @@ import (
 // daemon, and degradation gate to the runtime.
 func (a *Async) EnableSelfHealing(cfg HealthConfig) {
 	a.health = newHealthState(cfg, len(a.nodes))
+	a.health.obs = a.obs
 }
 
 // HealthCounters returns a snapshot of the self-healing counters.
@@ -75,6 +77,7 @@ func (a *Async) heartbeatRound(x int) []heartbeatAck {
 				// mutates no peer state, so not delivering it is
 				// observationally identical.
 				ch.bump(func(c *stats.ChaosCounters) { c.MsgDropped++ })
+				a.obs.Inc(obs.CMsgDropped)
 				replies <- lostMark{}
 				continue
 			}
@@ -87,6 +90,7 @@ func (a *Async) heartbeatRound(x int) []heartbeatAck {
 			continue
 		}
 		a.sent.Add(1)
+		a.obs.Inc(obs.CMsgSent)
 		a.nodes[p].inbox <- asyncMsg{body: probe, reply: replies}
 	}
 
@@ -103,6 +107,7 @@ func (a *Async) heartbeatRound(x int) []heartbeatAck {
 				continue
 			}
 			a.delivered.Add(1)
+			a.obs.Inc(obs.CMsgDelivered)
 			if ack.seq != seq || seen[ack.from] {
 				continue // stale or duplicated ack
 			}
@@ -151,6 +156,7 @@ func (a *Async) gossipEstimates(x int) (*core.Estimator, error) {
 			drep := ch.plan.Message(ch.op, faults.StageHistReply, p, x, ch.attempt)
 			if dreq.Drop || drep.Drop {
 				ch.bump(func(c *stats.ChaosCounters) { c.MsgDropped++ })
+				a.obs.Inc(obs.CMsgDropped)
 				replies <- lostMark{}
 				continue
 			}
@@ -163,6 +169,7 @@ func (a *Async) gossipEstimates(x int) (*core.Estimator, error) {
 			continue
 		}
 		a.sent.Add(1)
+		a.obs.Inc(obs.CMsgSent)
 		a.nodes[p].inbox <- asyncMsg{body: histRequest{}, reply: replies}
 	}
 
@@ -178,6 +185,7 @@ func (a *Async) gossipEstimates(x int) (*core.Estimator, error) {
 				continue
 			}
 			a.delivered.Add(1)
+			a.obs.Inc(obs.CMsgDelivered)
 			if seen[r.from] || r.from == x || r.from < 0 || r.from >= len(a.nodes) {
 				continue // duplicated or forged row: each site contributes once
 			}
@@ -322,6 +330,11 @@ func (a *Async) StartDaemon(interval time.Duration) {
 // error when the degradation gate rejects reads, otherwise run the hardened
 // read when chaos is attached or the baseline read when not.
 func (a *Async) ServeRead(x int) Outcome {
+	if a.obs != nil {
+		defer func(start time.Time) {
+			a.obs.Observe(obs.HOpNanos, time.Since(start).Nanoseconds())
+		}(time.Now())
+	}
 	if !a.siteUpAny(x) {
 		return Outcome{Err: ErrCoordinatorDown}
 	}
@@ -350,6 +363,11 @@ func (a *Async) ServeRead(x int) Outcome {
 // ServeWrite is the serving-layer write at node x, with the same gating as
 // ServeRead.
 func (a *Async) ServeWrite(x int, value int64) Outcome {
+	if a.obs != nil {
+		defer func(start time.Time) {
+			a.obs.Observe(obs.HOpNanos, time.Since(start).Nanoseconds())
+		}(time.Now())
+	}
 	if !a.siteUpAny(x) {
 		return Outcome{Err: ErrCoordinatorDown}
 	}

@@ -80,16 +80,16 @@ func (cfg SoakConfig) normalized() SoakConfig {
 type SoakRun struct {
 	Log *history.Log
 
-	Ops, Granted               int // churn phase
-	Reads, GrantedReads        int
-	Writes, GrantedWrites      int
-	DegradedRejects            int // typed fast-fail denials from the gate
-	SettleOps, SettleGranted   int // post-heal window
-	SiteEvents, LinkEvents     int
-	Health                     stats.HealthCounters
-	FinalVersions              []int64
-	Converged                  bool  // all nodes share one assignment version post-heal
-	ViolationErr               error // Log.Check() result
+	Ops, Granted             int // churn phase
+	Reads, GrantedReads      int
+	Writes, GrantedWrites    int
+	DegradedRejects          int // typed fast-fail denials from the gate
+	SettleOps, SettleGranted int // post-heal window
+	SiteEvents, LinkEvents   int
+	Health                   stats.HealthCounters
+	FinalVersions            []int64
+	Converged                bool  // all nodes share one assignment version post-heal
+	ViolationErr             error // Log.Check() result
 }
 
 // Availability is the churn-phase grant rate.

@@ -17,6 +17,7 @@ import (
 
 	"quorumkit/internal/core"
 	"quorumkit/internal/graph"
+	"quorumkit/internal/obs"
 	"quorumkit/internal/quorum"
 	"quorumkit/internal/rng"
 )
@@ -209,6 +210,10 @@ type Simulator struct {
 	OnAccess func(site, votes int, t float64)
 	// OnChange, if set, is invoked after every failure/repair event.
 	OnChange func(t float64)
+
+	// obs, when non-nil, receives per-event counters and topology trace
+	// events (see AttachObs); observation never affects the event stream.
+	obs *obs.Registry
 }
 
 // New creates a simulator over graph g with the given per-site votes (nil
@@ -299,6 +304,12 @@ func (s *Simulator) AttachTimeWeighted(est *core.Estimator, surv *core.SurvEstim
 	s.genAccessWeighted = true
 	s.last = s.now
 }
+
+// AttachObs directs simulator observability — topology event and access
+// grant/deny counters plus EvTopology trace events — into registry r (nil
+// detaches). Unlike the estimator attachments it draws no randomness and
+// schedules nothing, so attaching it cannot perturb the event stream.
+func (s *Simulator) AttachObs(r *obs.Registry) { s.obs = r }
 
 // SetProtocol attaches a protocol and read fraction α for direct grant/deny
 // measurement. Enables access event generation.
@@ -399,6 +410,24 @@ func (s *Simulator) accumulate(until float64) {
 	s.last = until
 }
 
+// observeTopology records one topology event into the attached registry:
+// its per-kind counter (skipped for shocks, whose site counts are added by
+// the caller — ctr 0 is the skip sentinel) and, when tracing, an EvTopology
+// event carrying the raw event kind and the up/down direction.
+func (s *Simulator) observeTopology(ctr obs.CounterID, e event, up bool) {
+	if s.obs == nil {
+		return
+	}
+	if ctr != 0 {
+		s.obs.Inc(ctr)
+	}
+	b := int64(0)
+	if up {
+		b = 1
+	}
+	s.obs.Emit(obs.EvTopology, -1, int32(e.idx), int64(e.kind), b)
+}
+
 // step processes the next event. It returns the event kind.
 func (s *Simulator) step() eventKind {
 	e := s.heap.pop()
@@ -413,6 +442,7 @@ func (s *Simulator) step() eventKind {
 		}
 		s.st.FailSite(e.idx)
 		s.heap.push(s.now+s.src.Exp(s.params.RepairMean), evSiteRepair, e.idx)
+		s.observeTopology(obs.CSimSiteFail, e, false)
 		if s.OnChange != nil {
 			s.OnChange(s.now)
 		}
@@ -424,6 +454,7 @@ func (s *Simulator) step() eventKind {
 			s.st.RepairSite(e.idx)
 		}
 		s.heap.push(s.now+s.drawUpTime(), evSiteFail, e.idx)
+		s.observeTopology(obs.CSimSiteRepair, e, true)
 		if s.OnChange != nil {
 			s.OnChange(s.now)
 		}
@@ -442,6 +473,8 @@ func (s *Simulator) step() eventKind {
 		s.shocks[s.nextShock] = sites
 		s.heap.push(s.now+s.src.Exp(shock.Duration), evShockEnd, s.nextShock)
 		s.heap.push(s.now+s.src.Exp(shock.Mean), evShockBegin, 0)
+		s.obs.Add(obs.CSimSiteFail, int64(len(sites)))
+		s.observeTopology(0, e, false)
 		if s.OnChange != nil {
 			s.OnChange(s.now)
 		}
@@ -454,18 +487,22 @@ func (s *Simulator) step() eventKind {
 				s.st.RepairSite(i)
 			}
 		}
+		s.obs.Add(obs.CSimSiteRepair, int64(len(sites)))
+		s.observeTopology(0, e, true)
 		if s.OnChange != nil {
 			s.OnChange(s.now)
 		}
 	case evLinkFail:
 		s.st.FailLink(e.idx)
 		s.heap.push(s.now+s.src.Exp(s.params.RepairMean), evLinkRepair, e.idx)
+		s.observeTopology(obs.CSimLinkFail, e, false)
 		if s.OnChange != nil {
 			s.OnChange(s.now)
 		}
 	case evLinkRepair:
 		s.st.RepairLink(e.idx)
 		s.heap.push(s.now+s.drawUpTime(), evLinkFail, e.idx)
+		s.observeTopology(obs.CSimLinkRepair, e, true)
 		if s.OnChange != nil {
 			s.OnChange(s.now)
 		}
@@ -479,14 +516,18 @@ func (s *Simulator) step() eventKind {
 			if s.src.Bernoulli(s.alpha) {
 				if s.protocol.GrantRead(votes) {
 					s.counters.ReadsGranted++
+					s.obs.Inc(obs.CSimAccessGrant)
 				} else {
 					s.counters.ReadsDenied++
+					s.obs.Inc(obs.CSimAccessDeny)
 				}
 			} else {
 				if s.protocol.GrantWrite(votes) {
 					s.counters.WritesGranted++
+					s.obs.Inc(obs.CSimAccessGrant)
 				} else {
 					s.counters.WritesDenied++
+					s.obs.Inc(obs.CSimAccessDeny)
 				}
 			}
 		}

@@ -5,6 +5,7 @@ import (
 
 	"quorumkit/internal/core"
 	"quorumkit/internal/graph"
+	"quorumkit/internal/obs"
 	"quorumkit/internal/quorum"
 	"quorumkit/internal/stats"
 )
@@ -20,6 +21,11 @@ type StudyConfig struct {
 	MaxBatches    int     // upper bound on batches (paper: 18)
 	CIHalfWidth   float64 // stop when the 95% CI half-width is ≤ this
 	Seed          uint64  // base seed; batch b uses Seed+b
+
+	// Obs, when non-nil, receives topology and access events from every
+	// batch simulator. Attaching it never perturbs the simulation: the
+	// registry draws no randomness and schedules nothing.
+	Obs *obs.Registry
 }
 
 // PaperStudy returns the paper's full-size study configuration: 100,000
@@ -75,6 +81,9 @@ func MeasureAvailability(g *graph.Graph, votes []int, p Params, a quorum.Assignm
 		// each batch; a fresh Simulator with a per-batch seed does exactly
 		// that.
 		s := New(g, votes, p, cfg.Seed+uint64(b))
+		if cfg.Obs != nil {
+			s.AttachObs(cfg.Obs)
+		}
 		s.SetProtocol(StaticProtocol{Assignment: a}, alpha)
 		s.RunAccesses(cfg.Warmup)
 		s.ResetCounters()

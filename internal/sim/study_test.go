@@ -1,0 +1,167 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"quorumkit/internal/graph"
+	"quorumkit/internal/obs"
+	"quorumkit/internal/quorum"
+)
+
+// smallStudy is a fixed-size configuration used by the determinism and
+// metamorphic tests: small enough to run in milliseconds, large enough to
+// exercise warmup, batching, and both access channels.
+func smallStudy() (g *graph.Graph, p Params, a quorum.Assignment, alpha float64, cfg StudyConfig) {
+	g = graph.Complete(5)
+	p = Params{AccessMean: 1, FailMean: 8, RepairMean: 2}
+	a = quorum.Assignment{QR: 2, QW: 4}
+	alpha = 0.5
+	cfg = StudyConfig{
+		Warmup: 500, BatchAccesses: 5000,
+		MinBatches: 3, MaxBatches: 3, CIHalfWidth: 0.001, Seed: 9,
+	}
+	return
+}
+
+// TestStudyDeterminism: the same configuration must reproduce the identical
+// Measurement, bit for bit, across invocations.
+func TestStudyDeterminism(t *testing.T) {
+	g, p, a, alpha, cfg := smallStudy()
+	run := func() Measurement {
+		m, err := MeasureAvailability(g, nil, p, a, alpha, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	if m1, m2 := run(), run(); !reflect.DeepEqual(m1, m2) {
+		t.Fatalf("same config diverged:\n%+v\n%+v", m1, m2)
+	}
+}
+
+// TestStudyMetamorphicObs: attaching a registry to the study must not
+// change the measurement, and the registry's access counters must account
+// for exactly the accesses the study ran (warmup included).
+func TestStudyMetamorphicObs(t *testing.T) {
+	g, p, a, alpha, cfg := smallStudy()
+	bare, err := MeasureAvailability(g, nil, p, a, alpha, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	reg := obs.NewTracing(obs.DefaultTraceCap)
+	cfg.Obs = reg
+	instrumented, err := MeasureAvailability(g, nil, p, a, alpha, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(bare, instrumented) {
+		t.Fatalf("observation perturbed the study:\nbare:         %+v\ninstrumented: %+v",
+			bare, instrumented)
+	}
+
+	s := reg.Snapshot()
+	decided := s.Counter(obs.CSimAccessGrant) + s.Counter(obs.CSimAccessDeny)
+	want := int64(instrumented.Batches) * (cfg.Warmup + cfg.BatchAccesses)
+	if decided != want {
+		t.Fatalf("registry saw %d access decisions, study ran %d", decided, want)
+	}
+	// Topology churn must have produced matching fail/repair counters and
+	// trace events.
+	fails := s.Counter(obs.CSimSiteFail)
+	if fails == 0 {
+		t.Fatalf("no site failures observed despite FailMean=%g", p.FailMean)
+	}
+	topoEvents := len(reg.Trace().Filter(obs.EvTopology))
+	if topoEvents == 0 {
+		t.Fatalf("no topology trace events recorded")
+	}
+}
+
+// TestStudyObsRunDeterminism: two instrumented runs of the same seed must
+// produce byte-identical registry snapshots (the trace may wrap, but totals
+// and counters line up exactly).
+func TestStudyObsRunDeterminism(t *testing.T) {
+	g, p, a, alpha, cfg := smallStudy()
+	run := func() obs.Snapshot {
+		reg := obs.New()
+		cfg.Obs = reg
+		if _, err := MeasureAvailability(g, nil, p, a, alpha, cfg); err != nil {
+			t.Fatal(err)
+		}
+		return reg.Snapshot()
+	}
+	if s1, s2 := run(), run(); s1 != s2 {
+		t.Fatalf("same-seed instrumented studies produced different snapshots")
+	}
+}
+
+// TestSimulatorAttachObsAgreesWithCounters: the registry's view of one
+// simulator run must agree exactly with the simulator's own counters, and
+// attaching must not disturb the run (AttachObs draws no randomness).
+func TestSimulatorAttachObsAgreesWithCounters(t *testing.T) {
+	g := graph.Ring(7)
+	p := Params{AccessMean: 1, FailMean: 6, RepairMean: 2}
+	a := quorum.Assignment{QR: 3, QW: 5}
+
+	run := func(reg *obs.Registry) Counters {
+		s := New(g, nil, p, 77)
+		if reg != nil {
+			s.AttachObs(reg)
+		}
+		s.SetProtocol(StaticProtocol{Assignment: a}, 0.6)
+		s.RunAccesses(8000)
+		return s.Counters()
+	}
+
+	bare := run(nil)
+	reg := obs.New()
+	instrumented := run(reg)
+	if bare != instrumented {
+		t.Fatalf("AttachObs changed the run: %+v vs %+v", bare, instrumented)
+	}
+
+	grants := instrumented.ReadsGranted + instrumented.WritesGranted
+	denies := instrumented.ReadsDenied + instrumented.WritesDenied
+	if got := reg.Counter(obs.CSimAccessGrant); got != grants {
+		t.Fatalf("registry grants %d, simulator %d", got, grants)
+	}
+	if got := reg.Counter(obs.CSimAccessDeny); got != denies {
+		t.Fatalf("registry denies %d, simulator %d", got, denies)
+	}
+	// Every failure eventually repairs in a long enough run; the counters
+	// can differ only by in-flight breakage at the horizon.
+	sf, sr := reg.Counter(obs.CSimSiteFail), reg.Counter(obs.CSimSiteRepair)
+	if sf < sr || sf-sr > int64(g.N()) {
+		t.Fatalf("site fail/repair counters inconsistent: %d vs %d", sf, sr)
+	}
+	lf, lr := reg.Counter(obs.CSimLinkFail), reg.Counter(obs.CSimLinkRepair)
+	if lf < lr || lf-lr > int64(g.M()) {
+		t.Fatalf("link fail/repair counters inconsistent: %d vs %d", lf, lr)
+	}
+}
+
+// TestStudyGolden pins the exact measured values of the fixed small study.
+// The simulator is fully deterministic (custom RNG, no map iteration, no
+// wall clock), so these are stable across platforms; a change here means
+// the simulation semantics changed, which must be deliberate.
+func TestStudyGolden(t *testing.T) {
+	g, p, a, alpha, cfg := smallStudy()
+	m, err := MeasureAvailability(g, nil, p, a, alpha, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Batches != 3 {
+		t.Fatalf("batches = %d, want 3", m.Batches)
+	}
+	const (
+		wantOverall = 0.71453333333333335
+		wantRead    = 0.78297423678912592
+		wantWrite   = 0.6450401254996464
+	)
+	if m.Overall.Mean != wantOverall || m.Read.Mean != wantRead || m.Write.Mean != wantWrite {
+		t.Fatalf("golden drift:\noverall %.17g want %.17g\nread    %.17g want %.17g\nwrite   %.17g want %.17g",
+			m.Overall.Mean, wantOverall, m.Read.Mean, wantRead, m.Write.Mean, wantWrite)
+	}
+}
