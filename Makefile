@@ -5,9 +5,9 @@
 
 GO ?= go
 
-.PHONY: check vet build test race cover-obs fuzz chaos soak bench bench-robustness bench-obs
+.PHONY: check vet build test race cover-obs cover-store fuzz chaos diskchaos soak bench bench-robustness bench-obs bench-store
 
-check: vet build test race cover-obs
+check: vet build test race cover-obs cover-store
 
 vet:
 	$(GO) vet ./...
@@ -30,15 +30,35 @@ cover-obs:
 		printf "internal/obs coverage: %s (gate: 90%%)\n", $$3; \
 		if (pct < 90) { print "FAIL: internal/obs coverage below 90%"; exit 1 } }'
 
+# The storage engine is the crash-safety bedrock: recovery correctness is
+# exactly what the chaos harnesses assume, so it stays near-fully covered.
+cover-store:
+	$(GO) test -coverprofile=/tmp/store.cover ./internal/store/ >/dev/null
+	@$(GO) tool cover -func=/tmp/store.cover | awk '/^total:/ { \
+		pct = $$3 + 0; \
+		printf "internal/store coverage: %s (gate: 90%%)\n", $$3; \
+		if (pct < 90) { print "FAIL: internal/store coverage below 90%"; exit 1 } }'
+
 # Short continuous fuzz of the wire codec (the committed corpus always
 # replays as part of `make test`).
 fuzz:
 	$(GO) test ./internal/cluster/ -run FuzzUnmarshalPayload -fuzz FuzzUnmarshalPayload -fuzztime 30s
 
+# Short continuous fuzz of the store record decoder against arbitrary log
+# damage (the committed corpus replays in `make test`).
+fuzz-store:
+	$(GO) test ./internal/store/ -run FuzzFoldLog -fuzz FuzzFoldLog -fuzztime 30s
+
 # Seeded fault-injection sweep over every mix on both runtimes.
 chaos:
 	$(GO) run ./cmd/quorumsim -chaos -chaosmix all -ops 5000 -seed 1
 	$(GO) run ./cmd/quorumsim -chaos -chaosmix all -ops 5000 -seed 1 -async
+
+# Disk-fault sweep: crash-bearing message mix with every disk damage mix
+# layered under it, on both runtimes.
+diskchaos:
+	$(GO) run ./cmd/quorumsim -diskchaos -diskmix all -ops 3000 -seed 1
+	$(GO) run ./cmd/quorumsim -diskchaos -diskmix all -ops 3000 -seed 1 -async
 
 # Churn soak: self-healing daemon on vs off on identical schedules, both
 # runtimes, asserting 1SR + convergence + the availability win.
@@ -56,3 +76,9 @@ bench-robustness:
 # no-op path stays effectively free).
 bench-obs:
 	$(GO) run ./cmd/quorumsim -benchobs BENCH_obs.json -seed 1
+
+# Regenerate the committed storage-engine overhead snapshot (asserts one
+# log append stays under 5% of a seed write op; whole-path overhead is
+# reported for context).
+bench-store:
+	$(GO) run ./cmd/quorumsim -benchstore BENCH_store.json -seed 1

@@ -8,6 +8,12 @@
 // crashes) and reports the fault counters together with the history
 // checker's one-copy-serializability verdict.
 //
+// With -diskchaos it layers disk-fault injection under the crash-bearing
+// message mix: crashed coordinators recover by replaying a damaged durable
+// log — torn tails truncated and repaired, corrupt or wiped media forcing
+// an amnesiac rejoin by state transfer — and the run reports recoveries,
+// amnesias, rejoins, and the 1SR verdict.
+//
 // With -churn it runs the self-healing soak: a ring under seeded site/link
 // churn, serving a read-heavy workload with the adaptive reassignment
 // daemon on versus off on the identical schedule, asserting one-copy
@@ -16,7 +22,9 @@
 //
 // With -benchjson it times the robustness hot paths and writes
 // BENCH_robustness.json-style output; -benchobs measures the observability
-// layer's own overhead and writes BENCH_obs.json-style output.
+// layer's own overhead and writes BENCH_obs.json-style output; -benchstore
+// measures the durable storage engine's overhead on the write path against
+// its 5% budget and writes BENCH_store.json-style output.
 //
 // Observability flags compose with every mode: -metrics writes a Prometheus
 // text snapshot of the run's counters, gauges, and histograms; -trace writes
@@ -28,6 +36,7 @@
 //	quorumsim -topology 2 -qr 28 -alpha 0.75
 //	quorumsim -topology 0 -qr 50 -alpha 0.5 -batch 1000000 -paper
 //	quorumsim -chaos -chaosmix all -ops 5000 -seed 7
+//	quorumsim -diskchaos -diskmix disk-all -ops 2000 -seed 7
 //	quorumsim -churn -seeds 3 -soakops 4000
 //	quorumsim -churn -metrics metrics.prom -trace trace.jsonl -pprof churn
 //	quorumsim -benchjson BENCH_robustness.json
@@ -68,13 +77,17 @@ func main() {
 		nodes    = flag.Int("nodes", 7, "sites in the chaos cluster (complete graph)")
 		async    = flag.Bool("async", false, "use the concurrent runtime for the chaos run")
 
-		churn     = flag.Bool("churn", false, "run the churn soak: self-healing daemon on vs off under site/link churn")
-		soakSeeds = flag.Int("seeds", 3, "churn soak: seeds per configuration")
-		soakOps   = flag.Int("soakops", 4000, "churn soak: churn-phase operations per run")
-		soakSites = flag.Int("sites", 9, "churn soak: ring size")
-		soakAlpha = flag.Float64("soakalpha", 0.9, "churn soak: read fraction")
-		benchJSON = flag.String("benchjson", "", "write robustness micro-benchmark results (ops/sec, grant rate) to this JSON file and exit")
-		benchObs  = flag.String("benchobs", "", "write observability overhead benchmark results to this JSON file and exit")
+		diskChaos = flag.Bool("diskchaos", false, "run the chaos harness with disk-fault injection under the crash mix")
+		diskMix   = flag.String("diskmix", "all", "disk fault mix name, or 'all' (one of: "+joinDiskNames()+")")
+
+		churn      = flag.Bool("churn", false, "run the churn soak: self-healing daemon on vs off under site/link churn")
+		soakSeeds  = flag.Int("seeds", 3, "churn soak: seeds per configuration")
+		soakOps    = flag.Int("soakops", 4000, "churn soak: churn-phase operations per run")
+		soakSites  = flag.Int("sites", 9, "churn soak: ring size")
+		soakAlpha  = flag.Float64("soakalpha", 0.9, "churn soak: read fraction")
+		benchJSON  = flag.String("benchjson", "", "write robustness micro-benchmark results (ops/sec, grant rate) to this JSON file and exit")
+		benchObs   = flag.String("benchobs", "", "write observability overhead benchmark results to this JSON file and exit")
+		benchStore = flag.String("benchstore", "", "write storage-engine overhead benchmark results to this JSON file and exit")
 
 		metricsOut  = flag.String("metrics", "", "write a Prometheus text metrics snapshot to this file after the run ('-' for stdout)")
 		traceOut    = flag.String("trace", "", "write the structured protocol event trace as JSONL to this file after the run ('-' for stdout)")
@@ -91,12 +104,16 @@ func main() {
 
 	var status int
 	switch {
+	case *benchStore != "":
+		status = runBenchStore(*benchStore, *seed)
 	case *benchObs != "":
 		status = runBenchObs(*benchObs, *seed)
 	case *benchJSON != "":
 		status = runBenchJSON(*benchJSON, *seed)
 	case *churn:
 		status = runChurn(*soakSeeds, *soakOps, *soakSites, *soakAlpha, *seed, sink)
+	case *diskChaos:
+		status = runDiskChaos(*diskMix, *ops, *nodes, *seed, *async, sink)
 	case *chaos:
 		status = runChaos(*chaosMix, *ops, *nodes, *seed, *async, sink)
 	default:
@@ -171,6 +188,17 @@ func runMeasure(topology, qr int, alpha float64, sweep bool, cfg sim.StudyConfig
 func joinNames() string {
 	out := ""
 	for i, n := range faults.Names() {
+		if i > 0 {
+			out += " "
+		}
+		out += n
+	}
+	return out
+}
+
+func joinDiskNames() string {
+	out := ""
+	for i, n := range faults.DiskNames() {
 		if i > 0 {
 			out += " "
 		}

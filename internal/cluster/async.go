@@ -10,6 +10,7 @@ import (
 	"quorumkit/internal/obs"
 	"quorumkit/internal/quorum"
 	"quorumkit/internal/stats"
+	"quorumkit/internal/store"
 )
 
 // Async is a concurrent implementation of the same protocol as Cluster:
@@ -37,6 +38,11 @@ type Async struct {
 	sent      atomic.Int64
 	delivered atomic.Int64
 
+	// disks/stores are the per-node durable engines (see durable.go);
+	// nil after DisablePersistence. Set once at construction.
+	disks  []*store.MemDisk
+	stores []*store.NodeStore
+
 	// chaos, when non-nil, interposes the fault plan on every fan-out and
 	// enables the hardened ChaosRead/ChaosWrite/ChaosReassign operations
 	// (see chaos_async.go).
@@ -62,7 +68,9 @@ type asyncNode struct {
 	id       int
 	mu       sync.Mutex
 	state    node
-	histBins int // T+1, for lazy histogram allocation
+	histBins int              // T+1, for lazy histogram allocation
+	store    *store.NodeStore // durable state; nil when persistence is off
+	amnesiac bool             // durable state lost; must rejoin by state sync
 	inbox    chan asyncMsg
 	quit     chan struct{}
 	wg       *sync.WaitGroup
@@ -94,6 +102,7 @@ func NewAsync(st *graph.State, initial quorum.Assignment) (*Async, error) {
 		a.wg.Add(1)
 		go n.run()
 	}
+	a.initStores()
 	return a, nil
 }
 
@@ -130,6 +139,19 @@ func (n *asyncNode) handle(m asyncMsg) {
 	defer n.mu.Unlock()
 	switch b := m.body.(type) {
 	case voteRequest:
+		if n.amnesiac {
+			// An amnesiac copy must not vote — its reply could cover a
+			// committed write through the copy that forgot it.
+			if m.reply != nil {
+				m.reply <- lostMark{from: n.id}
+			}
+			break
+		}
+		// The sync barrier belongs to handling the request, not to the reply
+		// sink: when the fault plan drops only the reply, the request still
+		// lands (m.reply == nil) and must leave the same durable bytes as in
+		// the deterministic runtime.
+		n.syncStore() // durable before the vote is externalized
 		if m.reply != nil {
 			m.reply <- voteReply{
 				from: n.id, votes: n.state.votes,
@@ -138,34 +160,63 @@ func (n *asyncNode) handle(m asyncMsg) {
 			}
 		}
 	case syncState:
-		n.state.adopt(b.assign, b.version, b.stamp, b.value)
+		if n.state.adopt(b.assign, b.version, b.stamp, b.value) {
+			n.persistState()
+		}
 		if b.votesSeen > 0 && b.votesSeen < n.histBins {
 			if n.state.hist == nil {
 				n.state.hist = stats.NewHistogram(n.histBins)
 			}
 			n.state.hist.Add(b.votesSeen, 1)
+			n.persistObs(b.votesSeen)
 		}
 	case applyWrite:
 		if b.stamp > n.state.stamp {
 			n.state.stamp, n.state.value = b.stamp, b.value
+			n.persistState()
 		}
-		if b.wantAck && m.reply != nil {
-			m.reply <- applyAck{from: n.id, stamp: n.state.stamp}
+		if b.wantAck {
+			if n.amnesiac {
+				// An amnesiac ack must not count toward a write quorum.
+				if m.reply != nil {
+					m.reply <- lostMark{from: n.id}
+				}
+				break
+			}
+			n.syncStore() // durable before the apply is acknowledged
+			if m.reply != nil {
+				m.reply <- applyAck{from: n.id, stamp: n.state.stamp}
+			}
 		}
 	case installAssign:
-		n.state.adopt(b.assign, b.version, b.stamp, b.value)
+		if n.state.adopt(b.assign, b.version, b.stamp, b.value) {
+			n.persistState()
+		}
 	case histRequest:
 		if m.reply != nil {
-			var weights []float64
-			if h := n.state.hist; h != nil {
-				weights = make([]float64, n.histBins)
-				for v := range weights {
-					weights[v] = h.Weight(v)
+			if n.amnesiac {
+				// No trustworthy observations to gossip.
+				m.reply <- lostMark{from: n.id}
+			} else {
+				var weights []float64
+				if h := n.state.hist; h != nil {
+					weights = make([]float64, n.histBins)
+					for v := range weights {
+						weights[v] = h.Weight(v)
+					}
 				}
+				m.reply <- histReply{from: n.id, weights: weights}
 			}
-			m.reply <- histReply{from: n.id, weights: weights}
 		}
 	case heartbeat:
+		if n.amnesiac {
+			// Silent until readmitted; peers accrue a miss.
+			if m.reply != nil {
+				m.reply <- lostMark{from: n.id}
+			}
+			break
+		}
+		n.syncStore() // durable before the version is externalized
 		if m.reply != nil {
 			m.reply <- heartbeatAck{
 				from: n.id, seq: b.seq,
@@ -269,8 +320,12 @@ func (a *Async) collect(x int) (votes int, peers []int, eff node, ok bool) {
 
 	a.obs.Add(obs.CMsgDelivered, int64(len(peers)))
 	for range peers {
-		r := (<-replies).(voteReply)
+		pl := <-replies
 		a.delivered.Add(1)
+		r, isReply := pl.(voteReply)
+		if !isReply { // lostMark: an amnesiac peer abstaining
+			continue
+		}
 		votes += r.votes
 		if r.version > eff.version {
 			eff.version, eff.assign = r.version, r.assign

@@ -1,0 +1,110 @@
+package cluster
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+
+	"quorumkit/internal/faults"
+	"quorumkit/internal/graph"
+	"quorumkit/internal/quorum"
+	"quorumkit/internal/rng"
+)
+
+// The two runtimes must leave bit-identical durable media when driven by
+// the same schedule and fault plans — a far stronger claim than outcome
+// equality, and the invariant the disk fault injector depends on (bitflip
+// offsets are pure functions of durable content, so any byte divergence
+// desynchronizes all subsequent damage). This lockstep test replays the
+// cross-runtime chaos schedule one step at a time and diffs every node's
+// disk after each step.
+func TestCrossRuntimeByteParity(t *testing.T) {
+	const n, steps = 5, 400
+	mix, _ := faults.Named("crash")
+	for _, dname := range []string{"disk-torn", "disk-all"} {
+		t.Run(dname, func(t *testing.T) {
+			dmix, err := faults.NamedDisk(dname)
+			if err != nil {
+				t.Fatalf("unknown disk mix %q: %v", dname, err)
+			}
+			plan := faults.NewPlan(4242, mix)
+
+			g := graph.Complete(n)
+			c, _ := New(graph.NewState(g, nil), quorum.Majority(n))
+			c.EnableChaos(plan, DefaultRetryPolicy())
+			c.EnableDiskChaos(faults.NewDiskPlan(99, dmix))
+
+			a, _ := NewAsync(graph.NewState(g, nil), quorum.Majority(n))
+			defer a.Close()
+			a.EnableChaos(plan, DefaultRetryPolicy())
+			a.EnableDiskChaos(faults.NewDiskPlan(99, dmix))
+
+			src := rng.New(13)
+			for step := 0; step < steps; step++ {
+				for _, node := range c.Crashed() {
+					if plan.RecoverNow(uint64(step), node) {
+						c.Recover(node)
+					}
+				}
+				for _, node := range a.Crashed() {
+					if plan.RecoverNow(uint64(step), node) {
+						a.Recover(node)
+					}
+				}
+				action := src.Intn(100)
+				site := src.Intn(n)
+				extra := src.Intn(1 << 30)
+				switch {
+				case action < 50:
+					c.ChaosRead(site)
+					a.ChaosRead(site)
+				case action < 85:
+					c.ChaosWrite(site, int64(step)+1)
+					a.ChaosWrite(site, int64(step)+1)
+				case action < 90:
+					qr := 1 + extra%((n+1)/2)
+					as := quorum.Assignment{QR: qr, QW: n + 1 - qr}
+					c.ChaosReassign(site, as)
+					a.ChaosReassign(site, as)
+				default:
+					l := extra % g.M()
+					if extra>>16&1 == 0 {
+						c.FailLink(l)
+						a.FailLink(l)
+					} else {
+						c.RepairLink(l)
+						a.RepairLink(l)
+					}
+				}
+				// Quiesce the async inboxes: FIFO order means an acked
+				// no-op flushes all prior fire-and-forget gossip before
+				// the disks are dumped.
+				var wg sync.WaitGroup
+				for i := 0; i < n; i++ {
+					wg.Add(1)
+					select {
+					case a.nodes[i].inbox <- asyncMsg{ack: &wg}:
+					case <-a.nodes[i].quit:
+						wg.Done()
+					}
+				}
+				wg.Wait()
+				for i := 0; i < n; i++ {
+					dc := c.disks[i].Dump()
+					da := a.disks[i].Dump()
+					if !reflect.DeepEqual(dc, da) {
+						for name, fc := range dc {
+							if fa := da[name]; !reflect.DeepEqual(fc, fa) {
+								t.Logf("file %q: det synced=%d unsynced=%d, async synced=%d unsynced=%d",
+									name, len(fc.Synced), len(fc.Unsynced), len(fa.Synced), len(fa.Unsynced))
+							}
+						}
+						t.Fatalf("step %d: node %d durable bytes diverged; det crashed=%v async crashed=%v",
+							step, i, fmt.Sprint(c.Crashed()), fmt.Sprint(a.Crashed()))
+					}
+				}
+			}
+		})
+	}
+}

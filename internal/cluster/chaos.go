@@ -111,9 +111,18 @@ func (p RetryPolicy) backoff(attempt int, u float64) int64 {
 // Residue is a value a failed or crashed write left on some copies — a
 // partial apply that may surface in later reads. The history checker
 // treats residues as indeterminate writes.
+//
+// Spread counts the apply messages the fault plan let through toward peer
+// copies (delivery may still be delayed or refused by topology, so it is
+// an upper bound on peers holding the value). Spread == 0 on a
+// crash-mid-apply residue means the coordinator's own disk holds the only
+// copy: if that disk is then lost before the node ever serves again, the
+// value is provably unobservable and the harness retires the pending
+// write from the history checker.
 type Residue struct {
-	Value int64
-	Stamp int64
+	Value  int64
+	Stamp  int64
+	Spread int
 }
 
 // Outcome is the result of one fault-hardened client operation, including
@@ -184,24 +193,50 @@ func (c *Cluster) Crashed() []int {
 	return out
 }
 
-// Recover brings a crashed node back up with its durable copy state
-// intact (the node re-learns newer assignments and values through the
-// normal sync path). It reports whether the node was in the crashed set.
+// Recover brings a crashed node back up by reloading its durable state
+// from its store: a clean (possibly truncate-repaired) recovery restores
+// the state the node could have externalized and resumes full membership,
+// while a corrupt or wiped store puts the node into amnesiac mode — it must
+// rejoin by state transfer, never by voting (see durable.go). When the
+// immediate rejoin attempt fails the node stays down for a later retry. It
+// reports whether the node is back up as a member (full or recovering).
+// With persistence disabled, recovery keeps the in-memory state as before.
 func (c *Cluster) Recover(x int) bool {
 	ch := c.chaos
 	if ch == nil || !ch.crashed[x] {
 		return false
 	}
-	ch.crashed[x] = false
 	c.st.RepairSite(x)
+	if c.stores != nil {
+		st, hist, err := c.stores[x].Recover()
+		if err != nil {
+			c.beginAmnesia(x, err)
+			if !c.tryRejoin(x) {
+				// Still amnesiac with no rejoin quorum of peers reachable:
+				// stay down until the harness retries the recovery.
+				c.st.FailSite(x)
+				return false
+			}
+		} else {
+			n := &c.nodes[x]
+			n.value, n.stamp, n.version = st.Value, st.Stamp, st.Version
+			n.assign = quorum.Assignment{QR: st.QR, QW: st.QW}
+			n.hist = histogramFrom(hist, c.st.TotalVotes()+1)
+		}
+	}
+	ch.crashed[x] = false
 	ch.counters.Recoveries++
 	observeRecover(c.obs, x)
 	return true
 }
 
-// crash fails the coordinator mid-round.
+// crash fails the coordinator mid-round. Its store loses every unsynced
+// append (plus whatever damage a FaultDisk injects).
 func (c *Cluster) crash(x int) {
 	c.st.FailSite(x)
+	if c.stores != nil {
+		c.stores[x].Crash()
+	}
 	c.chaos.crashed[x] = true
 	c.chaos.counters.Crashes++
 	observeCrash(c.obs, x)
@@ -383,8 +418,11 @@ func (c *Cluster) chaosCollect(x int, op OpKind) (replies []voteReply, eff node,
 	// prefix) must be a function of the responder *set* so the concurrent
 	// runtime reproduces them.
 	sort.Slice(replies, func(i, j int) bool { return replies[i].from < replies[j].from })
-	self.adopt(eff.assign, eff.version, eff.stamp, eff.value)
+	if self.adopt(eff.assign, eff.version, eff.stamp, eff.value) {
+		c.persistState(x)
+	}
 	c.recordObservation(x, votes)
+	c.syncStore(x) // merged view durable before it is gossiped
 
 	// Stamps are unique under chaos, so holding eff.stamp pins the value.
 	// The coordinator counts itself: adopt just installed the merged state.
@@ -501,20 +539,32 @@ func (c *Cluster) chaosWriteOnce(x int, value int64) (stamp int64, residue *Resi
 	}
 	stamp = nextChaosStamp(eff.stamp, x)
 	self := &c.nodes[x]
-	self.value, self.stamp = value, stamp // durable local apply before any send
+	self.value, self.stamp = value, stamp // local apply before any send
+	c.persistState(x)
+	c.syncStore(x) // durable before any apply leaves the node
 	if cp == faults.CrashMidApply {
 		// Only a prefix of the responders receives the update, then the
 		// coordinator dies: the write is partially applied and must be
 		// reported as indeterminate, never as success.
 		k := kSel % (len(replies) + 1)
+		spread := 0
 		for _, r := range replies[:k] {
+			// Re-draw the (pure) admission decision to count applies the
+			// plan lets toward peers; see Residue.Spread.
+			if !ch.plan.Message(ch.op, faults.StageApply, x, r.from, ch.attempt).Drop {
+				spread++
+			}
 			c.send(x, r.from, applyWrite{value: value, stamp: stamp})
 		}
 		c.drain(x)
 		c.crash(x)
-		return 0, &Residue{Value: value, Stamp: stamp}, ErrCrashed
+		return 0, &Residue{Value: value, Stamp: stamp, Spread: spread}, ErrCrashed
 	}
+	spread := 0
 	for _, r := range replies {
+		if !ch.plan.Message(ch.op, faults.StageApply, x, r.from, ch.attempt).Drop {
+			spread++
+		}
 		c.send(x, r.from, applyWrite{value: value, stamp: stamp, wantAck: true})
 	}
 	c.ackReplies = c.ackReplies[:0]
@@ -524,7 +574,7 @@ func (c *Cluster) chaosWriteOnce(x int, value int64) (stamp int64, residue *Resi
 		return stamp, nil, nil
 	}
 	ch.counters.Indeterminate++
-	return 0, &Residue{Value: value, Stamp: stamp}, ErrIndeterminate
+	return 0, &Residue{Value: value, Stamp: stamp, Spread: spread}, ErrIndeterminate
 }
 
 // retryable reports whether a failed attempt is worth repeating: lost
@@ -551,6 +601,13 @@ func (c *Cluster) chaosReadOp(x int) Outcome {
 		out.Attempts = attempt + 1
 		if !c.st.SiteUp(x) {
 			out.Err = ErrCoordinatorDown
+			ch.counters.Aborts++
+			return out
+		}
+		if c.Amnesiac(x) && !c.tryRejoin(x) {
+			// An amnesiac node must not coordinate: its own votes could fill
+			// a quorum through the copy that forgot the committed state.
+			out.Err = ErrAmnesiac
 			ch.counters.Aborts++
 			return out
 		}
@@ -586,6 +643,13 @@ func (c *Cluster) chaosWriteOp(x int, value int64) Outcome {
 		out.Attempts = attempt + 1
 		if !c.st.SiteUp(x) {
 			out.Err = ErrCoordinatorDown
+			ch.counters.Aborts++
+			return out
+		}
+		if c.Amnesiac(x) && !c.tryRejoin(x) {
+			// An amnesiac node must not coordinate: its own votes could fill
+			// a quorum through the copy that forgot the committed state.
+			out.Err = ErrAmnesiac
 			ch.counters.Aborts++
 			return out
 		}
@@ -637,11 +701,20 @@ func (c *Cluster) chaosReassignOp(x int, a quorum.Assignment) Outcome {
 			ch.counters.Aborts++
 			return out
 		}
+		if c.Amnesiac(x) && !c.tryRejoin(x) {
+			// An amnesiac node must not coordinate: its own votes could fill
+			// a quorum through the copy that forgot the committed state.
+			out.Err = ErrAmnesiac
+			ch.counters.Aborts++
+			return out
+		}
 		replies, eff, votes, expected, _ := c.chaosCollect(x, OpReassign)
 		if votes >= eff.assign.QW {
 			version := eff.version + 1
 			self := &c.nodes[x]
 			self.assign, self.version = a, version
+			c.persistState(x)
+			c.syncStore(x) // durable before the installs fan out
 			inst := installAssign{assign: a, version: version,
 				value: eff.value, stamp: eff.stamp}
 			for _, r := range replies {

@@ -49,8 +49,11 @@ const asyncChaosTick = 50 * time.Microsecond
 const asyncChaosDeadline = 5 * time.Second
 
 // lostMark tells a gather loop that one expected reply was lost to the
-// transport. It never crosses the wire codec.
-type lostMark struct{}
+// transport or withheld by an amnesiac peer. It carries the peer's id so a
+// duplicated request to an abstaining peer still resolves to exactly one
+// marker (gathers dedup it like a real reply). It never crosses the wire
+// codec.
+type lostMark struct{ from int }
 
 func (lostMark) kind() string { return "lostMark" }
 
@@ -112,8 +115,10 @@ func (a *Async) Crashed() []int {
 	return out
 }
 
-// Recover brings a crashed node back up with its durable copy state
-// intact; it re-learns newer state through the normal sync path.
+// Recover brings a crashed node back up by reloading its durable state
+// from its store; a corrupt or wiped store puts the node into amnesiac
+// mode and an immediate state-transfer rejoin is attempted (see the
+// deterministic Cluster.Recover for the full contract).
 func (a *Async) Recover(x int) bool {
 	ch := a.chaos
 	if ch == nil {
@@ -121,22 +126,67 @@ func (a *Async) Recover(x int) bool {
 	}
 	ch.mu.Lock()
 	wasCrashed := ch.crashed[x]
-	if wasCrashed {
-		ch.crashed[x] = false
-		ch.counters.Recoveries++
-	}
 	ch.mu.Unlock()
 	if !wasCrashed {
 		return false
 	}
 	a.RepairSite(x)
+	if a.stores != nil {
+		st, hist, err := a.stores[x].Recover()
+		if err != nil {
+			a.beginAmnesia(x, err)
+			a.opMu.Lock()
+			rejoined := a.tryRejoinLocked(x)
+			a.opMu.Unlock()
+			if !rejoined {
+				// Still amnesiac with no rejoin quorum of peers reachable:
+				// stay down until the harness retries the recovery.
+				a.FailSite(x)
+				return false
+			}
+		} else {
+			n := a.nodes[x]
+			n.mu.Lock()
+			n.state.value, n.state.stamp, n.state.version = st.Value, st.Stamp, st.Version
+			n.state.assign = quorum.Assignment{QR: st.QR, QW: st.QW}
+			n.state.hist = histogramFrom(hist, n.histBins)
+			n.mu.Unlock()
+		}
+	}
+	ch.mu.Lock()
+	ch.crashed[x] = false
+	ch.counters.Recoveries++
+	ch.mu.Unlock()
 	observeRecover(a.obs, x)
 	return true
 }
 
-// crash fails the coordinator mid-round.
+// flushInbox waits until node x has processed everything already delivered
+// to it. FIFO inboxes make an acknowledged no-op a full barrier.
+func (a *Async) flushInbox(x int) {
+	n := a.nodes[x]
+	var wg sync.WaitGroup
+	wg.Add(1)
+	select {
+	case n.inbox <- asyncMsg{ack: &wg}:
+	case <-n.quit:
+		wg.Done()
+	}
+	wg.Wait()
+}
+
+// crash fails the coordinator mid-round. Its store loses every unsynced
+// append (plus whatever damage a FaultDisk injects). The inbox is flushed
+// first: the deterministic runtime drains every delivered message before a
+// crash point, so fire-and-forget gossip already handed to the node must
+// reach its store before the durable snapshot is cut — otherwise the append
+// would land *after* the crash, bytes a real dead process could never write.
 func (a *Async) crash(x int) {
+	a.flushInbox(x)
 	a.FailSite(x)
+	if a.stores != nil {
+		a.stores[x].Crash()
+	}
 	a.chaos.mu.Lock()
 	a.chaos.crashed[x] = true
 	a.chaos.counters.Crashes++
@@ -155,6 +205,9 @@ func (a *Async) chaosDeliver(p int, m asyncMsg, delaySlots int) {
 		select {
 		case n.inbox <- m:
 		case <-n.quit:
+			if m.ack != nil {
+				m.ack.Done() // never delivered: release any waiter
+			}
 		}
 		return
 	}
@@ -165,11 +218,17 @@ func (a *Async) chaosDeliver(p int, m asyncMsg, delaySlots int) {
 		select {
 		case <-t.C:
 		case <-n.quit:
+			if m.ack != nil {
+				m.ack.Done()
+			}
 			return
 		}
 		select {
 		case n.inbox <- m:
 		case <-n.quit:
+			if m.ack != nil {
+				m.ack.Done()
+			}
 		}
 	}()
 }
@@ -199,19 +258,37 @@ func (a *Async) chaosCollect(x int, op OpKind) (gathered []voteReply, eff node, 
 	expected = len(peers)
 
 	replies := make(chan payload, 2*len(peers)+1)
+	// Reply-less deliveries below carry this group so their durable side
+	// effects (the peer's pre-reply sync barrier) complete before the round
+	// ends, mirroring the deterministic drain.
+	var lost sync.WaitGroup
 	for _, p := range peers {
 		dreq := ch.plan.Message(ch.op, faults.StageVoteRequest, x, p, ch.attempt)
 		drep := ch.plan.Message(ch.op, faults.StageVoteReply, p, x, ch.attempt)
-		if dreq.Drop || drep.Drop {
-			// Request or reply lost: the peer's vote never arrives. A vote
-			// request causes no state change at the peer, so not delivering
-			// it at all is observationally identical.
+		if dreq.Drop {
+			// Request lost: the peer never hears about the round.
 			ch.bump(func(c *stats.ChaosCounters) { c.MsgDropped++ })
 			a.obs.Inc(obs.CMsgDropped)
-			replies <- lostMark{}
+			replies <- lostMark{from: p}
 			continue
 		}
 		slots := ch.slotsOf(dreq, drep)
+		if drep.Drop {
+			// The request lands — the peer still runs its pre-reply sync
+			// barrier, leaving the same durable bytes as the deterministic
+			// runtime — but the reply is lost on the way back.
+			ch.bump(func(c *stats.ChaosCounters) { c.MsgDropped++ })
+			a.obs.Inc(obs.CMsgDropped)
+			lost.Add(1)
+			a.chaosDeliver(p, asyncMsg{body: voteRequest{op: op}, ack: &lost}, slots)
+			if dreq.Duplicate {
+				ch.bump(func(c *stats.ChaosCounters) { c.MsgDuplicated++ })
+				lost.Add(1)
+				a.chaosDeliver(p, asyncMsg{body: voteRequest{op: op}, ack: &lost}, slots)
+			}
+			replies <- lostMark{from: p}
+			continue
+		}
 		a.chaosDeliver(p, asyncMsg{body: voteRequest{op: op}, reply: replies}, slots)
 		if dreq.Duplicate || drep.Duplicate {
 			ch.bump(func(c *stats.ChaosCounters) { c.MsgDuplicated++ })
@@ -231,11 +308,15 @@ func (a *Async) chaosCollect(x int, op OpKind) (gathered []voteReply, eff node, 
 	for pending := len(peers); pending > 0; {
 		select {
 		case pl := <-replies:
-			r, isReply := pl.(voteReply)
-			if !isReply { // lostMark
+			if lm, lost := pl.(lostMark); lost {
+				if seen[lm.from] {
+					continue // duplicated abstention: one marker per sender
+				}
+				seen[lm.from] = true
 				pending--
 				continue
 			}
+			r := pl.(voteReply)
 			a.delivered.Add(1)
 			a.obs.Inc(obs.CMsgDelivered)
 			if seen[r.from] {
@@ -255,15 +336,20 @@ func (a *Async) chaosCollect(x int, op OpKind) (gathered []voteReply, eff node, 
 			pending = 0
 		}
 	}
+	lost.Wait() // reply-less side effects land before the round concludes
 	sort.Slice(gathered, func(i, j int) bool { return gathered[i].from < gathered[j].from })
 
 	// Merge into self and record the §4.2 observation locally.
 	self.mu.Lock()
-	self.state.adopt(eff.assign, eff.version, eff.stamp, eff.value)
+	if self.state.adopt(eff.assign, eff.version, eff.stamp, eff.value) {
+		self.persistState()
+	}
 	if self.state.hist == nil {
 		self.state.hist = stats.NewHistogram(self.histBins)
 	}
 	self.state.hist.Add(votes, 1)
+	self.persistObs(votes)
+	self.syncStore() // merged view durable before it is gossiped
 	support = self.state.votes
 	self.mu.Unlock()
 
@@ -308,22 +394,32 @@ func (a *Async) chaosClassify(got, expected int) error {
 func (a *Async) chaosPushApplies(x int, targets []voteReply, value, stamp int64) (ackVotes, ackCount int) {
 	ch := a.chaos
 	acks := make(chan payload, 2*len(targets)+1)
+	var lost sync.WaitGroup // reply-less deliveries: side effects before return
 	for _, r := range targets {
 		dapp := ch.plan.Message(ch.op, faults.StageApply, x, r.from, ch.attempt)
 		dack := ch.plan.Message(ch.op, faults.StageApplyAck, r.from, x, ch.attempt)
 		if dapp.Drop {
 			ch.bump(func(c *stats.ChaosCounters) { c.MsgDropped++ })
 			a.obs.Inc(obs.CMsgDropped)
-			acks <- lostMark{}
+			acks <- lostMark{from: r.from}
 			continue
 		}
 		slots := ch.slotsOf(dapp, dack)
 		if dack.Drop {
-			// The apply lands (the peer's copy changes) but the ack is lost.
+			// The apply lands in full — the peer's copy changes and its
+			// pre-ack sync barrier runs, as in the deterministic runtime —
+			// but the acknowledgement is lost on the way back.
 			ch.bump(func(c *stats.ChaosCounters) { c.MsgDropped++ })
 			a.obs.Inc(obs.CMsgDropped)
-			a.chaosDeliver(r.from, asyncMsg{body: applyWrite{value: value, stamp: stamp}}, slots)
-			acks <- lostMark{}
+			msg := asyncMsg{body: applyWrite{value: value, stamp: stamp, wantAck: true}, ack: &lost}
+			lost.Add(1)
+			a.chaosDeliver(r.from, msg, slots)
+			if dapp.Duplicate {
+				ch.bump(func(c *stats.ChaosCounters) { c.MsgDuplicated++ })
+				lost.Add(1)
+				a.chaosDeliver(r.from, msg, slots)
+			}
+			acks <- lostMark{from: r.from}
 			continue
 		}
 		msg := asyncMsg{body: applyWrite{value: value, stamp: stamp, wantAck: true}, reply: acks}
@@ -339,11 +435,15 @@ func (a *Async) chaosPushApplies(x int, targets []voteReply, value, stamp int64)
 	for pending := len(targets); pending > 0; {
 		select {
 		case pl := <-acks:
-			ack, isAck := pl.(applyAck)
-			if !isAck { // lostMark
+			if lm, lost := pl.(lostMark); lost {
+				if seen[lm.from] {
+					continue // duplicated abstention: one marker per sender
+				}
+				seen[lm.from] = true
 				pending--
 				continue
 			}
+			ack := pl.(applyAck)
 			a.delivered.Add(1)
 			a.obs.Inc(obs.CMsgDelivered)
 			if seen[ack.from] {
@@ -359,6 +459,7 @@ func (a *Async) chaosPushApplies(x int, targets []voteReply, value, stamp int64)
 			pending = 0
 		}
 	}
+	lost.Wait() // unacknowledged applies land before the phase concludes
 	return ackVotes, ackCount
 }
 
@@ -412,15 +513,18 @@ func (a *Async) chaosWriteOnce(x int, value int64) (stamp int64, residue *Residu
 	stamp = nextChaosStamp(eff.stamp, x)
 	self := a.nodes[x]
 	self.mu.Lock()
-	if stamp > self.state.stamp { // durable local apply before any send
+	if stamp > self.state.stamp { // local apply before any send
 		self.state.stamp, self.state.value = stamp, value
 	}
+	self.persistState()
+	self.syncStore() // durable before any apply leaves the node
 	selfVotes := self.state.votes
 	self.mu.Unlock()
 	if cp == faults.CrashMidApply {
 		// Unacknowledged applies to a prefix of the responders, then the
 		// coordinator dies: a partial apply, reported as a residue.
 		k := kSel % (len(gathered) + 1)
+		spread := 0
 		for _, r := range gathered[:k] {
 			dapp := ch.plan.Message(ch.op, faults.StageApply, x, r.from, ch.attempt)
 			if dapp.Drop {
@@ -428,18 +532,28 @@ func (a *Async) chaosWriteOnce(x int, value int64) (stamp int64, residue *Residu
 				a.obs.Inc(obs.CMsgDropped)
 				continue
 			}
+			spread++
 			slots := ch.slotsOf(dapp, faults.Decision{})
 			a.chaosDeliver(r.from, asyncMsg{body: applyWrite{value: value, stamp: stamp}}, slots)
 		}
 		a.crash(x)
-		return 0, &Residue{Value: value, Stamp: stamp}, ErrCrashed
+		return 0, &Residue{Value: value, Stamp: stamp, Spread: spread}, ErrCrashed
+	}
+	// Re-draw the (pure) apply-stage admission decisions to count applies
+	// the plan lets toward peers — identical to the deterministic runtime's
+	// accounting; see Residue.Spread.
+	spread := 0
+	for _, r := range gathered {
+		if !ch.plan.Message(ch.op, faults.StageApply, x, r.from, ch.attempt).Drop {
+			spread++
+		}
 	}
 	ackVotes, _ := a.chaosPushApplies(x, gathered, value, stamp)
 	if selfVotes+ackVotes >= eff.assign.QW {
 		return stamp, nil, nil
 	}
 	ch.bump(func(c *stats.ChaosCounters) { c.Indeterminate++ })
-	return 0, &Residue{Value: value, Stamp: stamp}, ErrIndeterminate
+	return 0, &Residue{Value: value, Stamp: stamp, Spread: spread}, ErrIndeterminate
 }
 
 // siteUp snapshots one site's up state under the topology lock.
@@ -482,6 +596,7 @@ func (a *Async) chaosReadOp(x int) Outcome {
 	ch := a.mustChaos()
 	a.opMu.Lock()
 	defer a.opMu.Unlock()
+	a.flushInbox(x) // self-state reads below must see all prior gossip, as after a deterministic drain
 	ch.op++
 	var out Outcome
 	for attempt := 0; ; attempt++ {
@@ -489,6 +604,13 @@ func (a *Async) chaosReadOp(x int) Outcome {
 		out.Attempts = attempt + 1
 		if !a.siteUp(x) {
 			out.Err = ErrCoordinatorDown
+			ch.bump(func(c *stats.ChaosCounters) { c.Aborts++ })
+			return out
+		}
+		if a.Amnesiac(x) && !a.tryRejoinLocked(x) {
+			// An amnesiac node must not coordinate: its own votes could fill
+			// a quorum through the copy that forgot the committed state.
+			out.Err = ErrAmnesiac
 			ch.bump(func(c *stats.ChaosCounters) { c.Aborts++ })
 			return out
 		}
@@ -517,6 +639,7 @@ func (a *Async) chaosWriteOp(x int, value int64) Outcome {
 	ch := a.mustChaos()
 	a.opMu.Lock()
 	defer a.opMu.Unlock()
+	a.flushInbox(x) // self-state reads below must see all prior gossip, as after a deterministic drain
 	ch.op++
 	var out Outcome
 	for attempt := 0; ; attempt++ {
@@ -524,6 +647,13 @@ func (a *Async) chaosWriteOp(x int, value int64) Outcome {
 		out.Attempts = attempt + 1
 		if !a.siteUp(x) {
 			out.Err = ErrCoordinatorDown
+			ch.bump(func(c *stats.ChaosCounters) { c.Aborts++ })
+			return out
+		}
+		if a.Amnesiac(x) && !a.tryRejoinLocked(x) {
+			// An amnesiac node must not coordinate: its own votes could fill
+			// a quorum through the copy that forgot the committed state.
+			out.Err = ErrAmnesiac
 			ch.bump(func(c *stats.ChaosCounters) { c.Aborts++ })
 			return out
 		}
@@ -566,6 +696,7 @@ func (a *Async) chaosReassignOp(x int, newAssign quorum.Assignment) Outcome {
 	}
 	a.opMu.Lock()
 	defer a.opMu.Unlock()
+	a.flushInbox(x) // self-state reads below must see all prior gossip, as after a deterministic drain
 	ch.op++
 	for attempt := 0; ; attempt++ {
 		ch.attempt = attempt
@@ -575,12 +706,21 @@ func (a *Async) chaosReassignOp(x int, newAssign quorum.Assignment) Outcome {
 			ch.bump(func(c *stats.ChaosCounters) { c.Aborts++ })
 			return out
 		}
+		if a.Amnesiac(x) && !a.tryRejoinLocked(x) {
+			// An amnesiac node must not coordinate: its own votes could fill
+			// a quorum through the copy that forgot the committed state.
+			out.Err = ErrAmnesiac
+			ch.bump(func(c *stats.ChaosCounters) { c.Aborts++ })
+			return out
+		}
 		gathered, eff, votes, expected, _ := a.chaosCollect(x, OpReassign)
 		if votes >= eff.assign.QW {
 			version := eff.version + 1
 			self := a.nodes[x]
 			self.mu.Lock()
 			self.state.assign, self.state.version = newAssign, version
+			self.persistState()
+			self.syncStore() // durable before the installs fan out
 			self.mu.Unlock()
 			inst := installAssign{assign: newAssign, version: version,
 				value: eff.value, stamp: eff.stamp}

@@ -24,6 +24,7 @@ import (
 	"quorumkit/internal/obs"
 	"quorumkit/internal/quorum"
 	"quorumkit/internal/stats"
+	"quorumkit/internal/store"
 )
 
 // OpKind distinguishes the three vote-collection rounds.
@@ -134,14 +135,20 @@ type node struct {
 	hist *stats.Histogram
 }
 
-// adopt merges newer remote state into the local copy.
-func (n *node) adopt(assign quorum.Assignment, version, stamp, value int64) {
+// adopt merges newer remote state into the local copy, reporting whether
+// anything changed. The durability layer persists only on change, so a
+// duplicated delivery leaves the durable log byte-identical.
+func (n *node) adopt(assign quorum.Assignment, version, stamp, value int64) bool {
+	changed := false
 	if version > n.version {
 		n.version, n.assign = version, assign
+		changed = true
 	}
 	if stamp > n.stamp {
 		n.stamp, n.value = stamp, value
+		changed = true
 	}
+	return changed
 }
 
 // Stats counts message traffic.
@@ -182,6 +189,13 @@ type Cluster struct {
 	// obs, when non-nil, receives counters, histograms, and trace events
 	// (see obs.go); observation is write-only and never affects behaviour.
 	obs *obs.Registry
+
+	// The durability layer (see durable.go): one deterministic in-memory
+	// disk and storage engine per node, plus the amnesiac flags for nodes
+	// whose durable state was lost to a disk fault.
+	disks    []*store.MemDisk
+	stores   []*store.NodeStore
+	amnesiac []bool
 }
 
 // New creates a cluster over the network state with the given initial
@@ -194,6 +208,8 @@ func New(st *graph.State, initial quorum.Assignment) (*Cluster, error) {
 	for i := range c.nodes {
 		c.nodes[i] = node{id: i, votes: st.Votes(i), version: 1, assign: initial}
 	}
+	c.amnesiac = make([]bool, len(c.nodes))
+	c.initStores()
 	return c, nil
 }
 
@@ -259,6 +275,10 @@ func (c *Cluster) handle(coordinator int, m message) {
 	n := &c.nodes[m.to]
 	switch b := m.body.(type) {
 	case voteRequest:
+		if c.Amnesiac(m.to) {
+			return // an amnesiac copy must not vote
+		}
+		c.syncStore(m.to) // durable before the vote is externalized
 		c.send(m.to, m.from, voteReply{
 			from: m.to, votes: n.votes,
 			value: n.value, stamp: n.stamp,
@@ -269,15 +289,22 @@ func (c *Cluster) handle(coordinator int, m message) {
 			c.replies = append(c.replies, b)
 		}
 	case syncState:
-		n.adopt(b.assign, b.version, b.stamp, b.value)
+		if n.adopt(b.assign, b.version, b.stamp, b.value) {
+			c.persistState(m.to)
+		}
 		if b.votesSeen > 0 {
 			c.recordObservation(m.to, b.votesSeen)
 		}
 	case applyWrite:
 		if b.stamp > n.stamp {
 			n.stamp, n.value = b.stamp, b.value
+			c.persistState(m.to)
 		}
 		if b.wantAck {
+			if c.Amnesiac(m.to) {
+				return // an amnesiac ack must not count toward a write quorum
+			}
+			c.syncStore(m.to) // durable before the apply is acknowledged
 			c.send(m.to, m.from, applyAck{from: m.to, stamp: n.stamp})
 		}
 	case applyAck:
@@ -285,8 +312,13 @@ func (c *Cluster) handle(coordinator int, m message) {
 			c.ackReplies = append(c.ackReplies, b)
 		}
 	case installAssign:
-		n.adopt(b.assign, b.version, b.stamp, b.value)
+		if n.adopt(b.assign, b.version, b.stamp, b.value) {
+			c.persistState(m.to)
+		}
 	case histRequest:
+		if c.Amnesiac(m.to) {
+			return // no trustworthy observations to gossip
+		}
 		var weights []float64
 		if h := n.hist; h != nil {
 			weights = make([]float64, c.st.TotalVotes()+1)
@@ -300,6 +332,10 @@ func (c *Cluster) handle(coordinator int, m message) {
 			c.gossipReplies = append(c.gossipReplies, b)
 		}
 	case heartbeat:
+		if c.Amnesiac(m.to) {
+			return // silent until readmitted; peers accrue a miss
+		}
+		c.syncStore(m.to) // durable before the version is externalized
 		c.send(m.to, m.from, heartbeatAck{
 			from: m.to, seq: b.seq, votes: n.votes, version: n.version,
 		})
@@ -340,8 +376,11 @@ func (c *Cluster) collect(x int, op OpKind) (votes int, responders []int, eff no
 	}
 	// Merge into self and push the merged view to the responders, so every
 	// contacted node ends the round with the newest assignment and value.
-	self.adopt(eff.assign, eff.version, eff.stamp, eff.value)
+	if self.adopt(eff.assign, eff.version, eff.stamp, eff.value) {
+		c.persistState(x)
+	}
 	c.recordObservation(x, votes)
+	c.syncStore(x) // merged view durable before it is gossiped
 	sync := syncState{value: eff.value, stamp: eff.stamp, version: eff.version,
 		assign: eff.assign, votesSeen: votes}
 	for _, to := range responders {
@@ -392,6 +431,8 @@ func (c *Cluster) writeOp(x int, value int64) (stamp int64, ok bool) {
 	stamp = eff.stamp + 1
 	self := &c.nodes[x]
 	self.value, self.stamp = value, stamp
+	c.persistState(x)
+	c.syncStore(x) // durable before the applies fan out
 	for _, to := range responders {
 		c.send(x, to, applyWrite{value: value, stamp: stamp})
 	}
@@ -420,6 +461,8 @@ func (c *Cluster) Reassign(x int, a quorum.Assignment) error {
 	version := eff.version + 1
 	self := &c.nodes[x]
 	self.assign, self.version = a, version
+	c.persistState(x)
+	c.syncStore(x) // durable before the installs fan out
 	inst := installAssign{assign: a, version: version, value: eff.value, stamp: eff.stamp}
 	for _, to := range responders {
 		c.send(x, to, inst)

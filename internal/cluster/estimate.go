@@ -43,6 +43,7 @@ func (c *Cluster) recordObservation(nodeID, votes int) {
 		n.hist = stats.NewHistogram(c.st.TotalVotes() + 1)
 	}
 	n.hist.Add(votes, 1)
+	c.persistObs(nodeID, votes)
 }
 
 // LocalDensity returns node x's own on-line estimate of f_x — built purely

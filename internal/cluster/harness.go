@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"errors"
 	"fmt"
 
 	"quorumkit/internal/faults"
@@ -58,14 +59,41 @@ type ChaosRun struct {
 // fed into the history log: granted reads/writes as themselves, residues
 // of failed writes as indeterminate writes. The caller asserts
 // Log.Check() == nil — that is the safety property faults must not break.
+//
+// One bookkeeping refinement keeps the checker honest under disk loss: a
+// coordinator that crashes mid-apply before any apply message clears the
+// fault plan (Residue.Spread == 0) holds the only copy of the pending
+// value on its own disk, and it stays down — serving nothing — until
+// recovery. If that recovery then finds the disk lost or corrupt (the node
+// comes back amnesiac), the sole copy is gone: the harness records a write
+// loss so the checker stops expecting the value to surface and tolerates
+// the amnesiac coordinator reissuing the stamp it has forgotten. A clean
+// recovery instead forgets the tracking entry — the copy survived and may
+// yet surface.
 func RunChaos(rt ChaosRuntime, plan *faults.Plan, schedSeed uint64, steps, totalVotes, links int) *ChaosRun {
 	src := rng.New(schedSeed)
 	run := &ChaosRun{Log: &history.Log{}}
-	n := totalVotes // harness topologies use one vote per site
+	n := totalVotes                    // harness topologies use one vote per site
+	soleResidue := make(map[int]int64) // crashed site -> stamp only its disk holds
 	for step := 0; step < steps; step++ {
 		for _, node := range rt.Crashed() {
 			if plan.RecoverNow(uint64(step), node) {
-				rt.Recover(node)
+				stamp, held := soleResidue[node]
+				var amnesiasBefore int64
+				if held {
+					amnesiasBefore = rt.ChaosCounters().Amnesias
+				}
+				recovered := rt.Recover(node)
+				if held {
+					if rt.ChaosCounters().Amnesias > amnesiasBefore {
+						// The store was lost or corrupt: the only copy of
+						// the pending value died with it.
+						run.Log.RecordWriteLoss(node, stamp, float64(step))
+						delete(soleResidue, node)
+					} else if recovered {
+						delete(soleResidue, node)
+					}
+				}
 			}
 		}
 		t := float64(step)
@@ -91,6 +119,13 @@ func RunChaos(rt ChaosRuntime, plan *faults.Plan, schedSeed uint64, steps, total
 			res.fill(out)
 			for _, r := range out.Residue {
 				run.Log.RecordIndeterminateWrite(site, r.Value, r.Stamp, t)
+			}
+			if errors.Is(out.Err, ErrCrashed) && len(out.Residue) > 0 {
+				// A crash mid-apply ends the op, so the crashing attempt's
+				// residue is the last one recorded.
+				if last := out.Residue[len(out.Residue)-1]; last.Spread == 0 {
+					soleResidue[site] = last.Stamp
+				}
 			}
 			run.Log.RecordWrite(site, out.Granted, value, out.Stamp, t)
 			if out.Granted {

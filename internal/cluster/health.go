@@ -582,6 +582,13 @@ func (c *Cluster) runSyncRound(x int) {
 // the QR protocol. Requires EnableSelfHealing.
 func (c *Cluster) DaemonStep(x int) DaemonReport {
 	h := c.mustHealth()
+	if c.Amnesiac(x) {
+		// The daemon doubles as the rejoin retry loop: each tick at an
+		// amnesiac node attempts the state transfer before anything else.
+		if !c.st.SiteUp(x) || !c.tryRejoin(x) {
+			return DaemonReport{Node: x, Err: ErrAmnesiac}
+		}
+	}
 	if !c.st.SiteUp(x) {
 		// A down node cannot probe; its detector accrues misses for every
 		// peer so that, on recovery, it re-learns the world before acting.
@@ -613,6 +620,9 @@ func (c *Cluster) ServeRead(x int) Outcome {
 	if !c.st.SiteUp(x) {
 		return Outcome{Err: ErrCoordinatorDown}
 	}
+	if c.Amnesiac(x) && !c.tryRejoin(x) {
+		return Outcome{Err: ErrAmnesiac}
+	}
 	if c.health != nil {
 		if err := c.health.gate(x, false); err != nil {
 			c.health.recordGrant(x, false)
@@ -642,6 +652,9 @@ func (c *Cluster) ServeRead(x int) Outcome {
 func (c *Cluster) ServeWrite(x int, value int64) Outcome {
 	if !c.st.SiteUp(x) {
 		return Outcome{Err: ErrCoordinatorDown}
+	}
+	if c.Amnesiac(x) && !c.tryRejoin(x) {
+		return Outcome{Err: ErrAmnesiac}
 	}
 	if c.health != nil {
 		if err := c.health.gate(x, true); err != nil {

@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"quorumkit/internal/core"
@@ -67,21 +68,35 @@ func (a *Async) heartbeatRound(x int) []heartbeatAck {
 	}
 	peers := a.peersOf(x)
 	replies := make(chan payload, 2*len(peers)+1)
+	var lostWG sync.WaitGroup // reply-less probes: side effects before return
 	probe := heartbeat{from: x, seq: seq}
 	for _, p := range peers {
 		if ch := a.chaos; ch != nil {
 			dreq := ch.plan.Message(ch.op, faults.StageHeartbeat, x, p, ch.attempt)
 			dack := ch.plan.Message(ch.op, faults.StageHeartbeatAck, p, x, ch.attempt)
-			if dreq.Drop || dack.Drop {
-				// A lost probe or ack: the peer accrues a miss. The probe
-				// mutates no peer state, so not delivering it is
-				// observationally identical.
+			if dreq.Drop {
+				// A lost probe: the peer never hears it and accrues a miss.
 				ch.bump(func(c *stats.ChaosCounters) { c.MsgDropped++ })
 				a.obs.Inc(obs.CMsgDropped)
-				replies <- lostMark{}
+				replies <- lostMark{from: p}
 				continue
 			}
 			slots := ch.slotsOf(dreq, dack)
+			if dack.Drop {
+				// The probe lands — the peer runs its pre-ack sync barrier,
+				// as in the deterministic runtime — but the ack is lost.
+				ch.bump(func(c *stats.ChaosCounters) { c.MsgDropped++ })
+				a.obs.Inc(obs.CMsgDropped)
+				lostWG.Add(1)
+				a.chaosDeliver(p, asyncMsg{body: probe, ack: &lostWG}, slots)
+				if dreq.Duplicate {
+					ch.bump(func(c *stats.ChaosCounters) { c.MsgDuplicated++ })
+					lostWG.Add(1)
+					a.chaosDeliver(p, asyncMsg{body: probe, ack: &lostWG}, slots)
+				}
+				replies <- lostMark{from: p}
+				continue
+			}
 			a.chaosDeliver(p, asyncMsg{body: probe, reply: replies}, slots)
 			if dreq.Duplicate || dack.Duplicate {
 				ch.bump(func(c *stats.ChaosCounters) { c.MsgDuplicated++ })
@@ -101,11 +116,15 @@ func (a *Async) heartbeatRound(x int) []heartbeatAck {
 	for pending := len(peers); pending > 0; {
 		select {
 		case pl := <-replies:
-			ack, isAck := pl.(heartbeatAck)
-			if !isAck { // lostMark
+			if lm, lost := pl.(lostMark); lost {
+				if seen[lm.from] {
+					continue // duplicated abstention: one marker per sender
+				}
+				seen[lm.from] = true
 				pending--
 				continue
 			}
+			ack := pl.(heartbeatAck)
 			a.delivered.Add(1)
 			a.obs.Inc(obs.CMsgDelivered)
 			if ack.seq != seq || seen[ack.from] {
@@ -118,6 +137,7 @@ func (a *Async) heartbeatRound(x int) []heartbeatAck {
 			pending = 0
 		}
 	}
+	lostWG.Wait() // reply-less side effects land before the round concludes
 	return acks
 }
 
@@ -157,7 +177,7 @@ func (a *Async) gossipEstimates(x int) (*core.Estimator, error) {
 			if dreq.Drop || drep.Drop {
 				ch.bump(func(c *stats.ChaosCounters) { c.MsgDropped++ })
 				a.obs.Inc(obs.CMsgDropped)
-				replies <- lostMark{}
+				replies <- lostMark{from: p}
 				continue
 			}
 			slots := ch.slotsOf(dreq, drep)
@@ -179,11 +199,15 @@ func (a *Async) gossipEstimates(x int) (*core.Estimator, error) {
 	for pending := len(peers); pending > 0; {
 		select {
 		case pl := <-replies:
-			r, isReply := pl.(histReply)
-			if !isReply { // lostMark
+			if lm, lost := pl.(lostMark); lost {
+				if seen[lm.from] {
+					continue // duplicated abstention: one marker per sender
+				}
+				seen[lm.from] = true
 				pending--
 				continue
 			}
+			r := pl.(histReply)
 			a.delivered.Add(1)
 			a.obs.Inc(obs.CMsgDelivered)
 			if seen[r.from] || r.from == x || r.from < 0 || r.from >= len(a.nodes) {
@@ -260,6 +284,13 @@ func (a *Async) runSyncRound(x int) {
 // writes. Requires EnableSelfHealing.
 func (a *Async) DaemonStep(x int) DaemonReport {
 	h := a.mustHealthAsync()
+	if a.Amnesiac(x) {
+		// The daemon doubles as the rejoin retry loop: each tick at an
+		// amnesiac node attempts the state transfer before anything else.
+		if !a.siteUpAny(x) || !a.TryRejoin(x) {
+			return DaemonReport{Node: x, Err: ErrAmnesiac}
+		}
+	}
 	a.opMu.Lock()
 	defer a.opMu.Unlock()
 	// A down node cannot probe (heartbeatRound returns no acks for it);
@@ -288,6 +319,7 @@ func (a *Async) DaemonStep(x int) DaemonReport {
 			n.state.hist = stats.NewHistogram(n.histBins)
 		}
 		n.state.hist.Add(reach, 1)
+		n.persistObs(reach)
 	}
 	n.mu.Unlock()
 	return h.daemonStep(a, x, acks, assign, votes, version)
@@ -338,6 +370,9 @@ func (a *Async) ServeRead(x int) Outcome {
 	if !a.siteUpAny(x) {
 		return Outcome{Err: ErrCoordinatorDown}
 	}
+	if a.Amnesiac(x) && !a.TryRejoin(x) {
+		return Outcome{Err: ErrAmnesiac}
+	}
 	if a.health != nil {
 		if err := a.health.gate(x, false); err != nil {
 			a.health.recordGrant(x, false)
@@ -370,6 +405,9 @@ func (a *Async) ServeWrite(x int, value int64) Outcome {
 	}
 	if !a.siteUpAny(x) {
 		return Outcome{Err: ErrCoordinatorDown}
+	}
+	if a.Amnesiac(x) && !a.TryRejoin(x) {
+		return Outcome{Err: ErrAmnesiac}
 	}
 	if a.health != nil {
 		if err := a.health.gate(x, true); err != nil {

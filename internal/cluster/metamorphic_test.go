@@ -88,8 +88,8 @@ func soakRunDet(t *testing.T, daemon bool, seed uint64, reg *obs.Registry) (*Soa
 	hc.Alpha = 0.9
 	run := RunSoak(c, SoakConfig{
 		Seed: seed, Steps: 800, Sites: sites, Links: g.M(),
-		Alpha: 0.9,
-		Churn: faults.ChurnConfig{SiteMTBF: 250, SiteMTTR: 25, LinkMTBF: 60, LinkMTTR: 25},
+		Alpha:  0.9,
+		Churn:  faults.ChurnConfig{SiteMTBF: 250, SiteMTTR: 25, LinkMTBF: 60, LinkMTTR: 25},
 		Daemon: daemon, Health: hc,
 	})
 	var stamps []int64

@@ -29,6 +29,9 @@ func (c *Cluster) SetObserver(r *obs.Registry) {
 	if c.health != nil {
 		c.health.obs = r
 	}
+	for _, s := range c.stores {
+		s.SetObserver(r)
+	}
 }
 
 // Observer returns the attached registry (nil when instrumentation is off).
@@ -40,6 +43,9 @@ func (a *Async) SetObserver(r *obs.Registry) {
 	a.obs = r
 	if a.health != nil {
 		a.health.obs = r
+	}
+	for _, s := range a.stores {
+		s.SetObserver(r)
 	}
 }
 

@@ -39,6 +39,9 @@ type SoakRuntime interface {
 	RepairSite(i int)
 	FailLink(l int)
 	RepairLink(l int)
+	WipeState(x int)
+	TryRejoin(x int) bool
+	Amnesiac(x int) bool
 }
 
 // SoakConfig parameterizes one soak run.
@@ -50,6 +53,12 @@ type SoakConfig struct {
 	Alpha float64 // read fraction of the workload
 
 	Churn faults.ChurnConfig
+
+	// AmnesiaFraction is the probability that a site repaired by churn comes
+	// back with wiped storage (a replaced machine) and must rejoin by state
+	// transfer. Zero (the default) consumes no randomness, so schedules of
+	// amnesia-free configs are unchanged.
+	AmnesiaFraction float64
 
 	// Daemon enables self-healing: EnableSelfHealing(Health) at start and a
 	// full DaemonStep sweep every DaemonEvery steps. When false the run is
@@ -86,6 +95,7 @@ type SoakRun struct {
 	DegradedRejects          int // typed fast-fail denials from the gate
 	SettleOps, SettleGranted int // post-heal window
 	SiteEvents, LinkEvents   int
+	Amnesias                 int // repairs that came back with wiped storage
 	Health                   stats.HealthCounters
 	FinalVersions            []int64
 	Converged                bool  // all nodes share one assignment version post-heal
@@ -119,9 +129,9 @@ func (r *SoakRun) String() string {
 		conv = "DIVERGED " + fmt.Sprint(r.FinalVersions)
 	}
 	return fmt.Sprintf(
-		"churn %d ops %.3f avail (%d/%d reads, %d/%d writes, %d degraded-fastfail, %d site / %d link events); settle %d ops %.3f avail; %s; %s",
+		"churn %d ops %.3f avail (%d/%d reads, %d/%d writes, %d degraded-fastfail, %d site / %d link events, %d amnesias); settle %d ops %.3f avail; %s; %s",
 		r.Ops, r.Availability(), r.GrantedReads, r.Reads, r.GrantedWrites, r.Writes,
-		r.DegradedRejects, r.SiteEvents, r.LinkEvents,
+		r.DegradedRejects, r.SiteEvents, r.LinkEvents, r.Amnesias,
 		r.SettleOps, r.SettleAvailability(), conv, verdict)
 }
 
@@ -147,6 +157,10 @@ func RunSoak(rt SoakRuntime, cfg SoakConfig) *SoakRun {
 	}
 	churn := faults.NewChurn(cfg.Seed, cfg.Sites, cfg.Links, cfg.Churn)
 	src := rng.New(cfg.Seed ^ 0x50ac)
+	var amnesia *rng.Source
+	if cfg.AmnesiaFraction > 0 {
+		amnesia = rng.New(cfg.Seed ^ 0xa31e)
+	}
 	run := &SoakRun{Log: &history.Log{}}
 
 	downSites := make([]bool, cfg.Sites)
@@ -203,6 +217,13 @@ func RunSoak(rt SoakRuntime, cfg SoakConfig) *SoakRun {
 				downSites[ev.Index] = true
 				run.SiteEvents++
 			case faults.SiteRepair:
+				if amnesia != nil && amnesia.Float64() < cfg.AmnesiaFraction {
+					// The machine came back blank: wipe before the repair so
+					// the node rejoins by state transfer, never with stale
+					// (here: vanished) state.
+					rt.WipeState(ev.Index)
+					run.Amnesias++
+				}
 				rt.RepairSite(ev.Index)
 				downSites[ev.Index] = false
 				run.SiteEvents++
@@ -230,6 +251,21 @@ func RunSoak(rt SoakRuntime, cfg SoakConfig) *SoakRun {
 	}
 	for l := 0; l < cfg.Links; l++ {
 		rt.RepairLink(l)
+	}
+	// Readmit any node still amnesiac: with the topology healed a write
+	// quorum of full members is reachable, so each node needs at most one
+	// successful transfer; the bounded passes cover transfers racing the
+	// fault plan.
+	for pass := 0; pass <= cfg.Sites; pass++ {
+		all := true
+		for x := 0; x < cfg.Sites; x++ {
+			if !rt.TryRejoin(x) {
+				all = false
+			}
+		}
+		if all {
+			break
+		}
 	}
 	if cfg.Daemon {
 		// Sweep until every view is back to healthy — bounded by the number

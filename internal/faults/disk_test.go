@@ -1,0 +1,127 @@
+package faults
+
+import "testing"
+
+// TestDiskPlanDeterminism: the same (seed, node, seq) must always yield the
+// same fault, and the selector-driven Pick must be stable too — this is
+// what lets both runtimes agree on storage damage.
+func TestDiskPlanDeterminism(t *testing.T) {
+	mix, err := NamedDisk("disk-all")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := NewDiskPlan(7, mix)
+	b := NewDiskPlan(7, mix)
+	for node := 0; node < 5; node++ {
+		for seq := uint64(0); seq < 50; seq++ {
+			fa, fb := a.CrashFault(node, seq), b.CrashFault(node, seq)
+			if fa != fb {
+				t.Fatalf("node %d seq %d: %+v vs %+v", node, seq, fa, fb)
+			}
+			for salt := uint64(0); salt < 4; salt++ {
+				if fa.Pick(salt, 97) != fb.Pick(salt, 97) {
+					t.Fatalf("node %d seq %d salt %d: Pick diverged", node, seq, salt)
+				}
+			}
+		}
+	}
+}
+
+// TestDiskPlanClassRates: over many crashes each class should appear at
+// roughly its configured rate, classes are mutually exclusive, and a
+// different seed gives a different schedule.
+func TestDiskPlanClassRates(t *testing.T) {
+	mix := DiskMix{Name: "t", Torn: 0.3, Corrupt: 0.2, Wipe: 0.1}
+	p := NewDiskPlan(1, mix)
+	const n = 20000
+	var torn, corrupt, wipe, none int
+	for seq := uint64(0); seq < n; seq++ {
+		f := p.CrashFault(3, seq)
+		set := 0
+		if f.Torn {
+			torn++
+			set++
+		}
+		if f.Corrupt {
+			corrupt++
+			set++
+		}
+		if f.Wipe {
+			wipe++
+			set++
+		}
+		if set > 1 {
+			t.Fatalf("seq %d: multiple classes set: %+v", seq, f)
+		}
+		if set == 0 {
+			none++
+		}
+	}
+	check := func(name string, got int, want float64) {
+		rate := float64(got) / n
+		if rate < want-0.03 || rate > want+0.03 {
+			t.Fatalf("%s rate %.3f, want ~%.2f", name, rate, want)
+		}
+	}
+	check("torn", torn, 0.3)
+	check("corrupt", corrupt, 0.2)
+	check("wipe", wipe, 0.1)
+	check("none", none, 0.4)
+
+	other := NewDiskPlan(2, mix)
+	diff := 0
+	for seq := uint64(0); seq < 200; seq++ {
+		if p.CrashFault(0, seq) != other.CrashFault(0, seq) {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}
+
+// TestDiskMixValidate: out-of-range probabilities and over-unity sums are
+// rejected; named mixes are valid and resolvable with or without prefix.
+func TestDiskMixValidate(t *testing.T) {
+	if err := (DiskMix{Torn: -0.1}).Validate(); err == nil {
+		t.Fatal("negative Torn accepted")
+	}
+	if err := (DiskMix{Wipe: 1.5}).Validate(); err == nil {
+		t.Fatal("Wipe > 1 accepted")
+	}
+	if err := (DiskMix{Torn: 0.5, Corrupt: 0.4, Wipe: 0.2}).Validate(); err == nil {
+		t.Fatal("over-unity sum accepted")
+	}
+	for _, name := range DiskNames() {
+		m, err := NamedDisk(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Validate(); err != nil {
+			t.Fatalf("named mix %q invalid: %v", name, err)
+		}
+	}
+	if _, err := NamedDisk("torn"); err != nil {
+		t.Fatalf("bare name not accepted: %v", err)
+	}
+	if _, err := NamedDisk("no-such-mix"); err == nil {
+		t.Fatal("unknown mix accepted")
+	}
+}
+
+// TestDiskFaultPickBounds: Pick must stay in [0, n) and cover the range.
+func TestDiskFaultPickBounds(t *testing.T) {
+	p := NewDiskPlan(9, DiskMix{Name: "t", Torn: 1})
+	seen := map[int]bool{}
+	for seq := uint64(0); seq < 500; seq++ {
+		f := p.CrashFault(1, seq)
+		v := f.Pick(seq, 7)
+		if v < 0 || v >= 7 {
+			t.Fatalf("Pick out of range: %d", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 7 {
+		t.Fatalf("Pick covered %d/7 values", len(seen))
+	}
+}

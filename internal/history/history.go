@@ -27,14 +27,23 @@ type Kind uint8
 const (
 	Read Kind = iota
 	Write
+	// Loss retires a pending indeterminate write: the environment has
+	// destroyed every copy that held its value (e.g. the sole-holder
+	// coordinator's disk was wiped before the value reached any peer), so
+	// the value can never surface and its stamp may be reissued.
+	Loss
 )
 
 // String implements fmt.Stringer.
 func (k Kind) String() string {
-	if k == Read {
+	switch k {
+	case Read:
 		return "read"
+	case Loss:
+		return "loss"
+	default:
+		return "write"
 	}
-	return "write"
 }
 
 // Op is one recorded operation.
@@ -99,6 +108,20 @@ func (l *Log) RecordIndeterminateWrite(site int, value, stamp int64, t float64) 
 	})
 }
 
+// RecordWriteLoss appends an event retiring the indeterminate write with
+// the given stamp: every copy that held its value has been destroyed, so
+// it can never surface in a later read. The canonical source is a crashed
+// coordinator whose partial apply reached no peer (the value lived only on
+// its own disk) recovering amnesiac — the wipe that forced amnesia also
+// erased the sole copy of the pending value. After a loss the stamp may
+// legitimately be reissued: the amnesiac coordinator has forgotten it ever
+// used it, and no surviving copy pins the old value to it.
+func (l *Log) RecordWriteLoss(site int, stamp int64, t float64) {
+	l.ops = append(l.ops, Op{
+		Seq: len(l.ops), Kind: Loss, Site: site, Stamp: stamp, Time: t,
+	})
+}
+
 // Len returns the number of recorded operations.
 func (l *Log) Len() int { return len(l.ops) }
 
@@ -109,12 +132,13 @@ func (l *Log) Ops() []Op { return l.ops }
 // writes total).
 func (l *Log) GrantedCounts() (rg, rt, wg, wt int) {
 	for _, op := range l.ops {
-		if op.Kind == Read {
+		switch op.Kind {
+		case Read:
 			rt++
 			if op.Granted {
 				rg++
 			}
-		} else {
+		case Write:
 			wt++
 			if op.Granted {
 				wg++
@@ -139,7 +163,10 @@ func (l *Log) GrantedCounts() (rg, rt, wg, wt int) {
 //     pending indeterminate write with a stamp above the committed one. In
 //     the latter case that write retroactively serializes here: it becomes
 //     the committed state, and every pending write at or below it can
-//     never surface again.
+//     never surface again;
+//   - a Loss event removes a pending write from consideration: every copy
+//     holding its value was destroyed, so it neither constrains later
+//     reads nor pins its stamp.
 type checker struct {
 	committedStamp int64
 	committedValue int64
@@ -150,6 +177,12 @@ type checker struct {
 // step advances the checker by one operation, returning a non-empty reason
 // on a violation.
 func (c *checker) step(op Op) string {
+	if op.Kind == Loss {
+		// The pending write's last copy is gone: stop expecting its value
+		// to surface, and free its stamp for reissue.
+		delete(c.pending, op.Stamp)
+		return ""
+	}
 	if op.Indeterminate {
 		if op.Kind == Write && op.Stamp > c.committedStamp {
 			if c.pending == nil {

@@ -11,9 +11,9 @@ func TestIndeterminateWriteSurfacesAndCommits(t *testing.T) {
 	var l Log
 	l.RecordWrite(0, true, 10, 100, 1)
 	l.RecordIndeterminateWrite(1, 20, 200, 2)
-	l.RecordRead(2, true, 10, 100, 3)  // committed state still visible
-	l.RecordRead(3, true, 20, 200, 4)  // pending write surfaces — commits here
-	l.RecordRead(4, true, 20, 200, 5)  // and stays committed
+	l.RecordRead(2, true, 10, 100, 3) // committed state still visible
+	l.RecordRead(3, true, 20, 200, 4) // pending write surfaces — commits here
+	l.RecordRead(4, true, 20, 200, 5) // and stays committed
 	if err := l.Check(); err != nil {
 		t.Fatalf("legal history rejected: %v", err)
 	}
@@ -99,5 +99,35 @@ func TestBackwardCompatiblePlainHistories(t *testing.T) {
 	}
 	if got := len(l.CheckAll()); got != 1 {
 		t.Fatalf("CheckAll found %d violations, want 1", got)
+	}
+}
+
+// A write loss retires a pending write: its stamp may be reissued with a
+// different value, and its value may no longer surface in a read. This is
+// the amnesiac-coordinator scenario — the only disk holding a partial
+// apply was wiped, and the rejoined node (having forgotten the stamp it
+// issued) derives the same one again for a fresh write.
+func TestWriteLossRetiresPending(t *testing.T) {
+	var l Log
+	l.RecordIndeterminateWrite(0, 20, 200, 1)
+	l.RecordWriteLoss(0, 200, 2)
+	l.RecordWrite(1, true, 30, 200, 3) // reissued stamp, new value: legal
+	l.RecordRead(2, true, 30, 200, 4)
+	if err := l.Check(); err != nil {
+		t.Fatalf("reissue after loss rejected: %v", err)
+	}
+
+	// After the loss, the lost value must never surface.
+	var l2 Log
+	l2.RecordIndeterminateWrite(0, 20, 200, 1)
+	l2.RecordWriteLoss(0, 200, 2)
+	l2.RecordRead(1, true, 20, 200, 3)
+	if err := l2.Check(); err == nil {
+		t.Fatal("lost pending write allowed to surface")
+	}
+
+	// Loss events do not perturb read/write accounting.
+	if _, rt, _, wt := l.GrantedCounts(); rt != 1 || wt != 2 {
+		t.Fatalf("counts with loss event: reads=%d writes=%d, want 1 and 2", rt, wt)
 	}
 }

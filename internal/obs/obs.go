@@ -68,6 +68,15 @@ const (
 	CSimLinkFail
 	CSimLinkRepair
 
+	// Durable store (internal/store) and amnesiac recovery.
+	CStoreAppend
+	CStoreSync
+	CStoreSnapshot
+	CStoreTruncRepair
+	CStoreCorrupt
+	CAmnesia
+	CRejoin
+
 	numCounters
 )
 
@@ -99,6 +108,13 @@ var counterNames = [numCounters]string{
 	"quorumkit_sim_site_repairs_total",
 	"quorumkit_sim_link_fails_total",
 	"quorumkit_sim_link_repairs_total",
+	"quorumkit_store_appends_total",
+	"quorumkit_store_syncs_total",
+	"quorumkit_store_snapshots_total",
+	"quorumkit_store_truncate_repairs_total",
+	"quorumkit_store_corrupt_recoveries_total",
+	"quorumkit_amnesias_total",
+	"quorumkit_amnesiac_rejoins_total",
 }
 
 // Name returns the exposition name of a counter.
@@ -121,6 +137,9 @@ const (
 	// GQuorumEpoch is the highest assignment version any instrumented
 	// runtime has installed.
 	GQuorumEpoch
+	// GAmnesiacNodes is the number of nodes currently awaiting a
+	// state-transfer rejoin after losing their durable state.
+	GAmnesiacNodes
 
 	numGauges
 )
@@ -130,6 +149,7 @@ var gaugeNames = [numGauges]string{
 	"quorumkit_degraded_nodes",
 	"quorumkit_crashed_nodes",
 	"quorumkit_quorum_epoch",
+	"quorumkit_amnesiac_nodes",
 }
 
 // Name returns the exposition name of a gauge.

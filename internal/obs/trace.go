@@ -49,6 +49,12 @@ const (
 	// EvTopology: a simulator topology event; Peer is the site or link
 	// index, A one of the sim event kind codes, B 1 for up / 0 for down.
 	EvTopology
+	// EvAmnesia: Node's durable state was missing or corrupt at recovery;
+	// A is 1 when the store detected corruption, 0 when state was absent.
+	EvAmnesia
+	// EvRejoin: amnesiac Node completed a state-transfer rejoin; A is the
+	// adopted assignment version, B the vote weight gathered.
+	EvRejoin
 
 	numEventTypes
 )
@@ -67,6 +73,8 @@ var eventNames = [numEventTypes]string{
 	"crash",
 	"recover",
 	"topology",
+	"amnesia",
+	"rejoin",
 }
 
 // String implements fmt.Stringer.

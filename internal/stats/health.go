@@ -15,15 +15,15 @@ type HealthCounters struct {
 	Unsuspicions   int64 // suspected peers that answered again
 
 	// Adaptive reassignment daemon.
-	DaemonTicks       int64 // daemon steps executed
-	DaemonTriggers    int64 // steps where a trigger condition held
-	DaemonReassigns   int64 // optimizer runs that installed a new assignment
-	DaemonNoChanges   int64 // optimizer runs that kept the incumbent
-	DaemonErrors      int64 // optimizer runs that failed (typed errors)
-	CooldownSkips     int64 // triggers suppressed by the rate limiter
-	NotLeaderSkips    int64 // triggers deferred to a smaller-id component peer
-	DegradedSkips     int64 // triggers with no reachable write quorum
-	SyncRounds        int64 // version-divergence repair rounds issued
+	DaemonTicks     int64 // daemon steps executed
+	DaemonTriggers  int64 // steps where a trigger condition held
+	DaemonReassigns int64 // optimizer runs that installed a new assignment
+	DaemonNoChanges int64 // optimizer runs that kept the incumbent
+	DaemonErrors    int64 // optimizer runs that failed (typed errors)
+	CooldownSkips   int64 // triggers suppressed by the rate limiter
+	NotLeaderSkips  int64 // triggers deferred to a smaller-id component peer
+	DegradedSkips   int64 // triggers with no reachable write quorum
+	SyncRounds      int64 // version-divergence repair rounds issued
 
 	// Graceful degradation.
 	Degradations   int64 // transitions out of healthy mode

@@ -266,6 +266,8 @@ type ChaosCounters struct {
 	// Crash-recovery.
 	Crashes    int64 // injected coordinator crashes
 	Recoveries int64 // crashed nodes that rejoined with durable state
+	Amnesias   int64 // recoveries that found durable state lost or corrupt
+	Rejoins    int64 // amnesiac nodes readmitted by state transfer
 
 	// Total simulated backoff accumulated across retries, in abstract
 	// ticks (the deterministic runtime has no clock; the concurrent
@@ -286,6 +288,8 @@ func (c *ChaosCounters) Merge(o ChaosCounters) {
 	c.Indeterminate += o.Indeterminate
 	c.Crashes += o.Crashes
 	c.Recoveries += o.Recoveries
+	c.Amnesias += o.Amnesias
+	c.Rejoins += o.Rejoins
 	c.BackoffTicks += o.BackoffTicks
 }
 
@@ -293,10 +297,10 @@ func (c *ChaosCounters) Merge(o ChaosCounters) {
 func (c ChaosCounters) String() string {
 	return fmt.Sprintf(
 		"msgs: dropped=%d duplicated=%d reordered=%d delayed=%d\n"+
-			"ops:  retries=%d aborts=%d timeouts=%d no-quorum=%d indeterminate=%d crashes=%d recoveries=%d backoff=%d",
+			"ops:  retries=%d aborts=%d timeouts=%d no-quorum=%d indeterminate=%d crashes=%d recoveries=%d amnesias=%d rejoins=%d backoff=%d",
 		c.MsgDropped, c.MsgDuplicated, c.MsgReordered, c.MsgDelayed,
 		c.Retries, c.Aborts, c.Timeouts, c.NoQuorum, c.Indeterminate,
-		c.Crashes, c.Recoveries, c.BackoffTicks)
+		c.Crashes, c.Recoveries, c.Amnesias, c.Rejoins, c.BackoffTicks)
 }
 
 // Median of a float64 slice (used in reporting); returns 0 for empty input.

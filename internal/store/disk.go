@@ -1,0 +1,270 @@
+// Package store is the durable storage engine under both cluster runtimes:
+// a checksummed append-only record log plus an atomically-replaced snapshot
+// that together persist each node's protocol-critical state — value, stamp,
+// quorum assignment, version number, and estimator history.
+//
+// The paper's dynamic quorum reassignment protocol (§5) preserves one-copy
+// serializability only if a site's copy state survives crashes: a node that
+// comes back voting with a stale quorum version silently re-admits the old
+// read/write quorums and breaks the intersection argument. The engine
+// therefore enforces an "fsync before you externalize" discipline (the
+// runtimes sync before every vote reply, ack, and granted return) and a
+// recovery path that distinguishes repairable damage (a torn unsynced tail:
+// truncate to the last whole record) from unrepairable damage (corruption
+// or loss of sealed state: the node must forget it ever voted and rejoin by
+// state transfer — see the cluster runtimes' amnesiac mode).
+//
+// Everything runs against the Disk interface. The in-memory MemDisk backend
+// models exactly the durability contract the engine relies on — appended
+// bytes are volatile until Sync, renames are atomic and durable — which
+// makes crash behaviour deterministic and byte-level exhaustively testable.
+// FaultDisk wraps it with seed-planned damage from internal/faults.
+package store
+
+import (
+	"sort"
+	"sync"
+)
+
+// Disk is the byte-durability abstraction the store runs on. Appends are
+// buffered until Sync; Rename and Remove are atomic, immediately-durable
+// metadata operations (a journaled filesystem's guarantee); Crash discards
+// every file's unsynced suffix; Wipe loses the medium entirely.
+type Disk interface {
+	Open(name string) File
+	Rename(oldName, newName string)
+	Remove(name string)
+	Crash()
+	Wipe()
+}
+
+// File is one append-only file on a Disk. Truncate is a durable metadata
+// operation used by recovery to cut a damaged tail.
+type File interface {
+	Append(p []byte)
+	Sync()
+	Truncate(n int)
+	Contents() []byte
+	Len() int
+}
+
+// MemDisk is the deterministic in-memory Disk backend. It tracks synced and
+// unsynced content separately so Crash has real teeth, and iterates files
+// in sorted name order wherever order matters, so injected byte-offset
+// faults are reproducible.
+type MemDisk struct {
+	mu    sync.Mutex
+	files map[string]*memFile
+}
+
+type memFile struct {
+	d        *MemDisk
+	synced   []byte
+	unsynced []byte
+}
+
+// NewMemDisk returns an empty in-memory disk.
+func NewMemDisk() *MemDisk {
+	return &MemDisk{files: make(map[string]*memFile)}
+}
+
+// Open returns a handle to name, creating an empty file if absent.
+func (d *MemDisk) Open(name string) File {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	f, ok := d.files[name]
+	if !ok {
+		f = &memFile{d: d}
+		d.files[name] = f
+	}
+	return f
+}
+
+// Rename moves oldName over newName, replacing it. No-op if oldName does
+// not exist.
+func (d *MemDisk) Rename(oldName, newName string) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	f, ok := d.files[oldName]
+	if !ok {
+		return
+	}
+	delete(d.files, oldName)
+	d.files[newName] = f
+}
+
+// Remove deletes name if present.
+func (d *MemDisk) Remove(name string) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	delete(d.files, name)
+}
+
+// Crash discards every file's unsynced suffix: the baseline power-loss
+// semantics.
+func (d *MemDisk) Crash() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for _, f := range d.files {
+		f.unsynced = nil
+	}
+}
+
+// DumpedFile is one file's content split at the durable boundary, as
+// returned by Dump.
+type DumpedFile struct {
+	Synced   []byte
+	Unsynced []byte
+}
+
+// Dump returns a deep copy of every file, split at the durable boundary.
+// It backs byte-level tests: two runs that followed the same protocol
+// decisions must leave bit-identical media.
+func (d *MemDisk) Dump() map[string]DumpedFile {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make(map[string]DumpedFile, len(d.files))
+	for name, f := range d.files {
+		out[name] = DumpedFile{
+			Synced:   append([]byte(nil), f.synced...),
+			Unsynced: append([]byte(nil), f.unsynced...),
+		}
+	}
+	return out
+}
+
+// Wipe loses the medium: every file, synced or not.
+func (d *MemDisk) Wipe() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.files = make(map[string]*memFile)
+}
+
+func (f *memFile) Append(p []byte) {
+	f.d.mu.Lock()
+	defer f.d.mu.Unlock()
+	f.unsynced = append(f.unsynced, p...)
+}
+
+func (f *memFile) Sync() {
+	f.d.mu.Lock()
+	defer f.d.mu.Unlock()
+	f.synced = append(f.synced, f.unsynced...)
+	f.unsynced = f.unsynced[:0] // keep capacity: the sync cadence is hot
+}
+
+// Truncate cuts the file to its first n bytes (durably, like a journaled
+// metadata operation). Synced content is cut only after the unsynced
+// suffix is exhausted.
+func (f *memFile) Truncate(n int) {
+	f.d.mu.Lock()
+	defer f.d.mu.Unlock()
+	if n < 0 {
+		n = 0
+	}
+	if n <= len(f.synced) {
+		f.synced = f.synced[:n]
+		f.unsynced = f.unsynced[:0] // keep capacity
+		return
+	}
+	keep := n - len(f.synced)
+	if keep < len(f.unsynced) {
+		f.unsynced = f.unsynced[:keep]
+	}
+}
+
+func (f *memFile) Contents() []byte {
+	f.d.mu.Lock()
+	defer f.d.mu.Unlock()
+	out := make([]byte, 0, len(f.synced)+len(f.unsynced))
+	out = append(out, f.synced...)
+	return append(out, f.unsynced...)
+}
+
+func (f *memFile) Len() int {
+	f.d.mu.Lock()
+	defer f.d.mu.Unlock()
+	return len(f.synced) + len(f.unsynced)
+}
+
+// sortedNames returns the file names in sorted order — the canonical
+// iteration order for fault placement.
+func (d *MemDisk) sortedNames() []string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]string, 0, len(d.files))
+	for name := range d.files {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// unsyncedLen reports the unsynced suffix length of name (0 if absent).
+func (d *MemDisk) unsyncedLen(name string) int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if f, ok := d.files[name]; ok {
+		return len(f.unsynced)
+	}
+	return 0
+}
+
+// tear makes the first keep bytes of name's unsynced suffix survive the
+// coming crash, modelling a partially-flushed page-cache write.
+func (d *MemDisk) tear(name string, keep int) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	f, ok := d.files[name]
+	if !ok || keep <= 0 {
+		return
+	}
+	if keep > len(f.unsynced) {
+		keep = len(f.unsynced)
+	}
+	f.synced = append(f.synced, f.unsynced[:keep]...)
+	f.unsynced = nil
+}
+
+// durableSize is the total synced byte count across all files.
+func (d *MemDisk) durableSize() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	n := 0
+	for _, f := range d.files {
+		n += len(f.synced)
+	}
+	return n
+}
+
+// flipBit flips one bit of durable content, addressing bytes across files
+// in sorted name order.
+func (d *MemDisk) flipBit(pos int, bit uint) {
+	names := d.sortedNames()
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for _, name := range names {
+		f := d.files[name]
+		if pos < len(f.synced) {
+			f.synced[pos] ^= 1 << (bit % 8)
+			return
+		}
+		pos -= len(f.synced)
+	}
+}
+
+// clone deep-copies the disk — used by the crash-point sweep to branch the
+// same history into many crash outcomes.
+func (d *MemDisk) clone() *MemDisk {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := NewMemDisk()
+	for name, f := range d.files {
+		out.files[name] = &memFile{
+			d:        out,
+			synced:   append([]byte(nil), f.synced...),
+			unsynced: append([]byte(nil), f.unsynced...),
+		}
+	}
+	return out
+}

@@ -1,0 +1,107 @@
+package store
+
+import (
+	"bytes"
+	"hash/crc32"
+	"testing"
+)
+
+// encodeStateRec builds one valid state log record for seeding.
+func encodeStateRec(st State) []byte {
+	payload := make([]byte, 0, stateLen)
+	payload = appendU64(payload, uint64(st.Value))
+	payload = appendU64(payload, uint64(st.Stamp))
+	payload = appendU64(payload, uint64(st.Version))
+	payload = appendU32(payload, uint32(st.QR))
+	payload = appendU32(payload, uint32(st.QW))
+	rec := append([]byte{recState}, appendU32(nil, uint32(len(payload)))...)
+	rec = append(rec, payload...)
+	return appendU32(rec, crc32.ChecksumIEEE(rec))
+}
+
+func encodeObsRec(votes uint32) []byte {
+	rec := append([]byte{recObs}, appendU32(nil, 4)...)
+	rec = appendU32(rec, votes)
+	return appendU32(rec, crc32.ChecksumIEEE(rec))
+}
+
+// FuzzFoldLog drives arbitrary bytes plus an arbitrary sealed boundary
+// through the log replayer. Invariants: no panic; lenient replay consumes
+// a clean prefix (strict replay of what it consumed must succeed and agree);
+// strict replay of a damaged sealed region must error rather than skip.
+func FuzzFoldLog(f *testing.F) {
+	s1 := encodeStateRec(State{Value: 42, Stamp: 1 << 10, Version: 1, QR: 2, QW: 2})
+	s2 := encodeStateRec(State{Value: -7, Stamp: 2<<10 | 3, Version: 9, QR: 4, QW: 1})
+	o1 := encodeObsRec(3)
+	full := append(append(append([]byte(nil), s1...), o1...), s2...)
+
+	f.Add(full, uint32(len(full)))
+	// Truncated: a torn tail mid-record.
+	f.Add(full[:len(full)-5], uint32(len(s1)))
+	// Bit-flipped: damage inside the sealed region.
+	flipped := append([]byte(nil), full...)
+	flipped[recHeaderLen+3] ^= 0x40
+	f.Add(flipped, uint32(len(full)))
+	// Duplicated: the same record twice (legal; the fold is a merge).
+	f.Add(append(append([]byte(nil), s1...), s1...), uint32(2*len(s1)))
+	f.Add([]byte{}, uint32(0))
+	f.Add([]byte{recState}, uint32(1))
+
+	f.Fuzz(func(t *testing.T, data []byte, sealed uint32) {
+		s := int(sealed)
+		if s > len(data) {
+			s = len(data)
+		}
+		var st State
+		var hist []float64
+		n, _, err := foldLog(data[:s], &st, &hist, true)
+		if err == nil && n != s {
+			t.Fatalf("strict fold consumed %d of %d without error", n, s)
+		}
+		var st2 State
+		var hist2 []float64
+		consumed, _, lerr := foldLog(data, &st2, &hist2, false)
+		if lerr != nil {
+			t.Fatalf("lenient fold errored: %v", lerr)
+		}
+		if consumed > len(data) {
+			t.Fatalf("lenient fold consumed %d of %d", consumed, len(data))
+		}
+		// The lenient-consumed prefix must be strictly clean and land on
+		// the same fold.
+		var st3 State
+		var hist3 []float64
+		n3, _, err3 := foldLog(data[:consumed], &st3, &hist3, true)
+		if err3 != nil || n3 != consumed {
+			t.Fatalf("lenient prefix not strictly clean: n=%d err=%v", n3, err3)
+		}
+		if st3 != st2 || !histEq(hist3, hist2) {
+			t.Fatalf("refold diverged: %+v vs %+v", st3, st2)
+		}
+	})
+}
+
+// FuzzDecodeSnap: the snapshot decoder must never panic, and anything it
+// accepts must be a canonical encoding (decode∘encode is the identity).
+func FuzzDecodeSnap(f *testing.F) {
+	f.Add(encodeSnap(1, State{Version: 1, QR: 2, QW: 2}, nil))
+	f.Add(encodeSnap(7, State{Value: 42, Stamp: 1 << 10, Version: 3, QR: 3, QW: 5},
+		[]float64{0, 1.5, 2}))
+	// Bit-flipped snapshot.
+	b := encodeSnap(2, State{Value: 1, Stamp: 1, Version: 1, QR: 1, QW: 1}, []float64{4})
+	b[snapHdrLen] ^= 0x01
+	f.Add(b)
+	// Truncated snapshot.
+	f.Add(b[:len(b)-3])
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		gen, st, hist, err := decodeSnap(data)
+		if err != nil {
+			return
+		}
+		if !bytes.Equal(encodeSnap(gen, st, hist), data) {
+			t.Fatalf("non-canonical snapshot accepted: %v", data)
+		}
+	})
+}

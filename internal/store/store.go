@@ -1,0 +1,553 @@
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"sync"
+
+	"quorumkit/internal/obs"
+)
+
+// The engine keeps three files per node:
+//
+//   - "log": checksummed append-only records, one per durable mutation.
+//     Two record kinds: a full state record (value, stamp, version,
+//     assignment) and an estimator observation (one vote-weight sample).
+//   - "seal": fixed-size records (generation, sealed log length, crc)
+//     appended and synced by every Sync *after* the log itself is flushed.
+//     The last valid seal record is the recovery arbiter: it names exactly
+//     how many log bytes the node may have externalized. Anomalies inside
+//     that committed prefix are corruption (amnesia); anomalies beyond it
+//     are at worst a torn tail of un-externalized appends (truncate).
+//   - "snap": a whole-state snapshot written to "snap.tmp", synced, then
+//     atomically renamed over "snap" (double-buffer + rename discipline).
+//     Compaction resets log and seal to a new generation; a seal record
+//     whose generation predates the snapshot is superseded and ignored.
+//
+// Replay is a merge-fold with the same adopt semantics the protocol uses
+// in memory (higher version wins the assignment, higher stamp wins the
+// value), so replaying any prefix of records — in any arrival order the
+// runtimes produced them — lands on a state the node legitimately held.
+
+const (
+	logName     = "log"
+	sealName    = "seal"
+	snapName    = "snap"
+	snapTmpName = "snap.tmp"
+
+	recState byte = 1 // full durable state
+	recObs   byte = 2 // one estimator observation (vote weight)
+
+	recHeaderLen = 5  // kind (1) + payload length (4)
+	recCRCLen    = 4  // trailing crc32 over header+payload
+	stateLen     = 32 // value, stamp, version (8 each) + qr, qw (4 each)
+	sealRecLen   = 16 // generation (8) + sealed length (4) + crc32 (4)
+	snapHdrLen   = 16 // magic (4) + generation (8) + payload length (4)
+
+	// maxRecLen bounds a record's payload; a length field claiming more is
+	// damage, not data.
+	maxRecLen = 1 << 16
+
+	// defaultSnapEvery is the compaction cadence in log appends.
+	defaultSnapEvery = 64
+)
+
+var snapMagic = [4]byte{'Q', 'K', 'S', '1'}
+
+// Typed recovery errors.
+var (
+	// ErrCorrupt: sealed (possibly externalized) durable state is damaged
+	// or missing. The node must not vote from it — amnesiac rejoin only.
+	ErrCorrupt = errors.New("store: durable state corrupt")
+	// ErrNoState: the medium is empty (wiped or never initialized).
+	ErrNoState = errors.New("store: no durable state")
+)
+
+// State is the protocol-critical durable state of one node.
+type State struct {
+	Value   int64
+	Stamp   int64
+	Version int64
+	QR, QW  int
+}
+
+// merge folds other into s with the protocol's adopt semantics: the higher
+// version carries the assignment, the higher stamp carries the value.
+// Folding records through merge makes replay order-independent.
+func (s *State) merge(o State) {
+	if o.Version > s.Version {
+		s.Version, s.QR, s.QW = o.Version, o.QR, o.QW
+	}
+	if o.Stamp > s.Stamp {
+		s.Stamp, s.Value = o.Stamp, o.Value
+	}
+}
+
+// Counters are the store's own metrics, mirrored into obs when a registry
+// is attached.
+type Counters struct {
+	Appends           int64 // log records written
+	Syncs             int64 // non-empty sync barriers (log flush + seal)
+	Snapshots         int64 // compactions (snapshot + log/seal reset)
+	TruncateRepairs   int64 // damaged-tail truncations during recovery
+	CorruptRecoveries int64 // recoveries that found sealed state damaged
+}
+
+// NodeStore is one node's durable state engine. All methods are safe for
+// concurrent use; the cluster runtimes serialize per-node access anyway.
+type NodeStore struct {
+	mu        sync.Mutex
+	disk      Disk
+	reg       *obs.Registry
+	snapEvery int
+
+	log  File
+	seal File
+
+	gen       uint64 // current snapshot generation
+	sealedLen int    // log bytes covered by the latest seal record
+	dirty     bool   // unsynced log appends outstanding
+	appends   int    // log appends since the last compaction
+
+	cur      State // merge-fold mirror of the durable records
+	hist     []float64
+	counters Counters
+
+	// Reusable scratch buffers for the append hot path (guarded by mu, like
+	// everything else). The disk backends copy on Append, so reuse is safe,
+	// and the write path stays allocation-free: a log append must cost a
+	// small fraction of a protocol operation (see `make bench-store`).
+	pbuf []byte // payload assembly
+	rbuf []byte // record framing
+}
+
+// Open attaches an engine to disk. snapEvery is the compaction cadence in
+// appends (≤0 selects the default). Open does not read the disk; call
+// Reset to establish a fresh identity or Recover to load an existing one.
+func Open(disk Disk, snapEvery int) *NodeStore {
+	if snapEvery <= 0 {
+		snapEvery = defaultSnapEvery
+	}
+	s := &NodeStore{disk: disk, snapEvery: snapEvery}
+	s.log = disk.Open(logName)
+	s.seal = disk.Open(sealName)
+	return s
+}
+
+// SetObserver attaches (or detaches, with nil) an obs registry.
+func (s *NodeStore) SetObserver(r *obs.Registry) {
+	s.mu.Lock()
+	s.reg = r
+	s.mu.Unlock()
+}
+
+// SetDisk swaps the underlying disk — used to interpose FaultDisk over the
+// same MemDisk after construction. Content is untouched; handles reopen.
+func (s *NodeStore) SetDisk(d Disk) {
+	s.mu.Lock()
+	s.disk = d
+	s.log = d.Open(logName)
+	s.seal = d.Open(sealName)
+	s.mu.Unlock()
+}
+
+// Counters returns a copy of the store's metrics.
+func (s *NodeStore) Counters() Counters {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.counters
+}
+
+// PutState appends a full state record. Volatile until Sync.
+func (s *NodeStore) PutState(st State) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.cur.merge(st)
+	payload := s.pbuf[:0]
+	payload = appendU64(payload, uint64(st.Value))
+	payload = appendU64(payload, uint64(st.Stamp))
+	payload = appendU64(payload, uint64(st.Version))
+	payload = appendU32(payload, uint32(st.QR))
+	payload = appendU32(payload, uint32(st.QW))
+	s.pbuf = payload
+	s.appendRecordLocked(recState, payload)
+}
+
+// PutObservation appends one estimator sample (a vote weight). Volatile
+// until Sync.
+func (s *NodeStore) PutObservation(votes int) {
+	if votes < 0 {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.foldObsLocked(votes)
+	s.pbuf = appendU32(s.pbuf[:0], uint32(votes))
+	s.appendRecordLocked(recObs, s.pbuf)
+}
+
+func (s *NodeStore) foldObsLocked(votes int) {
+	for len(s.hist) <= votes {
+		s.hist = append(s.hist, 0)
+	}
+	s.hist[votes]++
+}
+
+func (s *NodeStore) appendRecordLocked(kind byte, payload []byte) {
+	rec := s.rbuf[:0]
+	rec = append(rec, kind)
+	rec = appendU32(rec, uint32(len(payload)))
+	rec = append(rec, payload...)
+	rec = appendU32(rec, crc32.ChecksumIEEE(rec))
+	s.rbuf = rec
+	s.log.Append(rec)
+	s.dirty = true
+	s.appends++
+	s.counters.Appends++
+	s.reg.Inc(obs.CStoreAppend)
+}
+
+// Sync is the durability barrier: flush the log, then seal the flushed
+// length. The engine's contract with the runtimes is that nothing derived
+// from an append may be externalized (vote reply, ack, granted return)
+// before Sync returns. A clean store syncs for free.
+func (s *NodeStore) Sync() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.dirty {
+		return
+	}
+	s.log.Sync()
+	s.sealedLen = s.log.Len()
+	s.rbuf = appendSeal(s.rbuf[:0], s.gen, s.sealedLen)
+	s.seal.Append(s.rbuf)
+	s.seal.Sync()
+	s.dirty = false
+	s.counters.Syncs++
+	s.reg.Inc(obs.CStoreSync)
+	if s.appends >= s.snapEvery {
+		s.compactLocked()
+	}
+}
+
+// compactLocked writes a snapshot of the folded state via the tmp+rename
+// discipline and resets log and seal to the next generation. Every step is
+// individually durable, so a crash anywhere leaves either the old
+// generation fully intact or the new snapshot superseding the old log.
+func (s *NodeStore) compactLocked() {
+	s.writeSnapLocked(s.gen + 1)
+	s.counters.Snapshots++
+	s.reg.Inc(obs.CStoreSnapshot)
+}
+
+// writeSnapLocked installs a snapshot of (s.cur, s.hist) as generation gen
+// and resets log and seal.
+func (s *NodeStore) writeSnapLocked(gen uint64) {
+	s.disk.Remove(snapTmpName)
+	tmp := s.disk.Open(snapTmpName)
+	tmp.Append(encodeSnap(gen, s.cur, s.hist))
+	tmp.Sync()
+	s.disk.Rename(snapTmpName, snapName)
+	s.gen = gen
+	// Truncate rather than remove-and-reopen: byte-wise identical (an
+	// empty file), but the backend keeps its buffers, so the steady-state
+	// compaction cycle stops re-growing them from scratch.
+	s.log.Truncate(0)
+	s.seal.Truncate(0)
+	s.seal.Append(encodeSeal(s.gen, 0))
+	s.seal.Sync()
+	s.appends = 0
+	s.sealedLen = 0
+	s.dirty = false
+}
+
+// Reset establishes a fresh durable identity: bootstrap at cluster
+// construction, or the state adopted by an amnesiac rejoin. Prior content
+// is discarded.
+func (s *NodeStore) Reset(st State, hist []float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.disk.Remove(snapName)
+	s.disk.Remove(snapTmpName)
+	s.cur = st
+	s.hist = append([]float64(nil), hist...)
+	// Log and seal are truncated (not removed) by the snapshot write, so
+	// the open handles stay valid.
+	s.writeSnapLocked(s.gen + 1)
+}
+
+// Crash loses the unsynced suffix of every file (plus whatever damage a
+// FaultDisk injects). The in-memory mirror is left stale on purpose: the
+// node is down, and Recover rebuilds from bytes alone.
+func (s *NodeStore) Crash() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.disk.Crash()
+}
+
+// Recover reloads durable state after a crash. It returns the folded
+// state and estimator history, repairing a damaged un-externalized tail by
+// truncation, or fails with ErrCorrupt/ErrNoState when the sealed prefix
+// cannot be trusted — in which case the caller must treat the node as
+// amnesiac and rejoin by state transfer, never by voting.
+func (s *NodeStore) Recover() (State, []float64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.log = s.disk.Open(logName)
+	s.seal = s.disk.Open(sealName)
+	snapB := s.disk.Open(snapName).Contents()
+	sealB := s.seal.Contents()
+	logB := s.log.Contents()
+	if len(snapB) == 0 && len(sealB) == 0 && len(logB) == 0 {
+		return State{}, nil, ErrNoState
+	}
+	gen, st, hist, err := decodeSnap(snapB)
+	if err != nil {
+		return State{}, nil, s.corruptLocked(err)
+	}
+	sealed, genMatch, sealRepairs, err := foldSeal(sealB, gen)
+	if err != nil {
+		return State{}, nil, s.corruptLocked(err)
+	}
+	if sealRepairs > 0 {
+		s.seal.Truncate(len(sealB) - len(sealB)%sealRecLen)
+		s.repairLocked(sealRepairs)
+	}
+	if !genMatch {
+		// Crash window inside compaction: the snapshot superseded the log
+		// but the log/seal reset never completed. The old-generation log
+		// must not replay on top of the snapshot that already contains it —
+		// finish the interrupted compaction instead.
+		if len(logB) > 0 {
+			s.log.Truncate(0)
+			s.repairLocked(1)
+		}
+		s.seal.Truncate(0)
+		s.seal.Append(encodeSeal(gen, 0))
+		s.seal.Sync()
+		s.gen = gen
+		s.sealedLen = 0
+		s.dirty = false
+		s.appends = 0
+		s.cur = st
+		s.hist = hist
+		return st, append([]float64(nil), hist...), nil
+	}
+	if sealed > len(logB) {
+		return State{}, nil, s.corruptLocked(
+			fmt.Errorf("sealed %d bytes, log holds %d", sealed, len(logB)))
+	}
+	// The committed prefix must parse exactly: any anomaly inside it means
+	// externalized state is damaged.
+	n, nrec, err := foldLog(logB[:sealed], &st, &hist, true)
+	if err != nil || n != sealed {
+		return State{}, nil, s.corruptLocked(err)
+	}
+	// Beyond the seal lies at worst a torn tail of appends whose Sync never
+	// returned — nothing out there was externalized, so replay what parses
+	// and cut the rest.
+	consumed, tailRec, _ := foldLog(logB[sealed:], &st, &hist, false)
+	if sealed+consumed < len(logB) {
+		s.log.Truncate(sealed + consumed)
+		s.repairLocked(1)
+	}
+	s.gen = gen
+	s.sealedLen = sealed
+	s.dirty = false
+	s.appends = nrec + tailRec
+	s.cur = st
+	s.hist = hist
+	return st, append([]float64(nil), hist...), nil
+}
+
+func (s *NodeStore) corruptLocked(cause error) error {
+	s.counters.CorruptRecoveries++
+	s.reg.Inc(obs.CStoreCorrupt)
+	if cause == nil || errors.Is(cause, ErrCorrupt) {
+		return ErrCorrupt
+	}
+	return fmt.Errorf("%w: %v", ErrCorrupt, cause)
+}
+
+func (s *NodeStore) repairLocked(n int) {
+	s.counters.TruncateRepairs += int64(n)
+	s.reg.Add(obs.CStoreTruncRepair, int64(n))
+}
+
+// foldLog parses records from b, folding each into st/hist. In strict mode
+// any anomaly is an error; in lenient mode parsing stops at the first
+// anomaly. Returns the clean byte count and the records folded.
+func foldLog(b []byte, st *State, hist *[]float64, strict bool) (int, int, error) {
+	off, count := 0, 0
+	fail := func(format string, args ...any) (int, int, error) {
+		if strict {
+			return off, count, fmt.Errorf(format, args...)
+		}
+		return off, count, nil
+	}
+	for off < len(b) {
+		rest := b[off:]
+		if len(rest) < recHeaderLen {
+			return fail("short record header at %d", off)
+		}
+		kind := rest[0]
+		plen := int(binary.LittleEndian.Uint32(rest[1:5]))
+		total := recHeaderLen + plen + recCRCLen
+		if plen > maxRecLen || len(rest) < total {
+			return fail("truncated record at %d", off)
+		}
+		want := binary.LittleEndian.Uint32(rest[recHeaderLen+plen : total])
+		if crc32.ChecksumIEEE(rest[:recHeaderLen+plen]) != want {
+			return fail("record checksum mismatch at %d", off)
+		}
+		payload := rest[recHeaderLen : recHeaderLen+plen]
+		switch kind {
+		case recState:
+			if plen != stateLen {
+				return fail("state record length %d at %d", plen, off)
+			}
+			st.merge(decodeState(payload))
+		case recObs:
+			if plen != 4 {
+				return fail("obs record length %d at %d", plen, off)
+			}
+			votes := int(binary.LittleEndian.Uint32(payload))
+			for len(*hist) <= votes {
+				*hist = append(*hist, 0)
+			}
+			(*hist)[votes]++
+		default:
+			return fail("unknown record kind %d at %d", kind, off)
+		}
+		off += total
+		count++
+	}
+	return off, count, nil
+}
+
+// foldSeal scans the seal file and returns the sealed log length for
+// generation gen, and whether any seal record for that generation exists
+// (when none does, the snapshot superseded the log: compaction crash
+// window). A partial trailing record is a torn seal append whose Sync
+// never returned — dropped, counted as a repair. A full-size record with a
+// bad checksum is media corruption; it is survivable only when a later
+// valid record supersedes it, because only the *latest* seal is
+// load-bearing.
+func foldSeal(b []byte, gen uint64) (sealed int, genMatch bool, repairs int, err error) {
+	n := len(b) / sealRecLen
+	lastValid := -1
+	var lastGen uint64
+	var lastLen int
+	badSinceValid := false
+	for i := 0; i < n; i++ {
+		rec := b[i*sealRecLen : (i+1)*sealRecLen]
+		if crc32.ChecksumIEEE(rec[:12]) != binary.LittleEndian.Uint32(rec[12:16]) {
+			badSinceValid = true
+			repairs++
+			continue
+		}
+		lastValid = i
+		lastGen = binary.LittleEndian.Uint64(rec[0:8])
+		lastLen = int(binary.LittleEndian.Uint32(rec[8:12]))
+		badSinceValid = false
+	}
+	if badSinceValid {
+		return 0, false, 0, errors.New("latest seal record unreadable")
+	}
+	if len(b)%sealRecLen != 0 {
+		repairs++
+	}
+	if lastValid == -1 || lastGen != gen {
+		return 0, false, repairs, nil
+	}
+	return lastLen, true, repairs, nil
+}
+
+func decodeState(p []byte) State {
+	return State{
+		Value:   int64(binary.LittleEndian.Uint64(p[0:8])),
+		Stamp:   int64(binary.LittleEndian.Uint64(p[8:16])),
+		Version: int64(binary.LittleEndian.Uint64(p[16:24])),
+		QR:      int(binary.LittleEndian.Uint32(p[24:28])),
+		QW:      int(binary.LittleEndian.Uint32(p[28:32])),
+	}
+}
+
+func encodeSeal(gen uint64, sealed int) []byte {
+	return appendSeal(make([]byte, 0, sealRecLen), gen, sealed)
+}
+
+// appendSeal appends one seal record to b, allocation-free when b has
+// capacity (the Sync hot path reuses a scratch buffer).
+func appendSeal(b []byte, gen uint64, sealed int) []byte {
+	n := len(b)
+	b = appendU64(b, gen)
+	b = appendU32(b, uint32(sealed))
+	return appendU32(b, crc32.ChecksumIEEE(b[n:]))
+}
+
+func encodeSnap(gen uint64, st State, hist []float64) []byte {
+	payload := make([]byte, 0, stateLen+4+8*len(hist))
+	payload = appendU64(payload, uint64(st.Value))
+	payload = appendU64(payload, uint64(st.Stamp))
+	payload = appendU64(payload, uint64(st.Version))
+	payload = appendU32(payload, uint32(st.QR))
+	payload = appendU32(payload, uint32(st.QW))
+	payload = appendU32(payload, uint32(len(hist)))
+	for _, w := range hist {
+		payload = appendU64(payload, math.Float64bits(w))
+	}
+	out := make([]byte, 0, snapHdrLen+len(payload)+recCRCLen)
+	out = append(out, snapMagic[:]...)
+	out = appendU64(out, gen)
+	out = appendU32(out, uint32(len(payload)))
+	out = append(out, payload...)
+	return appendU32(out, crc32.ChecksumIEEE(out))
+}
+
+func decodeSnap(b []byte) (uint64, State, []float64, error) {
+	if len(b) < snapHdrLen+recCRCLen {
+		return 0, State{}, nil, errors.New("snapshot missing or short")
+	}
+	if [4]byte(b[0:4]) != snapMagic {
+		return 0, State{}, nil, errors.New("snapshot magic mismatch")
+	}
+	gen := binary.LittleEndian.Uint64(b[4:12])
+	plen := int(binary.LittleEndian.Uint32(b[12:16]))
+	if plen > maxRecLen || len(b) != snapHdrLen+plen+recCRCLen {
+		return 0, State{}, nil, errors.New("snapshot length mismatch")
+	}
+	want := binary.LittleEndian.Uint32(b[snapHdrLen+plen:])
+	if crc32.ChecksumIEEE(b[:snapHdrLen+plen]) != want {
+		return 0, State{}, nil, errors.New("snapshot checksum mismatch")
+	}
+	p := b[snapHdrLen : snapHdrLen+plen]
+	if len(p) < stateLen+4 {
+		return 0, State{}, nil, errors.New("snapshot payload short")
+	}
+	st := decodeState(p[:stateLen])
+	bins := int(binary.LittleEndian.Uint32(p[stateLen : stateLen+4]))
+	if len(p) != stateLen+4+8*bins {
+		return 0, State{}, nil, errors.New("snapshot histogram length mismatch")
+	}
+	var hist []float64
+	if bins > 0 {
+		hist = make([]float64, bins)
+		for i := 0; i < bins; i++ {
+			hist[i] = math.Float64frombits(
+				binary.LittleEndian.Uint64(p[stateLen+4+8*i:]))
+		}
+	}
+	return gen, st, hist, nil
+}
+
+func appendU32(b []byte, v uint32) []byte {
+	return binary.LittleEndian.AppendUint32(b, v)
+}
+
+func appendU64(b []byte, v uint64) []byte {
+	return binary.LittleEndian.AppendUint64(b, v)
+}
