@@ -5,9 +5,9 @@
 
 GO ?= go
 
-.PHONY: check vet build test race cover-obs cover-store fuzz chaos diskchaos soak bench bench-robustness bench-obs bench-store
+.PHONY: check vet build test race cover-obs cover-store cover-sim fuzz chaos diskchaos soak bench bench-robustness bench-obs bench-store bench-core bench-core-update study
 
-check: vet build test race cover-obs cover-store
+check: vet build test race cover-obs cover-store cover-sim
 
 vet:
 	$(GO) vet ./...
@@ -38,6 +38,17 @@ cover-store:
 		pct = $$3 + 0; \
 		printf "internal/store coverage: %s (gate: 90%%)\n", $$3; \
 		if (pct < 90) { print "FAIL: internal/store coverage below 90%"; exit 1 } }'
+
+# The simulator is the measurement instrument every study result rests on:
+# the large-N engine's equivalence proofs (sweep vs per-assignment, reset
+# vs fresh, parallel vs serial) only bind if the paths they compare are
+# exercised, so the package stays near-fully covered.
+cover-sim:
+	$(GO) test -coverprofile=/tmp/sim.cover ./internal/sim/ >/dev/null
+	@$(GO) tool cover -func=/tmp/sim.cover | awk '/^total:/ { \
+		pct = $$3 + 0; \
+		printf "internal/sim coverage: %s (gate: 90%%)\n", $$3; \
+		if (pct < 90) { print "FAIL: internal/sim coverage below 90%"; exit 1 } }'
 
 # Short continuous fuzz of the wire codec (the committed corpus always
 # replays as part of `make test`).
@@ -82,3 +93,20 @@ bench-obs:
 # reported for context).
 bench-store:
 	$(GO) run ./cmd/quorumsim -benchstore BENCH_store.json -seed 1
+
+# Core-kernel regression gate: re-measure the study engine's hot kernels
+# and fail on any heap allocation in steady-state access, a family-sweep
+# speedup below 5×, a sweep that is not bit-identical to the
+# per-assignment reference, or a calibrated slowdown of more than 10%
+# against the committed BENCH_core.json.
+bench-core:
+	$(GO) run ./cmd/quorumsim -benchcore /tmp/BENCH_core.json -benchbase BENCH_core.json -seed 1
+
+# Regenerate the committed core-kernel baseline (run on an idle machine).
+bench-core-update:
+	$(GO) run ./cmd/quorumsim -benchcore BENCH_core.json -seed 1
+
+# Large-N study smoke: a reduced chords × α grid at paper scale.
+study:
+	$(GO) run ./cmd/quorumsim -study -sites 301 -chords 0,4 -alphas 0.75 \
+		-warmup 1000 -batch 20000 -minbatches 3 -maxbatches 5 -ci 0.01 -parallel 4

@@ -1,0 +1,260 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"reflect"
+	"runtime"
+	"time"
+
+	"quorumkit/internal/core"
+	"quorumkit/internal/dist"
+	"quorumkit/internal/graph"
+	"quorumkit/internal/quorum"
+	"quorumkit/internal/rng"
+	"quorumkit/internal/sim"
+)
+
+// coreBench is one timed kernel in BENCH_core.json. The ratio normalizes
+// the wall-clock figure by a per-host RNG calibration loop, so the
+// committed baseline can gate regressions across machines of different
+// speeds: a kernel that slows down relative to the same host's raw
+// arithmetic throughput has genuinely regressed.
+type coreBench struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	Ratio       float64 `json:"ratio"`
+}
+
+type coreBenchFile struct {
+	CalibrationNs float64     `json:"calibration_ns_per_op"`
+	Results       []coreBench `json:"results"`
+	SweepSpeedupX float64     `json:"sweep_speedup_x"`
+	SweepBitEqual bool        `json:"sweep_bit_identical"`
+}
+
+// runBenchCore measures the large-N study engine's two hot kernels and the
+// family-sweep speedup at the paper-style scale of 1001 sites, writes the
+// results to path, and — when base names a committed BENCH_core.json —
+// gates against it: steady-state access must stay allocation-free, the
+// sweep must stay ≥ 5× faster than the per-assignment reference (and
+// bit-identical to it), and neither kernel's calibrated ratio may exceed
+// its baseline by more than 10%.
+func runBenchCore(path, base string, seed uint64) int {
+	const sites = 1001
+
+	// Calibration: the host's raw sequential throughput, measured as the
+	// cost of one xoshiro draw. Kernel ratios are in units of this.
+	calNs := calibrateRNG(seed)
+
+	kernelNs, kernelAllocs := benchAssignmentKernel(sites, seed)
+	accessNs, accessAllocs := benchSteadyStateAccess(sites, seed)
+	speedup, bitEqual, err := benchSweepSpeedup(sites, seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+
+	file := coreBenchFile{
+		CalibrationNs: calNs,
+		Results: []coreBench{
+			{Name: "assignment_kernel", NsPerOp: kernelNs, AllocsPerOp: kernelAllocs, Ratio: kernelNs / calNs},
+			{Name: "steady_state_access", NsPerOp: accessNs, AllocsPerOp: accessAllocs, Ratio: accessNs / calNs},
+		},
+		SweepSpeedupX: speedup,
+		SweepBitEqual: bitEqual,
+	}
+
+	out, err := json.MarshalIndent(file, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	out = append(out, '\n')
+	if err := os.WriteFile(path, out, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	for _, r := range file.Results {
+		fmt.Printf("%-22s %10.1f ns/op  %6.1f allocs/op  ratio %.2f\n",
+			r.Name, r.NsPerOp, r.AllocsPerOp, r.Ratio)
+	}
+	fmt.Printf("%-22s %10.1f×          bit-identical: %v\n", "sweep_speedup", speedup, bitEqual)
+
+	if base == "" {
+		return 0
+	}
+	return gateBenchCore(file, base)
+}
+
+// gateBenchCore compares a fresh run against the committed baseline.
+func gateBenchCore(cur coreBenchFile, base string) int {
+	raw, err := os.ReadFile(base)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	var b coreBenchFile
+	if err := json.Unmarshal(raw, &b); err != nil {
+		fmt.Fprintf(os.Stderr, "parsing baseline %s: %v\n", base, err)
+		return 2
+	}
+	baseline := make(map[string]coreBench, len(b.Results))
+	for _, r := range b.Results {
+		baseline[r.Name] = r
+	}
+
+	status := 0
+	fail := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "BENCH GATE FAIL: "+format+"\n", args...)
+		status = 1
+	}
+	for _, r := range cur.Results {
+		if r.AllocsPerOp > 0 {
+			fail("%s allocates (%.2f allocs/op, want 0)", r.Name, r.AllocsPerOp)
+		}
+		bl, ok := baseline[r.Name]
+		if !ok {
+			fail("%s missing from baseline %s", r.Name, base)
+			continue
+		}
+		if bl.Ratio > 0 && r.Ratio > bl.Ratio*1.10 {
+			fail("%s calibrated ratio %.3f exceeds baseline %.3f by >10%%", r.Name, r.Ratio, bl.Ratio)
+		}
+	}
+	if !cur.SweepBitEqual {
+		fail("family sweep is not bit-identical to the per-assignment reference")
+	}
+	if cur.SweepSpeedupX < 5 {
+		fail("sweep speedup %.1f× below the 5× floor", cur.SweepSpeedupX)
+	}
+	if status == 0 {
+		fmt.Printf("bench gate OK against %s\n", base)
+	}
+	return status
+}
+
+// calibrateRNG returns the best-of-3 cost of one RNG draw in nanoseconds.
+func calibrateRNG(seed uint64) float64 {
+	const draws = 20_000_000
+	r := rng.New(seed)
+	var sink uint64
+	bestNs := 0.0
+	for rep := 0; rep < 3; rep++ {
+		start := time.Now()
+		for i := 0; i < draws; i++ {
+			sink ^= r.Uint64()
+		}
+		ns := float64(time.Since(start).Nanoseconds()) / draws
+		if bestNs == 0 || ns < bestNs {
+			bestNs = ns
+		}
+	}
+	_ = sink
+	return bestNs
+}
+
+// benchAssignmentKernel times one full-family availability curve at T
+// votes — the O(T) suffix-sum kernel the optimizer and the sweep share —
+// and counts its steady-state heap allocations.
+func benchAssignmentKernel(T int, seed uint64) (nsPerOp, allocsPerOp float64) {
+	r := rng.New(seed)
+	read, write := randomPMFInto(r, T), randomPMFInto(r, T)
+	dst := make([]float64, T/2)
+
+	const ops = 2_000
+	warm := func() {
+		for i := 0; i < ops; i++ {
+			dst = core.AvailabilityCurveInto(0.75, read, write, dst)
+		}
+	}
+	warm()
+	allocsPerOp = measureAllocs(ops, warm)
+	bestNs := 0.0
+	for rep := 0; rep < 3; rep++ {
+		start := time.Now()
+		warm()
+		ns := float64(time.Since(start).Nanoseconds()) / ops
+		if bestNs == 0 || ns < bestNs {
+			bestNs = ns
+		}
+	}
+	return bestNs, allocsPerOp
+}
+
+// benchSteadyStateAccess times one access on a warmed 1001-site ring
+// simulator and counts its heap allocations (contract: exactly zero).
+func benchSteadyStateAccess(sites int, seed uint64) (nsPerOp, allocsPerOp float64) {
+	g := graph.Ring(sites)
+	s := sim.New(g, nil, sim.PaperParams(), seed)
+	T := s.State().TotalVotes()
+	s.SetProtocol(sim.StaticProtocol{Assignment: quorum.Assignment{QR: T/2 + 1, QW: T/2 + 1}}, 0.75)
+	s.RunAccesses(20_000) // reach steady state
+
+	const ops = 200_000
+	allocsPerOp = measureAllocs(ops, func() { s.RunAccesses(ops) })
+	bestNs := 0.0
+	for rep := 0; rep < 3; rep++ {
+		start := time.Now()
+		s.RunAccesses(ops)
+		ns := float64(time.Since(start).Nanoseconds()) / ops
+		if bestNs == 0 || ns < bestNs {
+			bestNs = ns
+		}
+	}
+	return bestNs, allocsPerOp
+}
+
+// benchSweepSpeedup runs the paper-style 1001-site family sweep through
+// the single-trajectory engine and through the seed per-assignment
+// reference, returning the wall-clock ratio and whether the two produced
+// bit-identical measurements.
+func benchSweepSpeedup(sites int, seed uint64) (speedup float64, bitEqual bool, err error) {
+	g := graph.Ring(sites)
+	cfg := sim.StudyConfig{
+		Warmup: 200, BatchAccesses: 1_000,
+		MinBatches: 2, MaxBatches: 2, CIHalfWidth: 0.005, Seed: seed,
+	}
+	const alpha = 0.75
+
+	start := time.Now()
+	fast, err := sim.Sweep(g, nil, sim.PaperParams(), alpha, cfg)
+	if err != nil {
+		return 0, false, err
+	}
+	fastSec := time.Since(start).Seconds()
+
+	start = time.Now()
+	ref, err := sim.SweepReference(g, nil, sim.PaperParams(), alpha, cfg)
+	if err != nil {
+		return 0, false, err
+	}
+	refSec := time.Since(start).Seconds()
+
+	return refSec / fastSec, reflect.DeepEqual(fast, ref), nil
+}
+
+// measureAllocs returns heap allocations per op of one run of f(ops).
+func measureAllocs(ops int, f func()) float64 {
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	f()
+	runtime.ReadMemStats(&after)
+	return float64(after.Mallocs-before.Mallocs) / float64(ops)
+}
+
+// randomPMFInto draws a normalized density over vote totals 0..T.
+func randomPMFInto(r *rng.Source, T int) dist.PMF {
+	p := make(dist.PMF, T+1)
+	sum := 0.0
+	for i := range p {
+		p[i] = r.Float64()
+		sum += p[i]
+	}
+	for i := range p {
+		p[i] /= sum
+	}
+	return p
+}

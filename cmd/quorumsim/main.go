@@ -14,6 +14,12 @@
 // an amnesiac rejoin by state transfer — and the run reports recoveries,
 // amnesias, rejoins, and the 1SR verdict.
 //
+// With -study it runs the large-N study engine: the full chords × α grid,
+// each cell measured by a single-trajectory family sweep (one simulation
+// per batch serving every assignment via suffix sums), fanned across a
+// deterministic worker pool. -parallel trades wall-clock only — cell
+// results are bit-identical for every worker count.
+//
 // With -churn it runs the self-healing soak: a ring under seeded site/link
 // churn, serving a read-heavy workload with the adaptive reassignment
 // daemon on versus off on the identical schedule, asserting one-copy
@@ -24,7 +30,10 @@
 // BENCH_robustness.json-style output; -benchobs measures the observability
 // layer's own overhead and writes BENCH_obs.json-style output; -benchstore
 // measures the durable storage engine's overhead on the write path against
-// its 5% budget and writes BENCH_store.json-style output.
+// its 5% budget and writes BENCH_store.json-style output; -benchcore
+// measures the study engine's hot kernels (assignment curve, steady-state
+// access, family-sweep speedup) and writes BENCH_core.json-style output,
+// gating against a committed baseline when -benchbase is given.
 //
 // Observability flags compose with every mode: -metrics writes a Prometheus
 // text snapshot of the run's counters, gauges, and histograms; -trace writes
@@ -35,6 +44,8 @@
 //
 //	quorumsim -topology 2 -qr 28 -alpha 0.75
 //	quorumsim -topology 0 -qr 50 -alpha 0.5 -batch 1000000 -paper
+//	quorumsim -study -sites 1001 -chords 0,4 -alphas 0.75 -parallel 4
+//	quorumsim -benchcore BENCH_core.json -benchbase BENCH_core.json
 //	quorumsim -chaos -chaosmix all -ops 5000 -seed 7
 //	quorumsim -diskchaos -diskmix disk-all -ops 2000 -seed 7
 //	quorumsim -churn -seeds 3 -soakops 4000
@@ -69,7 +80,15 @@ func main() {
 		ci       = flag.Float64("ci", 0.005, "target 95% CI half-width")
 		seed     = flag.Uint64("seed", 1, "base seed")
 		paper    = flag.Bool("paper", false, "use the paper's full batch sizes (overrides -warmup/-batch)")
-		sweepAll = flag.Bool("sweep", false, "measure every q_r in the family (parallel across assignments)")
+		sweepAll = flag.Bool("sweep", false, "measure every q_r in the family (one shared trajectory, suffix-summed)")
+
+		study       = flag.Bool("study", false, "run the sharded chords × α study grid (large-N engine)")
+		studyChords = flag.String("chords", "", "study: comma-separated chord counts (empty = the paper's axis)")
+		studyAlphas = flag.String("alphas", "", "study: comma-separated read fractions (empty = the paper's levels)")
+		parallel    = flag.Int("parallel", 0, "study: worker pool size (0 = GOMAXPROCS); results are identical for every value")
+
+		benchCore = flag.String("benchcore", "", "write core-kernel benchmark results (assignment kernel, steady-state access, sweep speedup) to this JSON file and exit")
+		benchBase = flag.String("benchbase", "", "with -benchcore: gate against this committed baseline (fail on allocs, <5× sweep speedup, or >10% calibrated slowdown)")
 
 		chaos    = flag.Bool("chaos", false, "run the chaos harness against the protocol runtimes instead")
 		chaosMix = flag.String("chaosmix", "all", "fault mix name, or 'all' (one of: "+joinNames()+")")
@@ -83,7 +102,7 @@ func main() {
 		churn      = flag.Bool("churn", false, "run the churn soak: self-healing daemon on vs off under site/link churn")
 		soakSeeds  = flag.Int("seeds", 3, "churn soak: seeds per configuration")
 		soakOps    = flag.Int("soakops", 4000, "churn soak: churn-phase operations per run")
-		soakSites  = flag.Int("sites", 9, "churn soak: ring size")
+		sites      = flag.Int("sites", 0, "ring size: study grid (0 = the paper's 101) or churn soak (0 = 9)")
 		soakAlpha  = flag.Float64("soakalpha", 0.9, "churn soak: read fraction")
 		benchJSON  = flag.String("benchjson", "", "write robustness micro-benchmark results (ops/sec, grant rate) to this JSON file and exit")
 		benchObs   = flag.String("benchobs", "", "write observability overhead benchmark results to this JSON file and exit")
@@ -104,6 +123,19 @@ func main() {
 
 	var status int
 	switch {
+	case *benchCore != "":
+		status = runBenchCore(*benchCore, *benchBase, *seed)
+	case *study:
+		cfg := sim.StudyConfig{
+			Warmup:        *warmup,
+			BatchAccesses: *batch,
+			MinBatches:    *minB,
+			MaxBatches:    *maxB,
+			CIHalfWidth:   *ci,
+			Seed:          *seed,
+			Obs:           sink.registry(),
+		}
+		status = runStudy(*sites, *parallel, *studyChords, *studyAlphas, cfg)
 	case *benchStore != "":
 		status = runBenchStore(*benchStore, *seed)
 	case *benchObs != "":
@@ -111,7 +143,7 @@ func main() {
 	case *benchJSON != "":
 		status = runBenchJSON(*benchJSON, *seed)
 	case *churn:
-		status = runChurn(*soakSeeds, *soakOps, *soakSites, *soakAlpha, *seed, sink)
+		status = runChurn(*soakSeeds, *soakOps, firstNonZero(*sites, 9), *soakAlpha, *seed, sink)
 	case *diskChaos:
 		status = runDiskChaos(*diskMix, *ops, *nodes, *seed, *async, sink)
 	case *chaos:

@@ -1,0 +1,153 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"quorumkit/internal/dist"
+	"quorumkit/internal/rng"
+)
+
+// naiveAvailability is the textbook double-loop evaluation of step 3 of
+// Figure 1: both tail sums computed from scratch for each quorum. It is the
+// O(T)-per-quorum reference the suffix-sum kernel must agree with.
+func naiveAvailability(alpha float64, r, w dist.PMF, qr int) float64 {
+	T := len(r) - 1
+	sr := 0.0
+	for k := qr; k <= T; k++ {
+		sr += r[k]
+	}
+	sw := 0.0
+	for k := T - qr + 1; k <= T; k++ {
+		sw += w[k]
+	}
+	return alpha*sr + (1-alpha)*sw
+}
+
+// randomDensity draws a random density over [0, T]: independent uniform masses,
+// a sprinkle of exact zeros (empty histogram bins are common in estimator
+// output), normalized to sum to one.
+func randomDensity(src *rng.Source, T int) dist.PMF {
+	p := make(dist.PMF, T+1)
+	total := 0.0
+	for v := range p {
+		if src.Bernoulli(0.25) {
+			continue // keep an exact zero
+		}
+		p[v] = src.Float64()
+		total += p[v]
+	}
+	if total == 0 {
+		p[src.Intn(T+1)] = 1
+		total = 1
+	}
+	for v := range p {
+		p[v] /= total
+	}
+	return p
+}
+
+// TestKernelMatchesNaiveDoubleLoop is the property test locking in the
+// suffix-sum kernel: over 1,000 randomized vote densities and α values the
+// single-pass curve must agree with the naive double-loop formula to within
+// 1e-12 at every read quorum.
+func TestKernelMatchesNaiveDoubleLoop(t *testing.T) {
+	src := rng.New(20260806)
+	var scratch []float64
+	for trial := 0; trial < 1000; trial++ {
+		T := 2 + src.Intn(64)
+		r := randomDensity(src, T)
+		w := randomDensity(src, T)
+		alpha := src.Float64()
+		switch trial % 10 { // pin the endpoints regularly
+		case 0:
+			alpha = 0
+		case 1:
+			alpha = 1
+		}
+		scratch = AvailabilityCurveInto(alpha, r, w, scratch)
+		if len(scratch) != T/2 {
+			t.Fatalf("trial %d: curve length %d, want %d", trial, len(scratch), T/2)
+		}
+		for qr := 1; qr <= T/2; qr++ {
+			want := naiveAvailability(alpha, r, w, qr)
+			if got := scratch[qr-1]; math.Abs(got-want) > 1e-12 {
+				t.Fatalf("trial %d (T=%d, α=%g, q_r=%d): kernel %.17g, naive %.17g",
+					trial, T, alpha, qr, got, want)
+			}
+		}
+	}
+}
+
+// TestKernelMatchesModelBitForBit: the standalone kernel, the Model-based
+// zero-alloc kernel, and the per-quorum Availability accessor accumulate in
+// the same order, so they must agree exactly — not just to a tolerance.
+func TestKernelMatchesModelBitForBit(t *testing.T) {
+	src := rng.New(7)
+	for trial := 0; trial < 200; trial++ {
+		T := 2 + src.Intn(40)
+		r := randomDensity(src, T)
+		w := randomDensity(src, T)
+		alpha := src.Float64()
+		m, err := ModelFromRW(r, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		direct := AvailabilityCurveInto(alpha, r, w, nil)
+		viaModel := m.CurveInto(alpha, nil)
+		legacy := m.Curve(alpha)
+		for i := range direct {
+			if direct[i] != viaModel[i] || direct[i] != legacy[i] {
+				t.Fatalf("trial %d q_r=%d: direct %.17g, CurveInto %.17g, Curve %.17g",
+					trial, i+1, direct[i], viaModel[i], legacy[i])
+			}
+			if av := m.Availability(alpha, i+1); direct[i] != av {
+				t.Fatalf("trial %d q_r=%d: kernel %.17g, Availability %.17g",
+					trial, i+1, direct[i], av)
+			}
+		}
+	}
+}
+
+// TestKernelZeroAlloc: with a pre-sized destination both kernels are
+// allocation-free — the property that lets the optimizer and the sweep
+// evaluate thousand-site systems without GC pressure.
+func TestKernelZeroAlloc(t *testing.T) {
+	src := rng.New(3)
+	const T = 1001
+	r := randomDensity(src, T)
+	w := randomDensity(src, T)
+	m, err := ModelFromRW(r, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]float64, T/2)
+	if allocs := testing.AllocsPerRun(50, func() {
+		dst = AvailabilityCurveInto(0.75, r, w, dst)
+	}); allocs != 0 {
+		t.Fatalf("AvailabilityCurveInto allocates %.1f per run", allocs)
+	}
+	if allocs := testing.AllocsPerRun(50, func() {
+		dst = m.CurveInto(0.75, dst)
+	}); allocs != 0 {
+		t.Fatalf("CurveInto allocates %.1f per run", allocs)
+	}
+}
+
+// TestKernelValidation: malformed densities and α values panic, matching
+// the Model accessors' contract.
+func TestKernelValidation(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	ok := dist.PMF{0, 0.5, 0.5}
+	mustPanic("length mismatch", func() { AvailabilityCurveInto(0.5, ok, dist.PMF{1}, nil) })
+	mustPanic("too short", func() { AvailabilityCurveInto(0.5, dist.PMF{1}, dist.PMF{1}, nil) })
+	mustPanic("bad alpha", func() { AvailabilityCurveInto(1.5, ok, ok, nil) })
+}

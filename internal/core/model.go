@@ -145,13 +145,10 @@ func checkAlpha(alpha float64) {
 
 // Curve returns A(α, q_r) for every q_r in [1, ⌊T/2⌋]; index 0 of the
 // result corresponds to q_r = 1. This is the data behind each curve of the
-// paper's Figures 2–7.
+// paper's Figures 2–7. Callers sweeping many α values should prefer
+// CurveInto with a reused destination slice.
 func (m Model) Curve(alpha float64) []float64 {
-	out := make([]float64, m.MaxReadQuorum())
-	for i := range out {
-		out[i] = m.Availability(alpha, i+1)
-	}
-	return out
+	return m.CurveInto(alpha, nil)
 }
 
 // Result is the outcome of an optimization: the chosen assignment, the

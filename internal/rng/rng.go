@@ -52,6 +52,32 @@ func New(seed uint64) *Source {
 	return r
 }
 
+// Reseed reinitializes the Source in place from the given seed, exactly as
+// New would: a Source that is Reseeded with some seed produces the same
+// stream as a fresh New(seed). It exists so hot loops (batched simulations)
+// can reuse one generator across runs without allocating.
+func (r *Source) Reseed(seed uint64) {
+	sm := seed
+	for i := range r.s {
+		r.s[i] = splitMix64(&sm)
+	}
+	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
+		r.s[0] = 0x9e3779b97f4a7c15
+	}
+}
+
+// SubSeed derives the seed of deterministic substream i of a base seed in
+// O(1): the SplitMix64 state after i+1 steps from `seed` is
+// seed + (i+1)·γ (the generator's state is an arithmetic sequence), and the
+// substream seed is that state's mixed output. Substreams of one base seed
+// are statistically independent for simulation purposes, and the mapping
+// depends only on (seed, i) — never on evaluation order — which is what
+// makes sharded sweeps bit-identical regardless of worker count.
+func SubSeed(seed, i uint64) uint64 {
+	x := seed + i*0x9e3779b97f4a7c15
+	return splitMix64(&x)
+}
+
 // Uint64 returns the next 64 uniformly distributed bits.
 func (r *Source) Uint64() uint64 {
 	s := &r.s

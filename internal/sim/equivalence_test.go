@@ -1,0 +1,188 @@
+package sim
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"quorumkit/internal/graph"
+	"quorumkit/internal/quorum"
+	"quorumkit/internal/stats"
+	"quorumkit/internal/topo"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden fixtures")
+
+// measureFresh is the pre-optimization measurement loop, inlined: a fresh
+// simulator per batch, no state reuse, no pre-sizing, no counter batching.
+// It is the metamorphic oracle for the zero-alloc/reuse refactor — the
+// optimized path must reproduce it byte for byte.
+func measureFresh(g *graph.Graph, votes []int, p Params, a quorum.Assignment,
+	alpha float64, cfg StudyConfig) Measurement {
+	var all, rd, wr stats.BatchMeans
+	batches := 0
+	for b := 0; b < cfg.MaxBatches; b++ {
+		s := New(g, votes, p, cfg.Seed+uint64(b))
+		s.SetProtocol(StaticProtocol{Assignment: a}, alpha)
+		s.RunAccesses(cfg.Warmup)
+		s.ResetCounters()
+		s.RunAccesses(cfg.BatchAccesses)
+		c := s.Counters()
+		all.AddBatch(c.Availability())
+		if alpha > 0 {
+			rd.AddBatch(c.ReadAvailability())
+		}
+		if alpha < 1 {
+			wr.AddBatch(c.WriteAvailability())
+		}
+		batches++
+		if batches >= cfg.MinBatches && all.Converged(cfg.CIHalfWidth) {
+			break
+		}
+	}
+	return Measurement{
+		Overall: all.Interval95(),
+		Read:    rd.Interval95(),
+		Write:   wr.Interval95(),
+		Batches: batches,
+	}
+}
+
+// equivalenceCases are shared by the metamorphic test and the golden
+// fixture: three topology shapes, α strictly interior so every interval in
+// the fixture is finite and JSON-serializable.
+type equivalenceCase struct {
+	Name  string  `json:"name"`
+	Alpha float64 `json:"alpha"`
+	QR    int     `json:"q_r"`
+	build func() (*graph.Graph, []int)
+}
+
+func equivalenceCases() []equivalenceCase {
+	return []equivalenceCase{
+		{Name: "ring9", Alpha: 0.5, QR: 3,
+			build: func() (*graph.Graph, []int) { return graph.Ring(9), nil }},
+		{Name: "chorded11x2", Alpha: 0.75, QR: 4,
+			build: func() (*graph.Graph, []int) { return topo.Build(11, 2), nil }},
+		{Name: "complete7", Alpha: 0.25, QR: 2,
+			build: func() (*graph.Graph, []int) { return graph.Complete(7), nil }},
+	}
+}
+
+func equivalenceConfig() (Params, StudyConfig) {
+	p := Params{AccessMean: 1, FailMean: 9, RepairMean: 3}
+	cfg := StudyConfig{Warmup: 300, BatchAccesses: 5_000,
+		MinBatches: 3, MaxBatches: 6, CIHalfWidth: 0.01, Seed: 42}
+	return p, cfg
+}
+
+// TestMeasureMatchesFreshSimulators: the optimized measurement path (one
+// reused simulator, Reset between batches, batched obs counters) must be
+// byte-identical to the pre-optimization fresh-simulator-per-batch loop for
+// identical seeds, across ring, chorded, and fully-connected topologies.
+func TestMeasureMatchesFreshSimulators(t *testing.T) {
+	p, cfg := equivalenceConfig()
+	for _, tc := range equivalenceCases() {
+		t.Run(tc.Name, func(t *testing.T) {
+			g, votes := tc.build()
+			st := graph.NewState(g, votes)
+			a := quorum.Assignment{QR: tc.QR, QW: st.TotalVotes() - tc.QR + 1}
+			want := measureFresh(g, votes, p, a, tc.Alpha, cfg)
+			got, err := MeasureAvailability(g, votes, p, a, tc.Alpha, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("reused-simulator path diverged:\n got  %+v\n want %+v", got, want)
+			}
+		})
+	}
+}
+
+// TestResetMatchesNew: Reset(seed) must leave the simulator bit-identical
+// to a freshly constructed one — same RNG stream, same heap order, same
+// counters — checked by running both to the same horizon twice over.
+func TestResetMatchesNew(t *testing.T) {
+	g := topo.Build(11, 2)
+	p := Params{AccessMean: 1, FailMean: 7, RepairMean: 2,
+		Shock: &ShockParams{Mean: 40, Size: 3, Duration: 4}}
+	a := quorum.Assignment{QR: 4, QW: 8}
+
+	run := func(s *Simulator) Counters {
+		s.SetProtocol(StaticProtocol{Assignment: a}, 0.5)
+		s.RunAccesses(2_000)
+		return s.Counters()
+	}
+	s := New(g, nil, p, 1)
+	first := run(s)
+
+	for seed := uint64(1); seed <= 3; seed++ {
+		s.Reset(seed)
+		got := run(s)
+		want := run(New(g, nil, p, seed))
+		if got != want {
+			t.Fatalf("seed %d: reset counters %+v, fresh %+v", seed, got, want)
+		}
+		if seed == 1 && got != first {
+			t.Fatalf("reset to original seed did not reproduce the original run")
+		}
+	}
+}
+
+type equivalenceFixture struct {
+	Cases []struct {
+		equivalenceCase
+		Measurement Measurement `json:"measurement"`
+	} `json:"cases"`
+}
+
+// TestEquivalenceGolden pins the exact measurements of the equivalence
+// cases as a committed fixture, so any change to the simulator's draw
+// order, counter semantics, or convergence rule — however plausible — shows
+// up as a byte-level diff. Regenerate deliberately with `go test -run
+// Golden -update ./internal/sim`.
+func TestEquivalenceGolden(t *testing.T) {
+	p, cfg := equivalenceConfig()
+	var fx equivalenceFixture
+	for _, tc := range equivalenceCases() {
+		g, votes := tc.build()
+		st := graph.NewState(g, votes)
+		a := quorum.Assignment{QR: tc.QR, QW: st.TotalVotes() - tc.QR + 1}
+		m, err := MeasureAvailability(g, votes, p, a, tc.Alpha, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fx.Cases = append(fx.Cases, struct {
+			equivalenceCase
+			Measurement Measurement `json:"measurement"`
+		}{tc, m})
+	}
+	got, err := json.MarshalIndent(&fx, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, '\n')
+
+	path := filepath.Join("testdata", "equivalence.json")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s", path)
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (regenerate with -update)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("measurements diverged from the golden fixture %s\n got: %s\nwant: %s\n(rerun with -update only if the change is intentional)", path, got, want)
+	}
+}

@@ -75,4 +75,21 @@ func (h *eventHeap) pop() event {
 
 func (h *eventHeap) len() int { return len(h.items) }
 
+// reset empties the heap and restarts the tie-breaking sequence, keeping
+// the allocated backing array so a reused simulator pushes into warm
+// storage.
+func (h *eventHeap) reset() {
+	h.items = h.items[:0]
+	h.seq = 0
+}
+
+// grow ensures capacity for at least n events without changing contents.
+func (h *eventHeap) grow(n int) {
+	if cap(h.items) < n {
+		items := make([]event, len(h.items), n)
+		copy(items, h.items)
+		h.items = items
+	}
+}
+
 func (h *eventHeap) peek() event { return h.items[0] }

@@ -4,20 +4,27 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"quorumkit/internal/graph"
 	"quorumkit/internal/quorum"
 	"quorumkit/internal/stats"
 )
 
+// testBatchRan, when non-nil, is invoked with the index of every batch a
+// parallel worker actually simulates. Test-only: the early-stop tests use
+// it to assert that batches past the convergence point are cancelled.
+var testBatchRan func(b int)
+
 // MeasureAvailabilityParallel is MeasureAvailability with batches executed
 // concurrently on up to GOMAXPROCS workers. Batches are independent
 // simulations with per-batch seeds (Seed+b), exactly as in the serial
-// runner, and the convergence rule is applied in batch order afterwards —
-// so the returned Measurement is bit-identical to the serial result for
-// the same configuration. The trade-off is that up to MaxBatches batches
-// are computed even when the CI converges earlier; wall-clock time still
-// drops by roughly the worker count on multicore hosts.
+// runner, and the convergence rule is applied incrementally in batch order
+// as the completed prefix grows — so the returned Measurement is
+// bit-identical to the serial result for the same configuration. Once the
+// prefix converges, batches not yet started are cancelled, so the wasted
+// work is bounded by the batches in flight at that instant rather than by
+// MaxBatches. Each worker reuses one simulator across its batches.
 func MeasureAvailabilityParallel(g *graph.Graph, votes []int, p Params, a quorum.Assignment,
 	alpha float64, cfg StudyConfig) (Measurement, error) {
 	if err := cfg.validate(); err != nil {
@@ -28,39 +35,86 @@ func MeasureAvailabilityParallel(g *graph.Graph, votes []int, p Params, a quorum
 		return Measurement{}, err
 	}
 
-	type batchOut struct {
-		c Counters
-	}
-	results := make([]batchOut, cfg.MaxBatches)
 	workers := runtime.GOMAXPROCS(0)
 	if workers > cfg.MaxBatches {
 		workers = cfg.MaxBatches
 	}
-	var wg sync.WaitGroup
+
+	// Completion tracking: counters land in batch order into the shared
+	// accumulator as the contiguous done-prefix advances; convergence of
+	// the prefix publishes a cutoff that cancels batches not yet started.
+	var (
+		mu        sync.Mutex
+		done      = make([]bool, cfg.MaxBatches)
+		counters  = make([]Counters, cfg.MaxBatches)
+		all       stats.BatchMeans
+		rd, wr    stats.BatchMeans
+		batches   int
+		converged bool
+		prefix    int
+		cutoff    = int64(cfg.MaxBatches)
+	)
+	finish := func(b int, c Counters) {
+		mu.Lock()
+		defer mu.Unlock()
+		counters[b] = c
+		done[b] = true
+		for prefix < cfg.MaxBatches && done[prefix] {
+			if !converged {
+				cc := counters[prefix]
+				all.AddBatch(cc.Availability())
+				if alpha > 0 {
+					rd.AddBatch(cc.ReadAvailability())
+				}
+				if alpha < 1 {
+					wr.AddBatch(cc.WriteAvailability())
+				}
+				batches++
+				if batches >= cfg.MinBatches && all.Converged(cfg.CIHalfWidth) {
+					converged = true
+					atomic.StoreInt64(&cutoff, int64(prefix)+1)
+				}
+			}
+			prefix++
+		}
+	}
+
 	next := make(chan int, cfg.MaxBatches)
 	for b := 0; b < cfg.MaxBatches; b++ {
 		next <- b
 	}
 	close(next)
+	var wg sync.WaitGroup
 	var firstErr error
 	var errOnce sync.Once
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			var s *Simulator
 			for b := range next {
+				if int64(b) >= atomic.LoadInt64(&cutoff) {
+					continue // prefix already converged before this batch
+				}
 				func() {
 					defer func() {
 						if r := recover(); r != nil {
 							errOnce.Do(func() { firstErr = fmt.Errorf("sim: batch %d panicked: %v", b, r) })
 						}
 					}()
-					s := New(g, votes, p, cfg.Seed+uint64(b))
+					if testBatchRan != nil {
+						testBatchRan(b)
+					}
+					if s == nil {
+						s = New(g, votes, p, cfg.Seed+uint64(b))
+					} else {
+						s.Reset(cfg.Seed + uint64(b))
+					}
 					s.SetProtocol(StaticProtocol{Assignment: a}, alpha)
 					s.RunAccesses(cfg.Warmup)
 					s.ResetCounters()
 					s.RunAccesses(cfg.BatchAccesses)
-					results[b].c = s.Counters()
+					finish(b, s.Counters())
 				}()
 			}
 		}()
@@ -68,24 +122,6 @@ func MeasureAvailabilityParallel(g *graph.Graph, votes []int, p Params, a quorum
 	wg.Wait()
 	if firstErr != nil {
 		return Measurement{}, firstErr
-	}
-
-	// Replay the serial convergence rule over the precomputed batches.
-	var all, rd, wr stats.BatchMeans
-	batches := 0
-	for b := 0; b < cfg.MaxBatches; b++ {
-		c := results[b].c
-		all.AddBatch(c.Availability())
-		if alpha > 0 {
-			rd.AddBatch(c.ReadAvailability())
-		}
-		if alpha < 1 {
-			wr.AddBatch(c.WriteAvailability())
-		}
-		batches++
-		if batches >= cfg.MinBatches && all.Converged(cfg.CIHalfWidth) {
-			break
-		}
 	}
 	return Measurement{
 		Overall: all.Interval95(),
@@ -95,12 +131,17 @@ func MeasureAvailabilityParallel(g *graph.Graph, votes []int, p Params, a quorum
 	}, nil
 }
 
-// Sweep runs MeasureAvailability for every assignment in the paper's
-// family concurrently (one goroutine per read quorum, capped at
-// GOMAXPROCS) and returns the measurements indexed by q_r−1. This measures
-// a full figure curve by direct simulation rather than through the
-// estimator — the expensive cross-validation path.
-func Sweep(g *graph.Graph, votes []int, p Params, alpha float64,
+// SweepReference runs MeasureAvailability for every assignment in the
+// paper's family concurrently (one goroutine per read quorum, capped at
+// GOMAXPROCS) and returns the measurements indexed by q_r−1.
+//
+// This is the seed implementation of the family sweep: it simulates the
+// identical trajectory once per family member, costing ⌊T/2⌋ full
+// measurement runs where Sweep costs one. It is retained as the oracle for
+// the sweep-equivalence tests and as the baseline the committed
+// BENCH_core.json speedup figure is measured against; new callers should
+// use Sweep.
+func SweepReference(g *graph.Graph, votes []int, p Params, alpha float64,
 	cfg StudyConfig) ([]Measurement, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err

@@ -2,6 +2,8 @@ package sim
 
 import (
 	"math"
+	"runtime"
+	"sync"
 	"testing"
 
 	"quorumkit/internal/graph"
@@ -32,6 +34,49 @@ func TestParallelMatchesSerial(t *testing.T) {
 	}
 	if serial.Batches != parallel.Batches {
 		t.Fatalf("batch counts differ: %d vs %d", serial.Batches, parallel.Batches)
+	}
+}
+
+// TestParallelEarlyStop: once the contiguous prefix of completed batches
+// converges, batches not yet started must be cancelled — and cancelling
+// them must not change the result, which stays bit-identical to the serial
+// runner. A generous CI target makes the prefix converge at MinBatches,
+// far below MaxBatches.
+func TestParallelEarlyStop(t *testing.T) {
+	g := graph.Ring(15)
+	p := Params{AccessMean: 1, FailMean: 20, RepairMean: 2}
+	a := quorum.Assignment{QR: 4, QW: 12}
+	cfg := StudyConfig{
+		Warmup: 200, BatchAccesses: 10_000,
+		MinBatches: 2, MaxBatches: 64, CIHalfWidth: 0.9, Seed: 13,
+	}
+	serial, err := MeasureAvailability(g, nil, p, a, 0.5, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.Batches != cfg.MinBatches {
+		t.Fatalf("fixture drift: serial converged at %d batches, want %d", serial.Batches, cfg.MinBatches)
+	}
+
+	var mu sync.Mutex
+	ran := 0
+	testBatchRan = func(int) { mu.Lock(); ran++; mu.Unlock() }
+	defer func() { testBatchRan = nil }()
+
+	parallel, err := MeasureAvailabilityParallel(g, nil, p, a, 0.5, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parallel != serial {
+		t.Fatalf("early-stopped parallel run differs from serial:\n serial   %+v\n parallel %+v", serial, parallel)
+	}
+	// Work past convergence is bounded by the batches in flight or pulled
+	// during the cancellation race — at most two waves of workers.
+	if limit := cfg.MinBatches + 2*runtime.GOMAXPROCS(0); ran > limit {
+		t.Fatalf("%d batches simulated, want ≤ %d (MinBatches + 2×workers)", ran, limit)
+	}
+	if ran >= cfg.MaxBatches {
+		t.Fatalf("no early stop: all %d batches ran", ran)
 	}
 }
 

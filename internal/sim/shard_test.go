@@ -1,0 +1,116 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"quorumkit/internal/rng"
+	"quorumkit/internal/topo"
+)
+
+func smallGrid() (GridSpec, Params, StudyConfig) {
+	spec := GridSpec{Sites: 11, Chords: []int{0, 2}, Alphas: []float64{0.25, 0.75}}
+	p := Params{AccessMean: 1, FailMean: 8, RepairMean: 2}
+	cfg := StudyConfig{Warmup: 100, BatchAccesses: 2_000,
+		MinBatches: 2, MaxBatches: 3, CIHalfWidth: 0.02, Seed: 9}
+	return spec, p, cfg
+}
+
+// TestGridWorkerInvariance: sharding is pure wall-clock — the grid result
+// is bit-identical for every worker count, because each cell's RNG
+// substream is a function of the study seed and the cell's grid position
+// alone.
+func TestGridWorkerInvariance(t *testing.T) {
+	spec, p, cfg := smallGrid()
+	var base []GridCell
+	for _, workers := range []int{1, 2, 7} {
+		spec.Workers = workers
+		cells, err := RunGrid(spec, p, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if base == nil {
+			base = cells
+			continue
+		}
+		if !reflect.DeepEqual(cells, base) {
+			t.Fatalf("grid with %d workers differs from 1-worker result", workers)
+		}
+	}
+}
+
+// TestGridCellMatchesDirectSweep: every cell must equal a direct Sweep of
+// its configuration seeded with the cell's published substream — the
+// determinism contract callers rely on to re-run a single cell.
+func TestGridCellMatchesDirectSweep(t *testing.T) {
+	spec, p, cfg := smallGrid()
+	cells, err := RunGrid(spec, p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := len(spec.Chords) * len(spec.Alphas); len(cells) != want {
+		t.Fatalf("got %d cells, want %d", len(cells), want)
+	}
+	for i, cell := range cells {
+		if cell.Seed != rng.SubSeed(cfg.Seed, uint64(i)) {
+			t.Fatalf("cell %d seed %#x is not the substream of index %d", i, cell.Seed, i)
+		}
+		cellCfg := cfg
+		cellCfg.Seed = cell.Seed
+		family, err := Sweep(topo.Build(spec.Sites, cell.Chords), nil, p, cell.Alpha, cellCfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(cell.Family, family) {
+			t.Fatalf("cell %d (chords=%d α=%g) differs from direct sweep", i, cell.Chords, cell.Alpha)
+		}
+		if cell.BestQR < 1 || cell.BestQR > len(family) {
+			t.Fatalf("cell %d BestQR %d out of range", i, cell.BestQR)
+		}
+		for qr := 1; qr <= len(family); qr++ {
+			if family[qr-1].Overall.Mean > family[cell.BestQR-1].Overall.Mean {
+				t.Fatalf("cell %d BestQR %d is not the argmax", i, cell.BestQR)
+			}
+		}
+	}
+}
+
+// TestGridDefaults: zero-value axes resolve to the paper's grid.
+func TestGridDefaults(t *testing.T) {
+	spec := GridSpec{}
+	if n := spec.sites(); n != topo.Sites {
+		t.Fatalf("default sites %d, want %d", n, topo.Sites)
+	}
+	for _, c := range spec.chords() {
+		if c > topo.MaxChords(topo.Sites) {
+			t.Fatalf("default chord count %d exceeds the ring's capacity", c)
+		}
+	}
+	if !reflect.DeepEqual(spec.alphas(), PaperAlphas) {
+		t.Fatalf("default alphas %v", spec.alphas())
+	}
+	// Small rings clamp the paper's chord axis.
+	if got := (GridSpec{Sites: 7}).chords(); len(got) == 0 || got[len(got)-1] > topo.MaxChords(7) {
+		t.Fatalf("clamped chords %v for 7 sites", got)
+	}
+}
+
+// TestGridValidation rejects malformed specs and configs.
+func TestGridValidation(t *testing.T) {
+	_, p, cfg := smallGrid()
+	for _, spec := range []GridSpec{
+		{Sites: 3},
+		{Sites: 11, Chords: []int{-1}},
+		{Sites: 11, Chords: []int{topo.MaxChords(11) + 1}},
+		{Sites: 11, Alphas: []float64{1.5}},
+		{Sites: 11, Chords: []int{}},
+	} {
+		if _, err := RunGrid(spec, p, cfg); err == nil {
+			t.Fatalf("spec %+v accepted", spec)
+		}
+	}
+	spec, p, _ := smallGrid()
+	if _, err := RunGrid(spec, p, StudyConfig{}); err == nil {
+		t.Fatal("invalid study config accepted")
+	}
+}

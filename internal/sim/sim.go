@@ -198,6 +198,20 @@ type Simulator struct {
 	alpha    float64
 	counters Counters
 
+	// tally, when non-nil, replaces the single-assignment protocol path
+	// with family counting: each access records its component vote total
+	// into a read or write histogram, from which the Counters of *every*
+	// assignment in the paper's family follow by one suffix-sum pass. The
+	// RNG draw order is identical to the protocol path, so a tally run
+	// follows the exact event trajectory of a protocol run.
+	tally *familyTally
+
+	// pendGrant/pendDeny batch the per-access observability counter
+	// updates; they are flushed into obs at the end of every Run* call so
+	// a steady-state access touches no atomics.
+	pendGrant int64
+	pendDeny  int64
+
 	// Correlated-shock bookkeeping: a site is effectively up iff its
 	// independent process says up AND no active shock covers it.
 	indepUp    []bool
@@ -233,25 +247,73 @@ func New(g *graph.Graph, votes []int, p Params, seed uint64) *Simulator {
 		params: p,
 		src:    rng.New(seed),
 	}
+	// Steady state holds at most one pending event per component (fail or
+	// repair), one access per site, and a small shock margin; sizing the
+	// heap for that bound up front keeps every later push allocation-free.
+	s.heap.grow(2*g.N() + g.M() + 8)
+	if err := p.Shock.validate(); err != nil {
+		panic(err)
+	}
+	if p.Shock != nil {
+		s.indepUp = make([]bool, g.N())
+		s.shockCount = make([]int, g.N())
+		s.shocks = map[int][]int{}
+	}
+	s.arm()
+	return s
+}
+
+// arm schedules the initial failure clocks (and the first shock) from the
+// current RNG state, exactly as construction does.
+func (s *Simulator) arm() {
+	g := s.st.Graph()
 	for i := 0; i < g.N(); i++ {
 		s.heap.push(s.drawUpTime(), evSiteFail, i)
 	}
 	for l := 0; l < g.M(); l++ {
 		s.heap.push(s.drawUpTime(), evLinkFail, l)
 	}
-	if err := p.Shock.validate(); err != nil {
-		panic(err)
-	}
-	if p.Shock != nil {
-		s.indepUp = make([]bool, g.N())
+	if s.params.Shock != nil {
 		for i := range s.indepUp {
 			s.indepUp[i] = true
 		}
-		s.shockCount = make([]int, g.N())
-		s.shocks = map[int][]int{}
-		s.heap.push(s.src.Exp(p.Shock.Mean), evShockBegin, 0)
+		for i := range s.shockCount {
+			s.shockCount[i] = 0
+		}
+		clear(s.shocks)
+		s.nextShock = 0
+		s.heap.push(s.src.Exp(s.params.Shock.Mean), evShockBegin, 0)
 	}
-	return s
+}
+
+// Reset rewinds the simulator to the state New would produce over the same
+// graph, votes and parameters with the given seed: every component up, all
+// clocks redrawn from the fresh seed, time and counters zeroed, and the
+// consumer attachments (estimator, protocol, family tally, net stats)
+// cleared so the caller re-attaches what the next run needs. The attached
+// observability registry and the OnAccess/OnChange hooks are kept.
+//
+// A Reset simulator produces the bit-identical event stream of a freshly
+// constructed one — the batch runners rely on this to reuse one simulator's
+// state, heap and RNG across batches with zero per-batch allocation.
+func (s *Simulator) Reset(seed uint64) {
+	s.flushObs()
+	s.src.Reseed(seed)
+	s.st.SetAll(true)
+	s.heap.reset()
+	s.now = 0
+	s.last = 0
+	s.nAccess = 0
+	s.counters = Counters{}
+	s.genAcc = false
+	s.genAccessWeighted = false
+	s.est = nil
+	s.surv = nil
+	s.net = nil
+	s.protocol = nil
+	s.tally = nil
+	s.alpha = 0
+	s.arm()
 }
 
 // drawUpTime samples a component's next up-time: exponential by default,
@@ -312,14 +374,44 @@ func (s *Simulator) AttachTimeWeighted(est *core.Estimator, surv *core.SurvEstim
 func (s *Simulator) AttachObs(r *obs.Registry) { s.obs = r }
 
 // SetProtocol attaches a protocol and read fraction α for direct grant/deny
-// measurement. Enables access event generation.
+// measurement. Enables access event generation and clears any family tally.
 func (s *Simulator) SetProtocol(p Protocol, alpha float64) {
 	if alpha < 0 || alpha > 1 {
 		panic(fmt.Sprintf("sim: α=%g out of [0,1]", alpha))
 	}
 	s.protocol = p
+	s.tally = nil
 	s.alpha = alpha
 	s.ensureAccessEvents()
+}
+
+// setFamilyTally attaches a family tally and read fraction α: every access
+// records its component vote total into t's read or write histogram instead
+// of being judged against a single assignment. Enables access event
+// generation and clears any protocol.
+func (s *Simulator) setFamilyTally(t *familyTally, alpha float64) {
+	if alpha < 0 || alpha > 1 {
+		panic(fmt.Sprintf("sim: α=%g out of [0,1]", alpha))
+	}
+	s.tally = t
+	s.protocol = nil
+	s.alpha = alpha
+	s.ensureAccessEvents()
+}
+
+// flushObs pushes the batched access grant/deny counts into the attached
+// registry. Called at the end of every Run* so registry totals always
+// account for every processed event once control returns to the caller.
+func (s *Simulator) flushObs() {
+	if s.obs != nil {
+		if s.pendGrant != 0 {
+			s.obs.Add(obs.CSimAccessGrant, s.pendGrant)
+		}
+		if s.pendDeny != 0 {
+			s.obs.Add(obs.CSimAccessDeny, s.pendDeny)
+		}
+	}
+	s.pendGrant, s.pendDeny = 0, 0
 }
 
 func (s *Simulator) ensureAccessEvents() {
@@ -512,22 +604,31 @@ func (s *Simulator) step() eventKind {
 		if s.est != nil && !s.genAccessWeighted {
 			s.est.Observe(e.idx, votes)
 		}
-		if s.protocol != nil {
+		if s.tally != nil {
+			// Same Bernoulli draw as the protocol path, so the event
+			// trajectory is identical; grant-ness is assignment-dependent
+			// and resolved later by the suffix-sum pass.
+			if s.src.Bernoulli(s.alpha) {
+				s.tally.reads[votes]++
+			} else {
+				s.tally.writes[votes]++
+			}
+		} else if s.protocol != nil {
 			if s.src.Bernoulli(s.alpha) {
 				if s.protocol.GrantRead(votes) {
 					s.counters.ReadsGranted++
-					s.obs.Inc(obs.CSimAccessGrant)
+					s.pendGrant++
 				} else {
 					s.counters.ReadsDenied++
-					s.obs.Inc(obs.CSimAccessDeny)
+					s.pendDeny++
 				}
 			} else {
 				if s.protocol.GrantWrite(votes) {
 					s.counters.WritesGranted++
-					s.obs.Inc(obs.CSimAccessGrant)
+					s.pendGrant++
 				} else {
 					s.counters.WritesDenied++
-					s.obs.Inc(obs.CSimAccessDeny)
+					s.pendDeny++
 				}
 			}
 		}
@@ -558,6 +659,7 @@ func (s *Simulator) RunUntil(t float64) {
 	if t > s.now {
 		s.now = t
 	}
+	s.flushObs()
 }
 
 // RunAccesses processes events until n further access events have occurred.
@@ -568,6 +670,7 @@ func (s *Simulator) RunAccesses(n int64) {
 	for s.nAccess < target {
 		s.step()
 	}
+	s.flushObs()
 }
 
 // StaticProtocol adapts a quorum.Assignment to the Protocol interface.

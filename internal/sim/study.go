@@ -76,13 +76,17 @@ func MeasureAvailability(g *graph.Graph, votes []int, p Params, a quorum.Assignm
 	}
 	var all, rd, wr stats.BatchMeans
 	batches := 0
+	// The paper resets the network to the initial (all-up) state before
+	// each batch; one simulator Reset to the per-batch seed does exactly
+	// that — bit-identical to a fresh construction, without reallocating
+	// the network state, event heap, or RNG.
+	s := New(g, votes, p, cfg.Seed)
+	if cfg.Obs != nil {
+		s.AttachObs(cfg.Obs)
+	}
 	for b := 0; b < cfg.MaxBatches; b++ {
-		// The paper resets the network to the initial (all-up) state before
-		// each batch; a fresh Simulator with a per-batch seed does exactly
-		// that.
-		s := New(g, votes, p, cfg.Seed+uint64(b))
-		if cfg.Obs != nil {
-			s.AttachObs(cfg.Obs)
+		if b > 0 {
+			s.Reset(cfg.Seed + uint64(b))
 		}
 		s.SetProtocol(StaticProtocol{Assignment: a}, alpha)
 		s.RunAccesses(cfg.Warmup)

@@ -1,0 +1,116 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"quorumkit/internal/graph"
+	"quorumkit/internal/obs"
+	"quorumkit/internal/topo"
+)
+
+// TestSweepMatchesPerAssignment is the central equivalence theorem of the
+// suffix-sum sweep: for every assignment in the family, the one-simulation
+// sweep must reproduce the per-assignment measurement runs bit for bit —
+// same Counters-derived means, same CI, same per-assignment batch counts —
+// because the trajectory never depends on the assignment and the tallied
+// integers are the same.
+func TestSweepMatchesPerAssignment(t *testing.T) {
+	p := Params{AccessMean: 1, FailMean: 12, RepairMean: 3}
+	cfg := StudyConfig{
+		Warmup: 400, BatchAccesses: 6_000,
+		// A reachable CI target makes different assignments converge at
+		// different batch counts, exercising the per-assignment replay.
+		MinBatches: 3, MaxBatches: 10, CIHalfWidth: 0.02, Seed: 11,
+	}
+	for _, tc := range []struct {
+		name  string
+		g     *graph.Graph
+		alpha float64
+	}{
+		{"ring/mixed", graph.Ring(11), 0.6},
+		{"chorded/readonly", topo.Build(11, 3), 1},
+		{"complete/writeonly", graph.Complete(9), 0},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			fast, err := Sweep(tc.g, nil, p, tc.alpha, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ref, err := SweepReference(tc.g, nil, p, tc.alpha, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(fast) != len(ref) {
+				t.Fatalf("family sizes differ: %d vs %d", len(fast), len(ref))
+			}
+			sawSpread := false
+			for i := range fast {
+				if !reflect.DeepEqual(fast[i], ref[i]) {
+					t.Fatalf("q_r=%d differs:\n fast %+v\n ref  %+v", i+1, fast[i], ref[i])
+				}
+				if fast[i].Batches != fast[0].Batches {
+					sawSpread = true
+				}
+			}
+			if cfg.CIHalfWidth < 1 && !sawSpread && len(fast) > 2 {
+				t.Logf("note: every assignment converged at the same batch count")
+			}
+		})
+	}
+}
+
+// TestSweepDeterminism: same configuration, same result, bit for bit.
+func TestSweepDeterminism(t *testing.T) {
+	g := graph.Ring(9)
+	p := Params{AccessMean: 1, FailMean: 10, RepairMean: 2}
+	cfg := StudyConfig{Warmup: 200, BatchAccesses: 3000, MinBatches: 2, MaxBatches: 4, CIHalfWidth: 0.01, Seed: 3}
+	a, err := Sweep(g, nil, p, 0.7, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Sweep(g, nil, p, 0.7, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("sweep is not deterministic")
+	}
+}
+
+// TestSweepObsTopologyFlow: a registry attached to a sweep sees the shared
+// trajectory's topology events exactly once per batch, and no access
+// grant/deny counts (grant-ness has no single value during a family sweep).
+func TestSweepObsTopologyFlow(t *testing.T) {
+	g := graph.Ring(9)
+	p := Params{AccessMean: 1, FailMean: 6, RepairMean: 2}
+	cfg := StudyConfig{Warmup: 100, BatchAccesses: 4000, MinBatches: 2, MaxBatches: 2, CIHalfWidth: 1, Seed: 5}
+
+	bare, err := Sweep(g, nil, p, 0.5, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.New()
+	cfg.Obs = reg
+	instrumented, err := Sweep(g, nil, p, 0.5, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(bare, instrumented) {
+		t.Fatal("observation perturbed the sweep")
+	}
+	if reg.Counter(obs.CSimSiteFail) == 0 {
+		t.Fatal("no topology events observed")
+	}
+	if g, d := reg.Counter(obs.CSimAccessGrant), reg.Counter(obs.CSimAccessDeny); g != 0 || d != 0 {
+		t.Fatalf("family sweep recorded access decisions (%d grants, %d denies)", g, d)
+	}
+}
+
+// TestSweepValidation mirrors the study validation paths.
+func TestSweepValidation(t *testing.T) {
+	g := graph.Ring(5)
+	if _, err := Sweep(g, nil, PaperParams(), 0.5, StudyConfig{}); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}
