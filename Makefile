@@ -5,9 +5,9 @@
 
 GO ?= go
 
-.PHONY: check vet build test race cover-obs cover-store cover-sim fuzz chaos diskchaos soak bench bench-robustness bench-obs bench-store bench-core bench-core-update study
+.PHONY: check vet build test race cover-obs cover-store cover-sim cover-workload fuzz chaos diskchaos soak adversary bench bench-robustness bench-obs bench-store bench-core bench-core-update bench-adversary bench-adversary-update study
 
-check: vet build test race cover-obs cover-store cover-sim
+check: vet build test race cover-obs cover-store cover-sim cover-workload
 
 vet:
 	$(GO) vet ./...
@@ -50,6 +50,16 @@ cover-sim:
 		printf "internal/sim coverage: %s (gate: 90%%)\n", $$3; \
 		if (pct < 90) { print "FAIL: internal/sim coverage below 90%"; exit 1 } }'
 
+# The workload generators parameterize every adversarial scenario; a
+# mis-shaped α(t) or rate curve silently invalidates the regret numbers,
+# so the package stays near-fully covered.
+cover-workload:
+	$(GO) test -coverprofile=/tmp/workload.cover ./internal/workload/ >/dev/null
+	@$(GO) tool cover -func=/tmp/workload.cover | awk '/^total:/ { \
+		pct = $$3 + 0; \
+		printf "internal/workload coverage: %s (gate: 90%%)\n", $$3; \
+		if (pct < 90) { print "FAIL: internal/workload coverage below 90%"; exit 1 } }'
+
 # Short continuous fuzz of the wire codec (the committed corpus always
 # replays as part of `make test`).
 fuzz:
@@ -75,6 +85,12 @@ diskchaos:
 # runtimes, asserting 1SR + convergence + the availability win.
 soak:
 	$(GO) run ./cmd/quorumsim -churn -seeds 3 -soakops 4000 -seed 1
+
+# Adversarial scenario suite: diurnal drift, flash crowds, and partition
+# storms replayed daemon-on vs daemon-off, scored against the epoch oracle
+# and gated on the committed regret baseline.
+adversary:
+	$(GO) run ./cmd/quorumsim -adversary /tmp/BENCH_adversary.json -adversarybase BENCH_adversary.json -seed 1
 
 bench:
 	$(GO) test -bench=. -benchmem
@@ -105,6 +121,16 @@ bench-core:
 # Regenerate the committed core-kernel baseline (run on an idle machine).
 bench-core-update:
 	$(GO) run ./cmd/quorumsim -benchcore BENCH_core.json -seed 1
+
+# Adversary regret gate: replay the scenario suite and fail on any safety
+# or regret verdict, or on daemon-on regret/op drifting above the
+# committed BENCH_adversary.json baseline.
+bench-adversary:
+	$(GO) run ./cmd/quorumsim -adversary /tmp/BENCH_adversary.json -adversarybase BENCH_adversary.json -seed 1
+
+# Regenerate the committed adversary regret baseline.
+bench-adversary-update:
+	$(GO) run ./cmd/quorumsim -adversary BENCH_adversary.json -seed 1
 
 # Large-N study smoke: a reduced chords × α grid at paper scale.
 study:

@@ -26,6 +26,16 @@
 // serializability, post-churn assignment-version convergence, and an
 // availability win for the daemon.
 //
+// With -adversary it replays the adversarial scenario suite — diurnal
+// workload drift, flash crowds with rate × α shifts, and a partition storm
+// layered on correlated regional shocks — with the self-healing daemon on
+// and off on the identical seeded stimulus. Each run is scored against an
+// epoch oracle (the paper's optimizer re-run with hindsight on the epoch's
+// realized workload and fault pattern); the cumulative oracle gap is the
+// run's regret, written as BENCH_adversary.json-style output and gated
+// against a committed baseline with -adversarybase. Every run must keep
+// one-copy serializability and grant zero writes from minority partitions.
+//
 // With -benchjson it times the robustness hot paths and writes
 // BENCH_robustness.json-style output; -benchobs measures the observability
 // layer's own overhead and writes BENCH_obs.json-style output; -benchstore
@@ -49,6 +59,7 @@
 //	quorumsim -chaos -chaosmix all -ops 5000 -seed 7
 //	quorumsim -diskchaos -diskmix disk-all -ops 2000 -seed 7
 //	quorumsim -churn -seeds 3 -soakops 4000
+//	quorumsim -adversary BENCH_adversary.json -adversarybase BENCH_adversary.json
 //	quorumsim -churn -metrics metrics.prom -trace trace.jsonl -pprof churn
 //	quorumsim -benchjson BENCH_robustness.json
 //	quorumsim -benchobs BENCH_obs.json
@@ -99,6 +110,10 @@ func main() {
 		diskChaos = flag.Bool("diskchaos", false, "run the chaos harness with disk-fault injection under the crash mix")
 		diskMix   = flag.String("diskmix", "all", "disk fault mix name, or 'all' (one of: "+joinDiskNames()+")")
 
+		adversary     = flag.String("adversary", "", "run the adversarial scenario suite (diurnal drift, flash crowds, partition storms) and write regret results to this JSON file")
+		adversaryBase = flag.String("adversarybase", "", "with -adversary: gate daemon-on regret/op against this committed BENCH_adversary.json baseline")
+		advOps        = flag.Int("advops", 2500, "adversary: churn-phase steps per scenario")
+
 		churn      = flag.Bool("churn", false, "run the churn soak: self-healing daemon on vs off under site/link churn")
 		soakSeeds  = flag.Int("seeds", 3, "churn soak: seeds per configuration")
 		soakOps    = flag.Int("soakops", 4000, "churn soak: churn-phase operations per run")
@@ -142,6 +157,8 @@ func main() {
 		status = runBenchObs(*benchObs, *seed)
 	case *benchJSON != "":
 		status = runBenchJSON(*benchJSON, *seed)
+	case *adversary != "":
+		status = runAdversary(*adversary, *adversaryBase, *advOps, *seed, sink)
 	case *churn:
 		status = runChurn(*soakSeeds, *soakOps, firstNonZero(*sites, 9), *soakAlpha, *seed, sink)
 	case *diskChaos:

@@ -1,0 +1,414 @@
+package cluster
+
+import (
+	"fmt"
+
+	"quorumkit/internal/faults"
+	"quorumkit/internal/graph"
+	"quorumkit/internal/history"
+	"quorumkit/internal/obs"
+	"quorumkit/internal/rng"
+	"quorumkit/internal/sim"
+	"quorumkit/internal/stats"
+	"quorumkit/internal/workload"
+)
+
+// Adversarial scenario harness: replay one seeded scenario — partition
+// storms, correlated regional failures, a nonstationary workload — against
+// a runtime and measure its cumulative regret against an epoch oracle.
+//
+// The oracle is the paper's optimizer re-run with hindsight: each epoch,
+// an EpochTally records the realized read fraction and the empirical
+// densities of votes reachable from each operation's coordinator, and one
+// O(T) curve-kernel call yields the availability of the best assignment
+// the optimizer could have installed for exactly that epoch. The gap
+// between that and the realized grant rate, weighted by the epoch's
+// operation count and summed, is the run's regret. Because the scenario is
+// pure in the seed, a daemon-on and a daemon-off run replay the identical
+// stimulus, so "self-healing lowers regret" is a like-for-like comparison.
+//
+// The mirror graph.State tracks the true topology (the runtime's own view
+// is what is being judged, so it cannot also be the referee): churn events
+// are applied to runtime and mirror in lockstep, and reachable votes are
+// the mirror component members with both partition directions open —
+// exactly the peers whose request and reply a coordinator's round can
+// traverse. The same mirror arms the safety tripwire: a granted write
+// whose coordinator could reach at most a minority of votes would mean a
+// forked timeline, so it is counted (and must stay zero — Validate forces
+// every write quorum to a strict majority).
+
+// AdversaryRuntime is the surface the adversary harness drives: the soak
+// serving surface plus the partition transport. Both runtimes implement it.
+type AdversaryRuntime interface {
+	SoakRuntime
+	EnablePartitions(ps *faults.PartitionSchedule)
+	SetPartitionTime(t int64)
+	PartitionDrops() int64
+	Observer() *obs.Registry
+}
+
+// AdversaryConfig parameterizes one adversarial scenario replay.
+type AdversaryConfig struct {
+	Seed  uint64
+	Steps int // churn-phase steps (each draws a Poisson batch of ops)
+	Sites int // must match the runtime's and mirror's topology
+	Links int
+
+	// Workload is the nonstationary read-fraction pattern α(t); nil means a
+	// balanced constant mix. Rate scales the per-step operation count
+	// (nil: constant factor 1) around MeanOpsPerStep (default 1).
+	Workload       workload.Pattern
+	Rate           workload.RatePattern
+	MeanOpsPerStep float64
+
+	// Churn drives site/link failures; its Regions/ShockMTBF fields add
+	// correlated regional shocks. Partitions (optional) is the message-level
+	// cut timetable, keyed by the step index.
+	Churn      faults.ChurnConfig
+	Partitions *faults.PartitionSchedule
+
+	// Daemon enables self-healing, swept every DaemonEvery steps. When
+	// false the run is the static baseline the regret comparison judges
+	// against.
+	Daemon      bool
+	DaemonEvery int
+	Health      HealthConfig
+
+	// EpochSteps is the oracle re-optimization period (default 50 steps).
+	EpochSteps int
+
+	// SettleSteps is the post-heal measurement window (default Steps/10).
+	SettleSteps int
+}
+
+// normalized fills defaults.
+func (cfg AdversaryConfig) normalized() AdversaryConfig {
+	if cfg.Workload == nil {
+		cfg.Workload = workload.Constant(0.5)
+	}
+	if cfg.MeanOpsPerStep <= 0 {
+		cfg.MeanOpsPerStep = 1
+	}
+	if cfg.DaemonEvery < 1 {
+		cfg.DaemonEvery = 2
+	}
+	if cfg.EpochSteps < 1 {
+		cfg.EpochSteps = 50
+	}
+	if cfg.SettleSteps < 1 {
+		cfg.SettleSteps = cfg.Steps / 10
+		if cfg.SettleSteps < 1 {
+			cfg.SettleSteps = 1
+		}
+	}
+	return cfg
+}
+
+// EpochStat is one closed oracle epoch.
+type EpochStat struct {
+	Step      int     // step index at which the epoch closed
+	Ops       int64   // operations recorded in the epoch
+	Alpha     float64 // realized read fraction
+	GrantRate float64 // realized availability
+	Oracle    float64 // best hindsight availability for this epoch
+	OracleQR  int     // the hindsight-optimal read quorum
+	Regret    float64 // (Oracle − GrantRate) · Ops
+}
+
+// AdversaryRun is the full record of one scenario replay.
+type AdversaryRun struct {
+	Log *history.Log
+
+	Ops, Granted           int // churn phase
+	Reads, GrantedReads    int
+	Writes, GrantedWrites  int
+	DegradedRejects        int
+	SiteEvents, LinkEvents int
+	PartitionDrops         int64
+
+	Epochs    []EpochStat
+	OracleOps float64 // Σ Oracle·Ops over epochs (ops-weighted oracle mass)
+	Regret    float64 // cumulative regret over all epochs
+
+	// MinorityWrites counts granted writes whose coordinator could reach at
+	// most a minority of votes — a quorum-intersection violation. It must
+	// be zero on every run.
+	MinorityWrites int
+
+	SettleOps, SettleGranted int
+	Health                   stats.HealthCounters
+	FinalVersions            []int64
+	Converged                bool
+	ViolationErr             error // Log.Check() result
+}
+
+// Availability is the churn-phase grant rate.
+func (r *AdversaryRun) Availability() float64 {
+	if r.Ops == 0 {
+		return 0
+	}
+	return float64(r.Granted) / float64(r.Ops)
+}
+
+// OracleAvailability is the ops-weighted mean oracle availability.
+func (r *AdversaryRun) OracleAvailability() float64 {
+	if r.Ops == 0 {
+		return 0
+	}
+	return r.OracleOps / float64(r.Ops)
+}
+
+// RegretPerOp normalizes cumulative regret by the churn-phase op count.
+func (r *AdversaryRun) RegretPerOp() float64 {
+	if r.Ops == 0 {
+		return 0
+	}
+	return r.Regret / float64(r.Ops)
+}
+
+// SettleAvailability is the post-heal grant rate.
+func (r *AdversaryRun) SettleAvailability() float64 {
+	if r.SettleOps == 0 {
+		return 0
+	}
+	return float64(r.SettleGranted) / float64(r.SettleOps)
+}
+
+// String summarizes a run.
+func (r *AdversaryRun) String() string {
+	verdict := "1SR OK"
+	if r.ViolationErr != nil {
+		verdict = "VIOLATION: " + r.ViolationErr.Error()
+	}
+	conv := "converged"
+	if !r.Converged {
+		conv = "DIVERGED " + fmt.Sprint(r.FinalVersions)
+	}
+	return fmt.Sprintf(
+		"adversary %d ops %.3f avail (oracle %.3f, regret %.1f = %.4f/op, %d epochs, %d minority writes, %d partition drops, %d site / %d link events); settle %d ops %.3f avail; %s; %s",
+		r.Ops, r.Availability(), r.OracleAvailability(), r.Regret, r.RegretPerOp(),
+		len(r.Epochs), r.MinorityWrites, r.PartitionDrops,
+		r.SiteEvents, r.LinkEvents,
+		r.SettleOps, r.SettleAvailability(), conv, verdict)
+}
+
+// RunAdversary replays one adversarial scenario against rt, which must
+// have been built on a fresh topology matching cfg.Sites/cfg.Links. The
+// mirror must be a fresh all-up graph.State over the same topology and
+// votes; the harness owns it for the duration of the run. The phases:
+//
+//  1. Adversity: cfg.Steps steps. Each step advances the partition clock,
+//     applies the churn (and shock) events to runtime and mirror, sweeps
+//     the daemon on schedule, then serves a Poisson batch of operations
+//     whose kind follows α(t) and whose volume follows the rate pattern.
+//     Every operation feeds the history log and the epoch tally; every
+//     EpochSteps steps the epoch closes against the hindsight oracle.
+//  2. Heal: the partition clock jumps past the schedule horizon, every
+//     site and link is repaired, and the daemon (when enabled) sweeps
+//     until its views recover.
+//  3. Settle: cfg.SettleSteps single-op steps on the healed topology, then
+//     per-node assignment versions are recorded for the convergence check.
+//
+// Safety (Log.Check, MinorityWrites == 0) is asserted by the caller.
+func RunAdversary(rt AdversaryRuntime, mirror *graph.State, cfg AdversaryConfig) *AdversaryRun {
+	cfg = cfg.normalized()
+	if cfg.Daemon {
+		rt.EnableSelfHealing(cfg.Health)
+	}
+	if cfg.Partitions != nil {
+		rt.EnablePartitions(cfg.Partitions)
+	}
+	churn := faults.NewChurn(cfg.Seed, cfg.Sites, cfg.Links, cfg.Churn)
+	src := rng.New(cfg.Seed ^ 0xad5e)
+	gen := workload.NewGenerator(cfg.Workload, cfg.Seed^0x9ead)
+	arrivals := workload.NewArrivals(cfg.Rate, cfg.MeanOpsPerStep, cfg.Seed^0xf1a5)
+	tally := sim.NewEpochTally(mirror.TotalVotes())
+	// Every valid write quorum satisfies 2·q_w > T, so a coordinator that
+	// can reach at most ⌊T/2⌋ votes must never get a write granted.
+	maj := mirror.TotalVotes()/2 + 1
+	run := &AdversaryRun{Log: &history.Log{}}
+
+	// reachable computes the votes a coordinator's round can actually
+	// gather at partition time pt: its component members on the mirror,
+	// minus peers with either message direction cut (a one-way cut loses
+	// either the request or the reply, so the peer cannot contribute).
+	reachable := func(x int, pt int64) int {
+		if !mirror.SiteUp(x) {
+			return 0
+		}
+		v := mirror.Votes(x)
+		for p := 0; p < cfg.Sites; p++ {
+			if p == x || !mirror.SiteUp(p) || !mirror.SameComponent(x, p) {
+				continue
+			}
+			if cfg.Partitions != nil &&
+				(cfg.Partitions.Blocked(pt, x, p) || cfg.Partitions.Blocked(pt, p, x)) {
+				continue
+			}
+			v += mirror.Votes(p)
+		}
+		return v
+	}
+
+	value := int64(0)
+	doOp := func(t float64, pt int64, settling bool) {
+		site := src.Intn(cfg.Sites)
+		read := gen.IsRead(t)
+		votes := reachable(site, pt)
+		var out Outcome
+		if read {
+			out = rt.ServeRead(site)
+			run.Log.RecordRead(site, out.Granted, out.Value, out.Stamp, t)
+		} else {
+			value++
+			out = rt.ServeWrite(site, value)
+			for _, res := range out.Residue {
+				run.Log.RecordIndeterminateWrite(site, res.Value, res.Stamp, t)
+			}
+			run.Log.RecordWrite(site, out.Granted, value, out.Stamp, t)
+		}
+		if out.Err == ErrDegradedWrites || out.Err == ErrUnavailable {
+			run.DegradedRejects++
+		}
+		if out.Granted && !read && votes < maj {
+			// A granted write from a minority component: this must never
+			// happen (write quorums are strict majorities by construction).
+			run.MinorityWrites++
+			rt.Observer().Inc(obs.CMinorityWrite)
+		}
+		if settling {
+			run.SettleOps++
+			if out.Granted {
+				run.SettleGranted++
+			}
+			return
+		}
+		tally.Record(read, votes, out.Granted)
+		run.Ops++
+		if read {
+			run.Reads++
+		} else {
+			run.Writes++
+		}
+		if out.Granted {
+			run.Granted++
+			if read {
+				run.GrantedReads++
+			} else {
+				run.GrantedWrites++
+			}
+		}
+	}
+
+	closeEpoch := func(step int) {
+		ops := tally.Ops()
+		if ops == 0 {
+			return
+		}
+		oracle, qr := tally.OracleAvailability()
+		grant := tally.GrantRate()
+		regret := (oracle - grant) * float64(ops)
+		run.Epochs = append(run.Epochs, EpochStat{
+			Step: step, Ops: ops, Alpha: tally.Alpha(),
+			GrantRate: grant, Oracle: oracle, OracleQR: qr, Regret: regret,
+		})
+		run.OracleOps += oracle * float64(ops)
+		run.Regret += regret
+		tally.Reset()
+	}
+
+	// Phase 1: adversity.
+	downSites := make([]bool, cfg.Sites)
+	for step := 0; step < cfg.Steps; step++ {
+		t := float64(step)
+		pt := int64(step)
+		rt.SetPartitionTime(pt)
+		for _, ev := range churn.Step(t) {
+			switch ev.Kind {
+			case faults.SiteFail:
+				rt.FailSite(ev.Index)
+				mirror.FailSite(ev.Index)
+				downSites[ev.Index] = true
+				run.SiteEvents++
+			case faults.SiteRepair:
+				rt.RepairSite(ev.Index)
+				mirror.RepairSite(ev.Index)
+				downSites[ev.Index] = false
+				run.SiteEvents++
+			case faults.LinkFail:
+				rt.FailLink(ev.Index)
+				mirror.FailLink(ev.Index)
+				run.LinkEvents++
+			case faults.LinkRepair:
+				rt.RepairLink(ev.Index)
+				mirror.RepairLink(ev.Index)
+				run.LinkEvents++
+			}
+		}
+		if cfg.Daemon && step%cfg.DaemonEvery == 0 {
+			for x := 0; x < cfg.Sites; x++ {
+				rt.DaemonStep(x)
+			}
+		}
+		for n := arrivals.At(t); n > 0; n-- {
+			doOp(t, pt, false)
+		}
+		if (step+1)%cfg.EpochSteps == 0 {
+			closeEpoch(step + 1)
+		}
+	}
+	closeEpoch(cfg.Steps) // flush a partial trailing epoch (no-op when empty)
+
+	// Phase 2: heal. Jump the partition clock past the schedule horizon so
+	// every cut is lifted, then repair everything churn took down.
+	healT := int64(cfg.Steps)
+	if cfg.Partitions != nil && cfg.Partitions.Horizon() > healT {
+		healT = cfg.Partitions.Horizon()
+	}
+	rt.SetPartitionTime(healT)
+	for i, down := range downSites {
+		if down {
+			rt.RepairSite(i)
+			mirror.RepairSite(i)
+		}
+	}
+	for l := 0; l < cfg.Links; l++ {
+		rt.RepairLink(l)
+		mirror.RepairLink(l)
+	}
+	if cfg.Daemon {
+		// Bounded like the soak heal: SuspectAfter misses to suspect, one
+		// ack to clear, plus the cooldown before the convergence sweep.
+		h := cfg.Health.normalize()
+		sweeps := h.SuspectAfter + int(h.CooldownTicks) + 4
+		for s := 0; s < sweeps; s++ {
+			for x := 0; x < cfg.Sites; x++ {
+				rt.DaemonStep(x)
+			}
+		}
+	}
+
+	// Phase 3: settle.
+	for s := 0; s < cfg.SettleSteps; s++ {
+		t := float64(cfg.Steps + s)
+		if cfg.Daemon && (cfg.Steps+s)%cfg.DaemonEvery == 0 {
+			for x := 0; x < cfg.Sites; x++ {
+				rt.DaemonStep(x)
+			}
+		}
+		doOp(t, healT, true)
+	}
+
+	run.PartitionDrops = rt.PartitionDrops()
+	run.FinalVersions = make([]int64, cfg.Sites)
+	run.Converged = true
+	for x := 0; x < cfg.Sites; x++ {
+		run.FinalVersions[x] = rt.NodeVersion(x)
+		if run.FinalVersions[x] != run.FinalVersions[0] {
+			run.Converged = false
+		}
+	}
+	run.Health = rt.HealthCounters()
+	run.ViolationErr = run.Log.Check()
+	return run
+}

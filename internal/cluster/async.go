@@ -51,6 +51,10 @@ type Async struct {
 	// health, when non-nil, holds the failure detector, adaptive
 	// reassignment daemon, and degradation gate (see health_async.go).
 	health *healthState
+
+	// parts, when non-nil, holds the partition schedule and clock that
+	// cut message directions at the transport (see partition.go).
+	parts *asyncPartitions
 	// daemonStop, when non-nil, stops the background daemon goroutine
 	// started by StartDaemon; Close closes it.
 	daemonStop chan struct{}
@@ -303,7 +307,10 @@ func (a *Async) collect(x int) (votes int, peers []int, eff node, ok bool) {
 	if !up {
 		return 0, nil, node{}, false
 	}
-	peers = a.peersOf(x)
+	// Peers cut by an active partition in either direction cannot complete
+	// the request/reply round and are excluded up front (the reliable
+	// baseline transport has no per-message loss path to absorb them).
+	peers = a.partitionReachable(x, a.peersOf(x))
 
 	replies := make(chan payload, len(peers))
 	a.obs.Add(obs.CMsgSent, int64(len(peers)))

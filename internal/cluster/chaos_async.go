@@ -272,13 +272,21 @@ func (a *Async) chaosCollect(x int, op OpKind) (gathered []voteReply, eff node, 
 			replies <- lostMark{from: p}
 			continue
 		}
+		if a.partBlocked(x, p) {
+			// The partition eats the request before the peer hears it.
+			replies <- lostMark{from: p}
+			continue
+		}
 		slots := ch.slotsOf(dreq, drep)
-		if drep.Drop {
+		if drep.Drop || a.partBlocked(p, x) {
 			// The request lands — the peer still runs its pre-reply sync
 			// barrier, leaving the same durable bytes as the deterministic
-			// runtime — but the reply is lost on the way back.
-			ch.bump(func(c *stats.ChaosCounters) { c.MsgDropped++ })
-			a.obs.Inc(obs.CMsgDropped)
+			// runtime — but the reply is lost on the way back, to the plan
+			// or to a one-way cut.
+			if drep.Drop {
+				ch.bump(func(c *stats.ChaosCounters) { c.MsgDropped++ })
+				a.obs.Inc(obs.CMsgDropped)
+			}
 			lost.Add(1)
 			a.chaosDeliver(p, asyncMsg{body: voteRequest{op: op}, ack: &lost}, slots)
 			if dreq.Duplicate {
@@ -366,6 +374,9 @@ func (a *Async) chaosCollect(x int, op OpKind) (gathered []voteReply, eff node, 
 			a.obs.Inc(obs.CMsgDropped)
 			continue
 		}
+		if a.partBlocked(x, r.from) {
+			continue
+		}
 		slots := ch.slotsOf(d, faults.Decision{})
 		a.chaosDeliver(r.from, asyncMsg{body: syncMsg}, slots)
 		if d.Duplicate {
@@ -404,13 +415,19 @@ func (a *Async) chaosPushApplies(x int, targets []voteReply, value, stamp int64)
 			acks <- lostMark{from: r.from}
 			continue
 		}
+		if a.partBlocked(x, r.from) {
+			acks <- lostMark{from: r.from}
+			continue
+		}
 		slots := ch.slotsOf(dapp, dack)
-		if dack.Drop {
+		if dack.Drop || a.partBlocked(r.from, x) {
 			// The apply lands in full — the peer's copy changes and its
 			// pre-ack sync barrier runs, as in the deterministic runtime —
 			// but the acknowledgement is lost on the way back.
-			ch.bump(func(c *stats.ChaosCounters) { c.MsgDropped++ })
-			a.obs.Inc(obs.CMsgDropped)
+			if dack.Drop {
+				ch.bump(func(c *stats.ChaosCounters) { c.MsgDropped++ })
+				a.obs.Inc(obs.CMsgDropped)
+			}
 			msg := asyncMsg{body: applyWrite{value: value, stamp: stamp, wantAck: true}, ack: &lost}
 			lost.Add(1)
 			a.chaosDeliver(r.from, msg, slots)
@@ -534,6 +551,9 @@ func (a *Async) chaosWriteOnce(x int, value int64) (stamp int64, residue *Residu
 			}
 			spread++
 			slots := ch.slotsOf(dapp, faults.Decision{})
+			if a.partBlocked(x, r.from) {
+				continue // spread counts plan admissions, as in the det runtime
+			}
 			a.chaosDeliver(r.from, asyncMsg{body: applyWrite{value: value, stamp: stamp}}, slots)
 		}
 		a.crash(x)

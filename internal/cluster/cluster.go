@@ -20,6 +20,7 @@ package cluster
 import (
 	"fmt"
 
+	"quorumkit/internal/faults"
 	"quorumkit/internal/graph"
 	"quorumkit/internal/obs"
 	"quorumkit/internal/quorum"
@@ -186,6 +187,12 @@ type Cluster struct {
 	// reassignment daemon, and degradation gate (see health.go).
 	health *healthState
 
+	// Partition transport (see partition.go): a schedule of network cuts
+	// evaluated per message direction at the current partition time.
+	partSched *faults.PartitionSchedule
+	partNow   int64
+	partDrops int64
+
 	// obs, when non-nil, receives counters, histograms, and trace events
 	// (see obs.go); observation is write-only and never affects behaviour.
 	obs *obs.Registry
@@ -241,9 +248,13 @@ func (c *Cluster) broadcast(from int, body payload) {
 }
 
 // deliverable reports whether a message can currently be delivered: both
-// endpoints up and in the same component.
+// endpoints up, in the same component, and the direction not cut by an
+// active partition.
 func (c *Cluster) deliverable(m message) bool {
-	return c.st.SiteUp(m.from) && c.st.SiteUp(m.to) && c.st.SameComponent(m.from, m.to)
+	if !c.st.SiteUp(m.from) || !c.st.SiteUp(m.to) || !c.st.SameComponent(m.from, m.to) {
+		return false
+	}
+	return !c.partBlocked(m.from, m.to)
 }
 
 // drain delivers queued messages until the queue is empty. Undeliverable

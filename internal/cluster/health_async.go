@@ -81,12 +81,20 @@ func (a *Async) heartbeatRound(x int) []heartbeatAck {
 				replies <- lostMark{from: p}
 				continue
 			}
+			if a.partBlocked(x, p) {
+				// The partition eats the probe before the peer hears it.
+				replies <- lostMark{from: p}
+				continue
+			}
 			slots := ch.slotsOf(dreq, dack)
-			if dack.Drop {
+			if dack.Drop || a.partBlocked(p, x) {
 				// The probe lands — the peer runs its pre-ack sync barrier,
-				// as in the deterministic runtime — but the ack is lost.
-				ch.bump(func(c *stats.ChaosCounters) { c.MsgDropped++ })
-				a.obs.Inc(obs.CMsgDropped)
+				// as in the deterministic runtime — but the ack is lost to
+				// the plan or cut by the partition on the way back.
+				if dack.Drop {
+					ch.bump(func(c *stats.ChaosCounters) { c.MsgDropped++ })
+					a.obs.Inc(obs.CMsgDropped)
+				}
 				lostWG.Add(1)
 				a.chaosDeliver(p, asyncMsg{body: probe, ack: &lostWG}, slots)
 				if dreq.Duplicate {
@@ -104,8 +112,23 @@ func (a *Async) heartbeatRound(x int) []heartbeatAck {
 			}
 			continue
 		}
+		if a.partBlocked(x, p) {
+			// The probe is cut: the peer never hears it and accrues a miss.
+			replies <- lostMark{from: p}
+			continue
+		}
 		a.sent.Add(1)
 		a.obs.Inc(obs.CMsgSent)
+		if a.partBlocked(p, x) {
+			// The probe lands — the peer's side effects run — but the ack
+			// direction is cut, so the prober records a miss. This is the
+			// asymmetric one-way case: both sides end up suspecting each
+			// other, each for its own lost direction.
+			lostWG.Add(1)
+			a.nodes[p].inbox <- asyncMsg{body: probe, ack: &lostWG}
+			replies <- lostMark{from: p}
+			continue
+		}
 		a.nodes[p].inbox <- asyncMsg{body: probe, reply: replies}
 	}
 
@@ -180,12 +203,22 @@ func (a *Async) gossipEstimates(x int) (*core.Estimator, error) {
 				replies <- lostMark{from: p}
 				continue
 			}
+			if a.partBlocked(x, p) || a.partBlocked(p, x) {
+				// Gossip is side-effect free, so a cut in either direction
+				// collapses to one lost round trip.
+				replies <- lostMark{from: p}
+				continue
+			}
 			slots := ch.slotsOf(dreq, drep)
 			a.chaosDeliver(p, asyncMsg{body: histRequest{}, reply: replies}, slots)
 			if dreq.Duplicate || drep.Duplicate {
 				ch.bump(func(c *stats.ChaosCounters) { c.MsgDuplicated++ })
 				a.chaosDeliver(p, asyncMsg{body: histRequest{}, reply: replies}, slots)
 			}
+			continue
+		}
+		if a.partBlocked(x, p) || a.partBlocked(p, x) {
+			replies <- lostMark{from: p}
 			continue
 		}
 		a.sent.Add(1)

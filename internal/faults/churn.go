@@ -60,6 +60,18 @@ type ChurnConfig struct {
 	SiteMTTR float64 // mean down duration of a site
 	LinkMTBF float64 // mean up duration of a link
 	LinkMTTR float64 // mean down duration of a link
+
+	// Correlated regional shocks, Marshall–Olkin style: on top of the
+	// independent per-site renewal above, each region in Regions is hit
+	// by a shared shock process (its own alternating renewal with
+	// ShockMTBF/ShockMTTR) that takes every member site down *together*
+	// for the shock's duration. A site is effectively down when its own
+	// process or any covering shock holds it down. A zero ShockMTBF
+	// disables shocks; the schedule is then bit-identical to one built
+	// without these fields.
+	Regions   [][]int
+	ShockMTBF float64 // mean gap between shocks hitting a region
+	ShockMTTR float64 // mean shock duration
 }
 
 // Validate rejects nonsensical configurations.
@@ -78,6 +90,22 @@ func (c ChurnConfig) Validate() error {
 			return fmt.Errorf("faults: %sMTBF=%g needs a positive %sMTTR", p.name, p.mtbf, p.name)
 		}
 	}
+	if c.ShockMTBF < 0 || c.ShockMTTR < 0 {
+		return fmt.Errorf("faults: ShockMTBF/ShockMTTR must be non-negative")
+	}
+	if c.ShockMTBF > 0 {
+		if c.ShockMTTR <= 0 {
+			return fmt.Errorf("faults: ShockMTBF=%g needs a positive ShockMTTR", c.ShockMTBF)
+		}
+		if len(c.Regions) == 0 {
+			return fmt.Errorf("faults: ShockMTBF=%g needs at least one region", c.ShockMTBF)
+		}
+	}
+	for ri, region := range c.Regions {
+		if len(region) == 0 {
+			return fmt.Errorf("faults: churn region %d is empty", ri)
+		}
+	}
 	return nil
 }
 
@@ -93,6 +121,15 @@ type Churn struct {
 	linkNext []float64
 
 	src *rng.Source
+
+	// Shock layer (nil slices when disabled). Shock randomness comes
+	// from a separate substream so that enabling shocks never perturbs
+	// the base per-element schedules of the same seed.
+	shockDown []bool
+	shockNext []float64
+	shockOf   [][]int // site -> indices of covering regions
+	effDown   []bool  // effective per-site state last reported
+	shockSrc  *rng.Source
 }
 
 // never is a sentinel toggle time for disabled element classes.
@@ -119,6 +156,26 @@ func NewChurn(seed uint64, sites, links int, cfg ChurnConfig) *Churn {
 	for l := range c.linkNext {
 		c.linkNext[l] = c.firstToggle(cfg.LinkMTBF)
 	}
+	if cfg.ShockMTBF > 0 {
+		for ri, region := range cfg.Regions {
+			for _, s := range region {
+				if s < 0 || s >= sites {
+					panic(fmt.Sprintf("faults: churn region %d has site %d out of [0,%d)", ri, s, sites))
+				}
+			}
+		}
+		c.shockDown = make([]bool, len(cfg.Regions))
+		c.shockNext = make([]float64, len(cfg.Regions))
+		c.shockOf = make([][]int, sites)
+		c.effDown = make([]bool, sites)
+		c.shockSrc = rng.New(seed ^ 0x0c0a5717ed)
+		for ri, region := range cfg.Regions {
+			c.shockNext[ri] = c.shockSrc.Exp(cfg.ShockMTBF)
+			for _, s := range region {
+				c.shockOf[s] = append(c.shockOf[s], ri)
+			}
+		}
+	}
 	return c
 }
 
@@ -134,18 +191,67 @@ func (c *Churn) firstToggle(mtbf float64) float64 {
 // Step returns every event scheduled at or before time t, in deterministic
 // (element-index, occurrence) order, advancing each element's renewal
 // process past t. Call with strictly increasing t.
+//
+// With shocks enabled, site events report changes of the *effective* state
+// (own process OR any covering shock): toggles that cancel out within one
+// step are coalesced, and a site already held down by a shock emits no
+// event when its own process fails underneath.
 func (c *Churn) Step(t float64) []ChurnEvent {
 	var out []ChurnEvent
-	for i := range c.siteNext {
-		for c.siteNext[i] <= t {
-			if c.siteDown[i] {
-				c.siteDown[i] = false
-				out = append(out, ChurnEvent{Kind: SiteRepair, Index: i})
-				c.siteNext[i] += c.src.Exp(c.cfg.SiteMTBF)
-			} else {
-				c.siteDown[i] = true
-				out = append(out, ChurnEvent{Kind: SiteFail, Index: i})
-				c.siteNext[i] += c.src.Exp(c.cfg.SiteMTTR)
+	if c.shockNext == nil {
+		for i := range c.siteNext {
+			for c.siteNext[i] <= t {
+				if c.siteDown[i] {
+					c.siteDown[i] = false
+					out = append(out, ChurnEvent{Kind: SiteRepair, Index: i})
+					c.siteNext[i] += c.src.Exp(c.cfg.SiteMTBF)
+				} else {
+					c.siteDown[i] = true
+					out = append(out, ChurnEvent{Kind: SiteFail, Index: i})
+					c.siteNext[i] += c.src.Exp(c.cfg.SiteMTTR)
+				}
+			}
+		}
+	} else {
+		// Advance the base per-site processes silently, then the shared
+		// shocks, then diff the effective state in site-index order.
+		for i := range c.siteNext {
+			for c.siteNext[i] <= t {
+				if c.siteDown[i] {
+					c.siteDown[i] = false
+					c.siteNext[i] += c.src.Exp(c.cfg.SiteMTBF)
+				} else {
+					c.siteDown[i] = true
+					c.siteNext[i] += c.src.Exp(c.cfg.SiteMTTR)
+				}
+			}
+		}
+		for r := range c.shockNext {
+			for c.shockNext[r] <= t {
+				if c.shockDown[r] {
+					c.shockDown[r] = false
+					c.shockNext[r] += c.shockSrc.Exp(c.cfg.ShockMTBF)
+				} else {
+					c.shockDown[r] = true
+					c.shockNext[r] += c.shockSrc.Exp(c.cfg.ShockMTTR)
+				}
+			}
+		}
+		for i := range c.siteDown {
+			down := c.siteDown[i]
+			for _, r := range c.shockOf[i] {
+				if c.shockDown[r] {
+					down = true
+					break
+				}
+			}
+			if down != c.effDown[i] {
+				c.effDown[i] = down
+				kind := SiteRepair
+				if down {
+					kind = SiteFail
+				}
+				out = append(out, ChurnEvent{Kind: kind, Index: i})
 			}
 		}
 	}
@@ -166,9 +272,14 @@ func (c *Churn) Step(t float64) []ChurnEvent {
 }
 
 // DownCounts reports how many sites and links the schedule currently holds
-// down (for harness diagnostics).
+// down (for harness diagnostics). With shocks enabled, the site count is
+// the effective state the schedule has reported through Step.
 func (c *Churn) DownCounts() (sites, links int) {
-	for _, d := range c.siteDown {
+	siteState := c.siteDown
+	if c.effDown != nil {
+		siteState = c.effDown
+	}
+	for _, d := range siteState {
 		if d {
 			sites++
 		}
@@ -179,4 +290,16 @@ func (c *Churn) DownCounts() (sites, links int) {
 		}
 	}
 	return sites, links
+}
+
+// ActiveShocks reports how many regional shocks are currently in progress
+// (always 0 when shocks are disabled).
+func (c *Churn) ActiveShocks() int {
+	n := 0
+	for _, d := range c.shockDown {
+		if d {
+			n++
+		}
+	}
+	return n
 }

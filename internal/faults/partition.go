@@ -1,0 +1,252 @@
+package faults
+
+import (
+	"fmt"
+
+	"quorumkit/internal/rng"
+)
+
+// This file adds the network-partition primitive the per-message fault
+// plans lack: correlated, group-structured cuts. A PartitionSchedule is a
+// deterministic timetable of cuts — symmetric site-group splits and
+// asymmetric one-way blocks — evaluated against the harness's integer step
+// clock. Like a Plan, a schedule is a pure function of its construction
+// inputs: Blocked(t, from, to) depends only on the timetable, never on
+// arrival order or which runtime asks, so the same schedule injects the
+// same partition history into the deterministic Cluster and the concurrent
+// Async runtime.
+//
+// Partitions act at the message transport: a blocked (from, to) pair means
+// messages sent from `from` to `to` are silently lost while the cut is
+// active. One-way cuts model asymmetric link loss ("A hears B, B doesn't
+// hear A"); overlapping cuts compose — a message is blocked if *any*
+// active cut blocks it.
+//
+// Partitions introduce no new wire-visible messages: they only suppress
+// delivery of the existing protocol messages, so the wire codec and its
+// fuzz corpus are unchanged.
+
+// partitionCut is one timed cut. A cut is active on steps t with
+// start <= t < end.
+type partitionCut struct {
+	start, end int64
+	oneWay     bool
+	group      map[int]int  // split cuts: site -> group index
+	from, to   map[int]bool // one-way cuts: blocked direction
+}
+
+// PartitionSchedule is an immutable-after-construction timetable of
+// network cuts. Build it with AddSplit/AddOneWay (or the Storm generator),
+// then hand it to the runtimes; Blocked is read-only and safe for
+// concurrent use once construction is done. The nil schedule blocks
+// nothing.
+type PartitionSchedule struct {
+	cuts    []partitionCut
+	horizon int64
+}
+
+// NewPartitionSchedule returns an empty schedule.
+func NewPartitionSchedule() *PartitionSchedule {
+	return &PartitionSchedule{}
+}
+
+// AddSplit adds a symmetric cut active on [start, end): sites listed in
+// different groups cannot exchange messages in either direction while the
+// cut is active. Sites not listed in any group are unaffected by this cut.
+// It panics on malformed input (schedules are built from trusted test/CLI
+// configuration, like fault plans).
+func (ps *PartitionSchedule) AddSplit(start, end int64, groups ...[]int) *PartitionSchedule {
+	if end <= start {
+		panic(fmt.Sprintf("faults: AddSplit with empty window [%d, %d)", start, end))
+	}
+	if len(groups) < 2 {
+		panic("faults: AddSplit needs at least two groups")
+	}
+	g := make(map[int]int)
+	for gi, sites := range groups {
+		if len(sites) == 0 {
+			panic(fmt.Sprintf("faults: AddSplit group %d is empty", gi))
+		}
+		for _, s := range sites {
+			if prev, dup := g[s]; dup && prev != gi {
+				panic(fmt.Sprintf("faults: AddSplit site %d in groups %d and %d", s, prev, gi))
+			}
+			g[s] = gi
+		}
+	}
+	ps.cuts = append(ps.cuts, partitionCut{start: start, end: end, group: g})
+	if end > ps.horizon {
+		ps.horizon = end
+	}
+	return ps
+}
+
+// AddOneWay adds an asymmetric cut active on [start, end): messages from
+// any site in `from` to any site in `to` are lost; the reverse direction
+// is untouched. It panics on malformed input.
+func (ps *PartitionSchedule) AddOneWay(start, end int64, from, to []int) *PartitionSchedule {
+	if end <= start {
+		panic(fmt.Sprintf("faults: AddOneWay with empty window [%d, %d)", start, end))
+	}
+	if len(from) == 0 || len(to) == 0 {
+		panic("faults: AddOneWay needs non-empty from and to sets")
+	}
+	f := make(map[int]bool, len(from))
+	for _, s := range from {
+		f[s] = true
+	}
+	t := make(map[int]bool, len(to))
+	for _, s := range to {
+		t[s] = true
+	}
+	ps.cuts = append(ps.cuts, partitionCut{start: start, end: end, oneWay: true, from: f, to: t})
+	if end > ps.horizon {
+		ps.horizon = end
+	}
+	return ps
+}
+
+// Blocked reports whether a message from site `from` to site `to` is
+// suppressed at step t. Nil-safe: a nil schedule blocks nothing.
+func (ps *PartitionSchedule) Blocked(t int64, from, to int) bool {
+	if ps == nil {
+		return false
+	}
+	for i := range ps.cuts {
+		c := &ps.cuts[i]
+		if t < c.start || t >= c.end {
+			continue
+		}
+		if c.oneWay {
+			if c.from[from] && c.to[to] {
+				return true
+			}
+			continue
+		}
+		gf, okf := c.group[from]
+		gt, okt := c.group[to]
+		if okf && okt && gf != gt {
+			return true
+		}
+	}
+	return false
+}
+
+// ActiveCuts returns how many cuts are active at step t (0 on nil).
+func (ps *PartitionSchedule) ActiveCuts(t int64) int {
+	if ps == nil {
+		return 0
+	}
+	n := 0
+	for i := range ps.cuts {
+		if t >= ps.cuts[i].start && t < ps.cuts[i].end {
+			n++
+		}
+	}
+	return n
+}
+
+// NumCuts returns the total number of cuts in the schedule (0 on nil).
+func (ps *PartitionSchedule) NumCuts() int {
+	if ps == nil {
+		return 0
+	}
+	return len(ps.cuts)
+}
+
+// Horizon returns the end of the last cut: every step at or past the
+// horizon is partition-free (0 on nil or empty schedules).
+func (ps *PartitionSchedule) Horizon() int64 {
+	if ps == nil {
+		return 0
+	}
+	return ps.horizon
+}
+
+// StormConfig parameterizes a seeded storm: a sequence of overlapping
+// regional cuts with exponential onset gaps and durations.
+type StormConfig struct {
+	Sites   int     // total sites in the topology
+	Regions [][]int // candidate regions; each cut isolates one of them
+	Start   int64   // first step a cut may begin
+	End     int64   // no cut extends past this step
+
+	MeanDuration   float64 // mean cut length, in steps
+	MeanGap        float64 // mean gap between consecutive onsets, in steps
+	OneWayFraction float64 // P(a cut is one-way, region -> rest)
+}
+
+// Validate rejects nonsensical storm configurations.
+func (c StormConfig) Validate() error {
+	if c.Sites <= 0 {
+		return fmt.Errorf("faults: StormConfig.Sites=%d must be positive", c.Sites)
+	}
+	if len(c.Regions) == 0 {
+		return fmt.Errorf("faults: StormConfig needs at least one region")
+	}
+	for ri, region := range c.Regions {
+		if len(region) == 0 {
+			return fmt.Errorf("faults: StormConfig region %d is empty", ri)
+		}
+		if len(region) >= c.Sites {
+			return fmt.Errorf("faults: StormConfig region %d covers all %d sites", ri, c.Sites)
+		}
+		for _, s := range region {
+			if s < 0 || s >= c.Sites {
+				return fmt.Errorf("faults: StormConfig region %d has site %d out of [0,%d)", ri, s, c.Sites)
+			}
+		}
+	}
+	if c.End <= c.Start {
+		return fmt.Errorf("faults: StormConfig window [%d, %d) is empty", c.Start, c.End)
+	}
+	if c.MeanDuration <= 0 || c.MeanGap <= 0 {
+		return fmt.Errorf("faults: StormConfig needs positive MeanDuration and MeanGap")
+	}
+	if c.OneWayFraction < 0 || c.OneWayFraction > 1 {
+		return fmt.Errorf("faults: StormConfig.OneWayFraction=%g out of [0,1]", c.OneWayFraction)
+	}
+	return nil
+}
+
+// Storm generates a deterministic partition storm: overlapping regional
+// cuts whose onsets follow a Poisson process with mean gap MeanGap and
+// whose durations are exponential with mean MeanDuration. Each cut
+// isolates one randomly chosen region from the rest of the topology —
+// fully (a symmetric split) or, with probability OneWayFraction, only in
+// the region-to-rest direction (the region hears the majority but cannot
+// answer). The schedule is a pure function of (seed, cfg). It panics on an
+// invalid config.
+func Storm(seed uint64, cfg StormConfig) *PartitionSchedule {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	src := rng.New(seed ^ 0x570c4a1) // distinct stream from churn's
+	ps := NewPartitionSchedule()
+	t := float64(cfg.Start) + src.Exp(cfg.MeanGap)
+	for int64(t) < cfg.End {
+		start := int64(t)
+		region := cfg.Regions[src.Intn(len(cfg.Regions))]
+		end := start + 1 + int64(src.Exp(cfg.MeanDuration))
+		if end > cfg.End {
+			end = cfg.End
+		}
+		rest := make([]int, 0, cfg.Sites-len(region))
+		in := make(map[int]bool, len(region))
+		for _, s := range region {
+			in[s] = true
+		}
+		for s := 0; s < cfg.Sites; s++ {
+			if !in[s] {
+				rest = append(rest, s)
+			}
+		}
+		if src.Bernoulli(cfg.OneWayFraction) {
+			ps.AddOneWay(start, end, region, rest)
+		} else {
+			ps.AddSplit(start, end, region, rest)
+		}
+		t += src.Exp(cfg.MeanGap)
+	}
+	return ps
+}

@@ -1,0 +1,344 @@
+package faults
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestPartitionScheduleNilAndEmpty(t *testing.T) {
+	var nilPS *PartitionSchedule
+	if nilPS.Blocked(5, 0, 1) {
+		t.Fatal("nil schedule blocked a message")
+	}
+	if nilPS.ActiveCuts(5) != 0 || nilPS.NumCuts() != 0 || nilPS.Horizon() != 0 {
+		t.Fatal("nil schedule reported non-zero accounting")
+	}
+	ps := NewPartitionSchedule()
+	if ps.Blocked(5, 0, 1) || ps.Horizon() != 0 {
+		t.Fatal("empty schedule blocked a message")
+	}
+}
+
+func TestPartitionSplitSemantics(t *testing.T) {
+	ps := NewPartitionSchedule()
+	ps.AddSplit(10, 20, []int{0, 1}, []int{2, 3})
+	cases := []struct {
+		t        int64
+		from, to int
+		want     bool
+	}{
+		{9, 0, 2, false},  // before the window
+		{10, 0, 2, true},  // window is inclusive at start
+		{19, 2, 0, true},  // symmetric
+		{20, 0, 2, false}, // exclusive at end
+		{15, 0, 1, false}, // same group
+		{15, 2, 3, false}, // same group
+		{15, 0, 4, false}, // site 4 unlisted: unaffected
+		{15, 4, 2, false},
+	}
+	for _, c := range cases {
+		if got := ps.Blocked(c.t, c.from, c.to); got != c.want {
+			t.Errorf("Blocked(%d, %d, %d) = %v, want %v", c.t, c.from, c.to, got, c.want)
+		}
+	}
+	if ps.Horizon() != 20 {
+		t.Fatalf("Horizon = %d, want 20", ps.Horizon())
+	}
+	if ps.ActiveCuts(15) != 1 || ps.ActiveCuts(25) != 0 {
+		t.Fatal("ActiveCuts miscounted")
+	}
+}
+
+func TestPartitionOneWaySemantics(t *testing.T) {
+	ps := NewPartitionSchedule()
+	ps.AddOneWay(0, 100, []int{1}, []int{0, 2})
+	if !ps.Blocked(50, 1, 0) || !ps.Blocked(50, 1, 2) {
+		t.Fatal("one-way cut did not block the forward direction")
+	}
+	if ps.Blocked(50, 0, 1) || ps.Blocked(50, 2, 1) {
+		t.Fatal("one-way cut blocked the reverse direction")
+	}
+	if ps.Blocked(50, 0, 2) {
+		t.Fatal("one-way cut blocked an unrelated pair")
+	}
+}
+
+func TestPartitionOverlappingCutsCompose(t *testing.T) {
+	ps := NewPartitionSchedule()
+	ps.AddSplit(0, 50, []int{0}, []int{1, 2})
+	ps.AddSplit(30, 80, []int{2}, []int{0, 1})
+	// During the overlap both cuts are live: 1<->2 is blocked only by the
+	// second cut, 0<->1 only by the first.
+	if !ps.Blocked(40, 1, 2) || !ps.Blocked(40, 0, 1) {
+		t.Fatal("overlap window lost a cut")
+	}
+	// After the first heals, 0<->1 flows again but 1<->2 stays blocked.
+	if ps.Blocked(60, 0, 1) || !ps.Blocked(60, 1, 2) {
+		t.Fatal("healing one cut disturbed the other")
+	}
+	if ps.ActiveCuts(40) != 2 {
+		t.Fatalf("ActiveCuts(40) = %d, want 2", ps.ActiveCuts(40))
+	}
+}
+
+func TestPartitionBuilderPanics(t *testing.T) {
+	cases := []struct {
+		name string
+		fn   func()
+	}{
+		{"empty-window", func() { NewPartitionSchedule().AddSplit(5, 5, []int{0}, []int{1}) }},
+		{"one-group", func() { NewPartitionSchedule().AddSplit(0, 1, []int{0}) }},
+		{"empty-group", func() { NewPartitionSchedule().AddSplit(0, 1, []int{0}, nil) }},
+		{"dup-site", func() { NewPartitionSchedule().AddSplit(0, 1, []int{0, 1}, []int{1}) }},
+		{"oneway-window", func() { NewPartitionSchedule().AddOneWay(3, 2, []int{0}, []int{1}) }},
+		{"oneway-empty", func() { NewPartitionSchedule().AddOneWay(0, 1, nil, []int{1}) }},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			c.fn()
+		})
+	}
+}
+
+func TestStormDeterministicAndBounded(t *testing.T) {
+	cfg := StormConfig{
+		Sites:          9,
+		Regions:        [][]int{{0, 1, 2}, {3, 4, 5}, {6, 7, 8}},
+		Start:          0,
+		End:            500,
+		MeanDuration:   20,
+		MeanGap:        15,
+		OneWayFraction: 0.3,
+	}
+	a := Storm(11, cfg)
+	b := Storm(11, cfg)
+	if a.NumCuts() == 0 {
+		t.Fatal("storm generated no cuts")
+	}
+	if a.NumCuts() != b.NumCuts() {
+		t.Fatal("same seed, different cut counts")
+	}
+	for step := int64(0); step < 600; step++ {
+		for from := 0; from < cfg.Sites; from++ {
+			for to := 0; to < cfg.Sites; to++ {
+				if a.Blocked(step, from, to) != b.Blocked(step, from, to) {
+					t.Fatalf("step %d: same-seed storms diverged on (%d,%d)", step, from, to)
+				}
+			}
+		}
+	}
+	if a.Horizon() > cfg.End {
+		t.Fatalf("cut extends past End: horizon %d > %d", a.Horizon(), cfg.End)
+	}
+	// Past the horizon everything flows.
+	for from := 0; from < cfg.Sites; from++ {
+		for to := 0; to < cfg.Sites; to++ {
+			if a.Blocked(a.Horizon(), from, to) {
+				t.Fatal("blocked at horizon")
+			}
+		}
+	}
+	// A different seed must differ somewhere.
+	c := Storm(12, cfg)
+	same := c.NumCuts() == a.NumCuts()
+	if same {
+		diff := false
+		for step := int64(0); step < 500 && !diff; step++ {
+			for from := 0; from < cfg.Sites && !diff; from++ {
+				for to := 0; to < cfg.Sites && !diff; to++ {
+					if a.Blocked(step, from, to) != c.Blocked(step, from, to) {
+						diff = true
+					}
+				}
+			}
+		}
+		same = !diff
+	}
+	if same {
+		t.Fatal("seeds 11 and 12 produced identical storms")
+	}
+}
+
+func TestStormRegionsIsolateAsUnits(t *testing.T) {
+	// Every cut a storm generates isolates exactly one configured region:
+	// within-region pairs always flow, and whenever some cross pair is
+	// blocked the corresponding whole region boundary behaves as one cut
+	// (possibly one-way).
+	cfg := StormConfig{
+		Sites:          6,
+		Regions:        [][]int{{0, 1}, {4, 5}},
+		Start:          0,
+		End:            300,
+		MeanDuration:   25,
+		MeanGap:        30,
+		OneWayFraction: 0.5,
+	}
+	ps := Storm(3, cfg)
+	for step := int64(0); step < 300; step++ {
+		if ps.Blocked(step, 0, 1) || ps.Blocked(step, 1, 0) ||
+			ps.Blocked(step, 4, 5) || ps.Blocked(step, 5, 4) {
+			t.Fatalf("step %d: within-region pair blocked", step)
+		}
+	}
+}
+
+func TestStormValidate(t *testing.T) {
+	good := StormConfig{Sites: 5, Regions: [][]int{{0, 1}}, Start: 0, End: 10,
+		MeanDuration: 2, MeanGap: 2, OneWayFraction: 0.5}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("good config rejected: %v", err)
+	}
+	bad := []StormConfig{
+		{Regions: [][]int{{0}}, Start: 0, End: 10, MeanDuration: 1, MeanGap: 1},                              // Sites 0
+		{Sites: 5, Start: 0, End: 10, MeanDuration: 1, MeanGap: 1},                                           // no regions
+		{Sites: 5, Regions: [][]int{{}}, Start: 0, End: 10, MeanDuration: 1, MeanGap: 1},                     // empty region
+		{Sites: 2, Regions: [][]int{{0, 1}}, Start: 0, End: 10, MeanDuration: 1, MeanGap: 1},                 // region covers all
+		{Sites: 5, Regions: [][]int{{0, 9}}, Start: 0, End: 10, MeanDuration: 1, MeanGap: 1},                 // site out of range
+		{Sites: 5, Regions: [][]int{{0}}, Start: 10, End: 10, MeanDuration: 1, MeanGap: 1},                   // empty window
+		{Sites: 5, Regions: [][]int{{0}}, Start: 0, End: 10, MeanDuration: 0, MeanGap: 1},                    // bad duration
+		{Sites: 5, Regions: [][]int{{0}}, Start: 0, End: 10, MeanDuration: 1, MeanGap: 0},                    // bad gap
+		{Sites: 5, Regions: [][]int{{0}}, Start: 0, End: 10, MeanDuration: 1, MeanGap: 1, OneWayFraction: 2}, // bad fraction
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestChurnShockDisabledBitIdentical(t *testing.T) {
+	// Adding the (unused) shock fields must not perturb the existing
+	// seeded schedules: a config with shocks disabled replays the exact
+	// event stream of the pre-shock model.
+	base := ChurnConfig{SiteMTBF: 50, SiteMTTR: 10, LinkMTBF: 30, LinkMTTR: 20}
+	withFields := base
+	withFields.Regions = [][]int{{0, 1, 2}} // declared but inert: ShockMTBF == 0
+	a := NewChurn(7, 9, 9, base)
+	b := NewChurn(7, 9, 9, withFields)
+	for step := 0; step < 3000; step++ {
+		ea, eb := a.Step(float64(step)), b.Step(float64(step))
+		if !reflect.DeepEqual(ea, eb) {
+			t.Fatalf("step %d: shock-disabled schedule diverged: %v vs %v", step, ea, eb)
+		}
+	}
+}
+
+func TestChurnShockCorrelatedFailures(t *testing.T) {
+	// With only shocks active (no per-site churn), every member of a
+	// region fails and repairs in the same step, and the event stream
+	// stays a legal alternation per site.
+	cfg := ChurnConfig{
+		Regions:   [][]int{{0, 1, 2}, {3, 4}},
+		ShockMTBF: 40,
+		ShockMTTR: 15,
+	}
+	c := NewChurn(5, 6, 0, cfg)
+	down := make([]bool, 6)
+	sawShock := false
+	for step := 0; step < 20000; step++ {
+		evs := c.Step(float64(step))
+		// Group events by region: the members of one region must move
+		// together when only shared shocks drive them.
+		changed := map[int]ChurnKind{}
+		for _, e := range evs {
+			if down[e.Index] == (e.Kind == SiteFail) {
+				t.Fatalf("step %d: site %d event %v does not alternate", step, e.Index, e.Kind)
+			}
+			down[e.Index] = e.Kind == SiteFail
+			changed[e.Index] = e.Kind
+		}
+		for _, region := range cfg.Regions {
+			k, any := changed[region[0]]
+			for _, s := range region {
+				k2, any2 := changed[s]
+				if any != any2 || (any && k != k2) {
+					t.Fatalf("step %d: region %v did not move as a unit: %v", step, region, evs)
+				}
+			}
+			if any {
+				sawShock = true
+			}
+		}
+		if down[5] {
+			t.Fatal("site 5 is in no region and must never fail")
+		}
+		sites, _ := c.DownCounts()
+		want := 0
+		for _, d := range down {
+			if d {
+				want++
+			}
+		}
+		if sites != want {
+			t.Fatalf("step %d: DownCounts sites = %d, want %d", step, sites, want)
+		}
+	}
+	if !sawShock {
+		t.Fatal("no shock ever fired")
+	}
+}
+
+func TestChurnShockLayersOnBaseChurn(t *testing.T) {
+	// With both processes active the effective stream must still be a
+	// legal alternation, and shocks must visibly add correlated mass:
+	// steps where all members of a region fail together.
+	cfg := ChurnConfig{
+		SiteMTBF:  200,
+		SiteMTTR:  20,
+		Regions:   [][]int{{0, 1, 2, 3}},
+		ShockMTBF: 120,
+		ShockMTTR: 30,
+	}
+	c := NewChurn(9, 8, 0, cfg)
+	down := make([]bool, 8)
+	groupFails := 0
+	for step := 0; step < 30000; step++ {
+		evs := c.Step(float64(step))
+		fails := 0
+		for _, e := range evs {
+			if down[e.Index] == (e.Kind == SiteFail) {
+				t.Fatalf("step %d: site %d event %v does not alternate", step, e.Index, e.Kind)
+			}
+			down[e.Index] = e.Kind == SiteFail
+			if e.Kind == SiteFail && e.Index < 4 {
+				fails++
+			}
+		}
+		if fails >= 3 {
+			groupFails++
+		}
+		if c.ActiveShocks() > 1 {
+			t.Fatal("more active shocks than regions")
+		}
+	}
+	if groupFails == 0 {
+		t.Fatal("correlated layer never produced a near-simultaneous regional failure")
+	}
+}
+
+func TestChurnShockValidate(t *testing.T) {
+	bad := []ChurnConfig{
+		{ShockMTBF: -1},
+		{ShockMTBF: 10},               // no MTTR
+		{ShockMTBF: 10, ShockMTTR: 5}, // no regions
+		{Regions: [][]int{{}}},        // empty region
+		{ShockMTBF: 10, ShockMTTR: 5, Regions: [][]int{nil}}, // empty region
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("bad shock config %d accepted", i)
+		}
+	}
+	// Out-of-range region sites are caught at construction.
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewChurn accepted out-of-range region site")
+		}
+	}()
+	NewChurn(1, 3, 0, ChurnConfig{ShockMTBF: 10, ShockMTTR: 5, Regions: [][]int{{0, 7}}})
+}

@@ -308,3 +308,68 @@ func equalInts(a, b []int) bool {
 	}
 	return true
 }
+
+// TestStateGroupedFlapsAgainstOracle drives correlated regional failures —
+// whole groups of sites killed and repaired as units, the shape the
+// shared-shock (Marshall–Olkin) churn process produces — through the
+// incremental component maintenance, interleaved with link flaps and
+// partial single-site repairs, checking every query against the
+// brute-force BFS oracle after each step. Group transitions compose many
+// simultaneous element changes, a pattern independent single-element
+// flapping rarely reaches.
+func TestStateGroupedFlapsAgainstOracle(t *testing.T) {
+	carve := func(n, k int) [][]int {
+		regions := make([][]int, k)
+		for i := 0; i < n; i++ {
+			regions[i*k/n] = append(regions[i*k/n], i)
+		}
+		return regions
+	}
+	graphs := []struct {
+		name string
+		g    *Graph
+	}{
+		{"ring9", Ring(9)},
+		{"complete6", Complete(6)},
+		{"grid3x4", Grid(3, 4)},
+		{"star8", Star(8)},
+	}
+	for _, tc := range graphs {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			regions := carve(tc.g.N(), 3)
+			s := NewState(tc.g, nil)
+			o := newOracle(tc.g, nil)
+			src := rng.New(0x5a0c ^ uint64(tc.g.N()<<8+tc.g.M()))
+			o.check(t, s, -1)
+			for step := 0; step < 1500; step++ {
+				switch op := src.Intn(100); {
+				case op < 30: // regional shock: the whole group dies at once
+					for _, i := range regions[src.Intn(len(regions))] {
+						s.FailSite(i)
+						o.siteUp[i] = false
+					}
+				case op < 60: // shock lifts: the whole group returns at once
+					for _, i := range regions[src.Intn(len(regions))] {
+						s.RepairSite(i)
+						o.siteUp[i] = true
+					}
+				case op < 72: // partial healing inside a dead region
+					i := src.Intn(tc.g.N())
+					s.RepairSite(i)
+					o.siteUp[i] = true
+				case op < 86:
+					l := src.Intn(tc.g.M())
+					s.FailLink(l)
+					o.linkUp[l] = false
+				default:
+					l := src.Intn(tc.g.M())
+					s.RepairLink(l)
+					o.linkUp[l] = true
+				}
+				o.check(t, s, step)
+			}
+		})
+	}
+}

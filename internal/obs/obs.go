@@ -77,6 +77,10 @@ const (
 	CAmnesia
 	CRejoin
 
+	// Adversarial scenario engine: partition transport and regret harness.
+	CPartitionDrop
+	CMinorityWrite
+
 	numCounters
 )
 
@@ -115,6 +119,8 @@ var counterNames = [numCounters]string{
 	"quorumkit_store_corrupt_recoveries_total",
 	"quorumkit_amnesias_total",
 	"quorumkit_amnesiac_rejoins_total",
+	"quorumkit_partition_drops_total",
+	"quorumkit_minority_writes_total",
 }
 
 // Name returns the exposition name of a counter.

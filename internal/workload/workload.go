@@ -78,6 +78,141 @@ func (d Drift) Alpha(t float64) float64 {
 	}
 }
 
+// RatePattern yields a multiplicative request-rate factor at a point in
+// simulated time: 1 is the baseline arrival rate, 3 a threefold surge.
+// Patterns that also implement RatePattern describe full nonstationary
+// workloads — shifts of both the read mix and the load.
+type RatePattern interface {
+	// Rate returns the rate factor at time t (must be >= 0).
+	Rate(t float64) float64
+}
+
+// ConstantRate is a fixed rate factor (the stationary baseline).
+type ConstantRate float64
+
+// Rate implements RatePattern.
+func (c ConstantRate) Rate(float64) float64 { return float64(c) }
+
+// FlashCrowd models sudden surges: outside a flash window the workload is
+// read fraction Base at rate factor 1; inside it the read fraction jumps
+// to Flash and the rate to RateBoost — the "sudden rate × α shift" of a
+// viral read burst. Windows of the given duration recur every Every steps
+// starting at Start; Every = 0 makes the flash a one-shot.
+type FlashCrowd struct {
+	Base      float64 // read fraction outside flashes
+	Flash     float64 // read fraction inside flashes
+	Start     float64 // first flash onset
+	Duration  float64 // flash length
+	Every     float64 // recurrence period (0: one-shot)
+	RateBoost float64 // rate factor inside flashes (>= 0)
+}
+
+// inFlash reports whether t falls inside a flash window.
+func (f FlashCrowd) inFlash(t float64) bool {
+	if t < f.Start || f.Duration <= 0 {
+		return false
+	}
+	since := t - f.Start
+	if f.Every > 0 {
+		since = math.Mod(since, f.Every)
+	}
+	return since < f.Duration
+}
+
+// Alpha implements Pattern.
+func (f FlashCrowd) Alpha(t float64) float64 {
+	if f.inFlash(t) {
+		return clamp01(f.Flash)
+	}
+	return clamp01(f.Base)
+}
+
+// Rate implements RatePattern.
+func (f FlashCrowd) Rate(t float64) float64 {
+	if f.inFlash(t) {
+		return f.RateBoost
+	}
+	return 1
+}
+
+// Regime is one piece of a piecewise-constant workload schedule.
+type Regime struct {
+	Start float64 // the regime takes effect at this time
+	Alpha float64 // read fraction while the regime holds
+	Rate  float64 // rate factor while the regime holds
+}
+
+// Piecewise holds the last regime whose Start is at or before t; before
+// the first regime it holds the first one. Regimes must be given in
+// non-decreasing Start order.
+type Piecewise struct {
+	Regimes []Regime
+}
+
+// at returns the regime in effect at time t.
+func (p Piecewise) at(t float64) Regime {
+	if len(p.Regimes) == 0 {
+		return Regime{Rate: 1}
+	}
+	cur := p.Regimes[0]
+	for _, r := range p.Regimes[1:] {
+		if r.Start > t {
+			break
+		}
+		cur = r
+	}
+	return cur
+}
+
+// Alpha implements Pattern.
+func (p Piecewise) Alpha(t float64) float64 { return clamp01(p.at(t).Alpha) }
+
+// Rate implements RatePattern.
+func (p Piecewise) Rate(t float64) float64 { return p.at(t).Rate }
+
+// ValidateRate checks a rate pattern over a horizon: the factor must be
+// finite and non-negative.
+func ValidateRate(rp RatePattern, horizon float64, samples int) error {
+	if samples <= 0 || horizon <= 0 {
+		return fmt.Errorf("workload: bad validation args")
+	}
+	for i := 0; i <= samples; i++ {
+		t := horizon * float64(i) / float64(samples)
+		r := rp.Rate(t)
+		if math.IsNaN(r) || math.IsInf(r, 0) || r < 0 {
+			return fmt.Errorf("workload: rate(%g) = %g invalid", t, r)
+		}
+	}
+	return nil
+}
+
+// Arrivals draws per-step operation counts from a rate pattern: the count
+// at step t is Poisson with mean meanPerStep × rate(t). Deterministic
+// under a fixed seed.
+type Arrivals struct {
+	rate RatePattern
+	mean float64
+	src  *rng.Source
+}
+
+// NewArrivals binds a rate pattern to an arrival stream. A nil rate
+// pattern means a constant factor of 1. It panics on a negative mean
+// (generators are built from trusted test/CLI configuration).
+func NewArrivals(rp RatePattern, meanPerStep float64, seed uint64) *Arrivals {
+	if meanPerStep < 0 {
+		panic(fmt.Sprintf("workload: NewArrivals meanPerStep=%g", meanPerStep))
+	}
+	if rp == nil {
+		rp = ConstantRate(1)
+	}
+	return &Arrivals{rate: rp, mean: meanPerStep, src: rng.New(seed)}
+}
+
+// At draws the operation count for step t.
+func (a *Arrivals) At(t float64) int {
+	return a.src.Poisson(a.mean * a.rate.Rate(t))
+}
+
 func clamp01(x float64) float64 {
 	if x < 0 {
 		return 0

@@ -122,3 +122,210 @@ func TestQuickPatternsBounded(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestFlashCrowdBounds(t *testing.T) {
+	f := FlashCrowd{Base: 0.3, Flash: 0.95, Start: 100, Duration: 20, Every: 200, RateBoost: 5}
+	// Outside any flash: base α, rate factor exactly 1.
+	for _, tt := range []float64{0, 99, 120, 299, 320} {
+		if f.Alpha(tt) != 0.3 || f.Rate(tt) != 1 {
+			t.Fatalf("t=%g: outside flash got α=%g rate=%g", tt, f.Alpha(tt), f.Rate(tt))
+		}
+	}
+	// Inside flashes (recurring every 200): boosted α and rate.
+	for _, tt := range []float64{100, 119, 300, 319, 500} {
+		if f.Alpha(tt) != 0.95 || f.Rate(tt) != 5 {
+			t.Fatalf("t=%g: inside flash got α=%g rate=%g", tt, f.Alpha(tt), f.Rate(tt))
+		}
+	}
+	// The rate factor is bounded by exactly [1, RateBoost] everywhere.
+	for i := 0; i <= 4000; i++ {
+		r := f.Rate(float64(i) / 4)
+		if r != 1 && r != 5 {
+			t.Fatalf("rate(%g) = %g escaped {1, RateBoost}", float64(i)/4, r)
+		}
+	}
+	if err := Validate(f, 1000, 2000); err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateRate(f, 1000, 2000); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFlashCrowdOneShot(t *testing.T) {
+	f := FlashCrowd{Base: 0.5, Flash: 1, Start: 50, Duration: 10, RateBoost: 3}
+	if f.Alpha(55) != 1 || f.Rate(55) != 3 {
+		t.Fatal("inside one-shot flash")
+	}
+	if f.Alpha(60) != 0.5 || f.Rate(60) != 1 {
+		t.Fatal("one-shot flash did not end")
+	}
+	if f.Alpha(1e6) != 0.5 {
+		t.Fatal("one-shot flash recurred")
+	}
+	// Zero duration is never in flash.
+	z := FlashCrowd{Base: 0.4, Flash: 0.9, Start: 0, Duration: 0, RateBoost: 2}
+	if z.Alpha(0) != 0.4 || z.Rate(0) != 1 {
+		t.Fatal("zero-duration flash fired")
+	}
+}
+
+func TestPiecewiseRegimes(t *testing.T) {
+	p := Piecewise{Regimes: []Regime{
+		{Start: 0, Alpha: 0.2, Rate: 1},
+		{Start: 100, Alpha: 0.8, Rate: 2},
+		{Start: 300, Alpha: 0.5, Rate: 0.5},
+	}}
+	cases := []struct {
+		t     float64
+		alpha float64
+		rate  float64
+	}{
+		{-5, 0.2, 1}, // before the first regime: hold the first
+		{0, 0.2, 1},
+		{99, 0.2, 1},
+		{100, 0.8, 2}, // boundary belongs to the new regime
+		{299, 0.8, 2},
+		{300, 0.5, 0.5},
+		{1e9, 0.5, 0.5}, // last regime holds forever
+	}
+	for _, c := range cases {
+		if p.Alpha(c.t) != c.alpha || p.Rate(c.t) != c.rate {
+			t.Errorf("t=%g: got α=%g rate=%g, want α=%g rate=%g",
+				c.t, p.Alpha(c.t), p.Rate(c.t), c.alpha, c.rate)
+		}
+	}
+	// Empty schedule degrades to α=0, rate=1.
+	var empty Piecewise
+	if empty.Alpha(5) != 0 || empty.Rate(5) != 1 {
+		t.Fatal("empty piecewise defaults")
+	}
+	// Out-of-range regime α clamps.
+	wild := Piecewise{Regimes: []Regime{{Alpha: 7, Rate: 1}}}
+	if wild.Alpha(0) != 1 {
+		t.Fatal("regime α did not clamp")
+	}
+}
+
+func TestConstantRate(t *testing.T) {
+	if ConstantRate(2.5).Rate(0) != 2.5 || ConstantRate(2.5).Rate(1e9) != 2.5 {
+		t.Fatal("constant rate not constant")
+	}
+	if err := ValidateRate(ConstantRate(1), 10, 10); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRateRejects(t *testing.T) {
+	if err := ValidateRate(ConstantRate(1), 0, 10); err == nil {
+		t.Fatal("zero horizon accepted")
+	}
+	if err := ValidateRate(ConstantRate(1), 10, 0); err == nil {
+		t.Fatal("zero samples accepted")
+	}
+	if err := ValidateRate(ConstantRate(-1), 10, 10); err == nil {
+		t.Fatal("negative rate accepted")
+	}
+	if err := ValidateRate(ConstantRate(math.Inf(1)), 10, 10); err == nil {
+		t.Fatal("infinite rate accepted")
+	}
+}
+
+func TestGeneratorDeterministicUnderSeed(t *testing.T) {
+	// Identical seeds replay the identical decision stream over a
+	// nonstationary pattern; different seeds diverge.
+	p := FlashCrowd{Base: 0.3, Flash: 0.9, Start: 50, Duration: 25, Every: 100, RateBoost: 4}
+	a, b := NewGenerator(p, 42), NewGenerator(p, 42)
+	diffSeed := NewGenerator(p, 43)
+	diverged := false
+	for i := 0; i < 5000; i++ {
+		tt := float64(i)
+		ra, rb := a.IsRead(tt), b.IsRead(tt)
+		if ra != rb {
+			t.Fatalf("t=%g: same-seed generators diverged", tt)
+		}
+		if ra != diffSeed.IsRead(tt) {
+			diverged = true
+		}
+	}
+	if !diverged {
+		t.Fatal("seeds 42 and 43 produced identical streams")
+	}
+}
+
+func TestDiurnalMeanAlphaOverPeriod(t *testing.T) {
+	// Sampled exactly over whole periods, the sinusoid's deviations
+	// cancel: the empirical mean α converges to Mean with only the
+	// Bernoulli noise left.
+	p := Diurnal{Period: 100, Mean: 0.6, Amplitude: 0.35}
+	// Exact check on the pattern itself: the α samples over one period
+	// average to Mean up to numerical error.
+	sum := 0.0
+	const n = 100000 // many whole periods worth of evenly spaced samples
+	for i := 0; i < n; i++ {
+		sum += p.Alpha(float64(i) * 100 / float64(n) * 100)
+	}
+	if got := sum / n; math.Abs(got-0.6) > 1e-3 {
+		t.Fatalf("analytic mean α over whole periods = %g, want 0.6", got)
+	}
+	// And the generator realizes it.
+	g := NewGenerator(p, 9)
+	for i := 0; i < 200000; i++ {
+		g.IsRead(math.Mod(float64(i)*0.1, 100) + float64(i/1000)*100)
+	}
+	if math.Abs(g.ObservedAlpha()-0.6) > 0.01 {
+		t.Fatalf("observed mean α %g, want 0.6±0.01", g.ObservedAlpha())
+	}
+}
+
+func TestArrivalsDeterministicAndScaled(t *testing.T) {
+	f := FlashCrowd{Base: 0.5, Flash: 0.5, Start: 100, Duration: 50, RateBoost: 6}
+	a, b := NewArrivals(f, 4, 5), NewArrivals(f, 4, 5)
+	baseSum, flashSum := 0, 0
+	for i := 0; i < 2000; i++ {
+		tt := math.Mod(float64(i), 200) // half the steps inside the one-shot window...
+		na, nb := a.At(tt), b.At(tt)
+		if na != nb {
+			t.Fatalf("t=%g: same-seed arrivals diverged", tt)
+		}
+		if na < 0 {
+			t.Fatalf("negative arrival count %d", na)
+		}
+		if tt >= 100 && tt < 150 {
+			flashSum += na
+		} else {
+			baseSum += na
+		}
+	}
+	// 500 flash draws at mean 24 vs 1500 base draws at mean 4: the flash
+	// mean per step must sit clearly above the base mean per step.
+	flashMean := float64(flashSum) / 500
+	baseMean := float64(baseSum) / 1500
+	if flashMean < 4*baseMean {
+		t.Fatalf("flash rate %.2f not clearly above base rate %.2f", flashMean, baseMean)
+	}
+	if baseMean < 3 || baseMean > 5 {
+		t.Fatalf("base mean %.2f strays from 4", baseMean)
+	}
+	if flashMean < 20 || flashMean > 28 {
+		t.Fatalf("flash mean %.2f strays from 24", flashMean)
+	}
+	// Nil rate pattern: constant factor 1.
+	c := NewArrivals(nil, 2, 7)
+	sum := 0
+	for i := 0; i < 5000; i++ {
+		sum += c.At(float64(i))
+	}
+	if m := float64(sum) / 5000; m < 1.8 || m > 2.2 {
+		t.Fatalf("nil-rate arrivals mean %.2f, want ~2", m)
+	}
+}
+
+func TestArrivalsPanicsOnNegativeMean(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative mean accepted")
+		}
+	}()
+	NewArrivals(nil, -1, 1)
+}
