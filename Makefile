@@ -5,9 +5,9 @@
 
 GO ?= go
 
-.PHONY: check vet build test race cover-obs cover-store cover-sim cover-workload fuzz chaos diskchaos soak adversary bench bench-robustness bench-obs bench-store bench-core bench-core-update bench-adversary bench-adversary-update study
+.PHONY: check vet build test race cover-obs cover-store cover-sim cover-workload cover-faults fuzz chaos diskchaos soak adversary grayfail hedge bench bench-robustness bench-obs bench-store bench-core bench-core-update bench-adversary bench-adversary-update bench-gray bench-gray-update study
 
-check: vet build test race cover-obs cover-store cover-sim cover-workload
+check: vet build test race cover-obs cover-store cover-sim cover-workload cover-faults
 
 vet:
 	$(GO) vet ./...
@@ -59,6 +59,16 @@ cover-workload:
 		pct = $$3 + 0; \
 		printf "internal/workload coverage: %s (gate: 90%%)\n", $$3; \
 		if (pct < 90) { print "FAIL: internal/workload coverage below 90%"; exit 1 } }'
+
+# The fault schedules are the stimulus side of every robustness claim: a
+# latency rule that fires on the wrong link or step makes the gray-failure
+# verdicts meaningless, so the package stays near-fully covered.
+cover-faults:
+	$(GO) test -coverprofile=/tmp/faults.cover ./internal/faults/ >/dev/null
+	@$(GO) tool cover -func=/tmp/faults.cover | awk '/^total:/ { \
+		pct = $$3 + 0; \
+		printf "internal/faults coverage: %s (gate: 90%%)\n", $$3; \
+		if (pct < 90) { print "FAIL: internal/faults coverage below 90%"; exit 1 } }'
 
 # Short continuous fuzz of the wire codec (the committed corpus always
 # replays as part of `make test`).
@@ -131,6 +141,26 @@ bench-adversary:
 # Regenerate the committed adversary regret baseline.
 bench-adversary-update:
 	$(GO) run ./cmd/quorumsim -adversary BENCH_adversary.json -seed 1
+
+# Gray-failure suite: slow replicas, gray storms, and the assignment-
+# adaptive adversary, replayed daemon-off / miss-count / φ-accrual on
+# identical seeded stimuli. Fails on any safety verdict, a broken
+# φ < miss-count < off regret ordering, an inexact regret decomposition,
+# or a hedged-read p99 win below 20%.
+grayfail:
+	$(GO) run ./cmd/quorumsim -grayfail /tmp/BENCH_gray.json -benchgray BENCH_gray.json -seed 1
+
+# Hedged-read demo: the slow-replica scenario unhedged vs hedged.
+hedge:
+	$(GO) run ./cmd/quorumsim -hedge -seed 1
+
+# Gray-failure gate against the committed BENCH_gray.json baseline.
+bench-gray:
+	$(GO) run ./cmd/quorumsim -grayfail /tmp/BENCH_gray.json -benchgray BENCH_gray.json -seed 1
+
+# Regenerate the committed gray-failure baseline.
+bench-gray-update:
+	$(GO) run ./cmd/quorumsim -grayfail BENCH_gray.json -seed 1
 
 # Large-N study smoke: a reduced chords × α grid at paper scale.
 study:

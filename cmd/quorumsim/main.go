@@ -114,6 +114,11 @@ func main() {
 		adversaryBase = flag.String("adversarybase", "", "with -adversary: gate daemon-on regret/op against this committed BENCH_adversary.json baseline")
 		advOps        = flag.Int("advops", 2500, "adversary: churn-phase steps per scenario")
 
+		grayfail  = flag.String("grayfail", "", "run the gray-failure suite (slow replicas, gray storms, adaptive adversary) and write regret/latency results to this JSON file")
+		benchGray = flag.String("benchgray", "", "with -grayfail: gate φ-detector regret/op and the hedge ratio against this committed BENCH_gray.json baseline")
+		grayOps   = flag.Int("grayops", 2000, "grayfail: steps per scenario run")
+		hedge     = flag.Bool("hedge", false, "run the hedged-read demo: slow-replica scenario unhedged vs hedged, printing the p50/p99 read-latency shift")
+
 		churn      = flag.Bool("churn", false, "run the churn soak: self-healing daemon on vs off under site/link churn")
 		soakSeeds  = flag.Int("seeds", 3, "churn soak: seeds per configuration")
 		soakOps    = flag.Int("soakops", 4000, "churn soak: churn-phase operations per run")
@@ -157,6 +162,10 @@ func main() {
 		status = runBenchObs(*benchObs, *seed)
 	case *benchJSON != "":
 		status = runBenchJSON(*benchJSON, *seed)
+	case *grayfail != "":
+		status = runGrayfail(*grayfail, *benchGray, *grayOps, *seed, sink)
+	case *hedge:
+		status = runHedgeDemo(*grayOps, *seed, sink)
 	case *adversary != "":
 		status = runAdversary(*adversary, *adversaryBase, *advOps, *seed, sink)
 	case *churn:

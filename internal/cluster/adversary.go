@@ -7,6 +7,7 @@ import (
 	"quorumkit/internal/graph"
 	"quorumkit/internal/history"
 	"quorumkit/internal/obs"
+	"quorumkit/internal/quorum"
 	"quorumkit/internal/rng"
 	"quorumkit/internal/sim"
 	"quorumkit/internal/stats"
@@ -47,6 +48,18 @@ type AdversaryRuntime interface {
 	Observer() *obs.Registry
 }
 
+// GrayRuntime extends AdversaryRuntime with the gray-failure surface:
+// latency schedules, hedged reads, and the local-assignment getter the
+// adaptive adversary targets. Both runtimes implement it.
+type GrayRuntime interface {
+	AdversaryRuntime
+	EnableGrayLatency(ls *faults.LatencySchedule)
+	ConfigureHedge(on bool, k float64)
+	ServeReadGray(x int) (Outcome, GrayReadStats)
+	HedgeStats() (probes, wins int64)
+	NodeAssignment(x int) quorum.Assignment
+}
+
 // AdversaryConfig parameterizes one adversarial scenario replay.
 type AdversaryConfig struct {
 	Seed  uint64
@@ -66,6 +79,23 @@ type AdversaryConfig struct {
 	// cut timetable, keyed by the step index.
 	Churn      faults.ChurnConfig
 	Partitions *faults.PartitionSchedule
+
+	// Latency (optional) is the gray slowdown timetable, keyed by the same
+	// step clock as Partitions. Adaptive (optional) is an adversary whose
+	// next move is a function of the installed assignment and suspicion
+	// set; its cuts append to Partitions and its slowdowns to Latency at
+	// step boundaries, so it requires the deterministic runtime (the
+	// concurrent one consults both schedules from delivery goroutines).
+	// Any gray feature requires rt to implement GrayRuntime.
+	Latency  *faults.LatencySchedule
+	Adaptive faults.AdaptiveAdversary
+
+	// Hedge turns on hedged gray reads with budget multiplier HedgeK
+	// (<=0: the default). RecordLatency routes reads through ServeReadGray
+	// and captures each granted read's modeled latency.
+	Hedge         bool
+	HedgeK        float64
+	RecordLatency bool
 
 	// Daemon enables self-healing, swept every DaemonEvery steps. When
 	// false the run is the static baseline the regret comparison judges
@@ -113,6 +143,13 @@ type EpochStat struct {
 	Oracle    float64 // best hindsight availability for this epoch
 	OracleQR  int     // the hindsight-optimal read quorum
 	Regret    float64 // (Oracle − GrantRate) · Ops
+	// Bucket classifies the epoch's regret: "detect" when some up node's
+	// suspicion view contradicted the mirror truth at epoch close (the
+	// detector was behind or wrong), "policy" when the views agreed but the
+	// daemon declined to act (cooldown, leadership, degradation, or
+	// hysteresis), and "residual" otherwise (including every daemon-off
+	// epoch: with no daemon there is no detection or policy to blame).
+	Bucket string
 }
 
 // AdversaryRun is the full record of one scenario replay.
@@ -129,6 +166,21 @@ type AdversaryRun struct {
 	Epochs    []EpochStat
 	OracleOps float64 // Σ Oracle·Ops over epochs (ops-weighted oracle mass)
 	Regret    float64 // cumulative regret over all epochs
+
+	// Regret decomposition: every epoch's regret lands in exactly one
+	// bucket (see EpochStat.Bucket), so the three sum to Regret exactly.
+	DetectRegret   float64 // epochs lost to detector lag or error
+	PolicyRegret   float64 // epochs lost to daemon restraint
+	ResidualRegret float64 // epochs the policy could not have improved
+
+	// Gray-failure accounting (zero unless the scenario uses gray
+	// features): modeled latencies of granted reads (RecordLatency),
+	// hedging totals, and suspicion edges raised against peers the mirror
+	// says were reachable.
+	ReadLatencies  []int64
+	HedgeProbes    int64
+	HedgeWins      int64
+	FalsePositives int64
 
 	// MinorityWrites counts granted writes whose coordinator could reach at
 	// most a minority of votes — a quorum-intersection violation. It must
@@ -185,9 +237,10 @@ func (r *AdversaryRun) String() string {
 		conv = "DIVERGED " + fmt.Sprint(r.FinalVersions)
 	}
 	return fmt.Sprintf(
-		"adversary %d ops %.3f avail (oracle %.3f, regret %.1f = %.4f/op, %d epochs, %d minority writes, %d partition drops, %d site / %d link events); settle %d ops %.3f avail; %s; %s",
+		"adversary %d ops %.3f avail (oracle %.3f, regret %.1f = %.4f/op [detect %.1f, policy %.1f, residual %.1f], %d epochs, %d minority writes, %d false positives, %d partition drops, %d site / %d link events); settle %d ops %.3f avail; %s; %s",
 		r.Ops, r.Availability(), r.OracleAvailability(), r.Regret, r.RegretPerOp(),
-		len(r.Epochs), r.MinorityWrites, r.PartitionDrops,
+		r.DetectRegret, r.PolicyRegret, r.ResidualRegret,
+		len(r.Epochs), r.MinorityWrites, r.FalsePositives, r.PartitionDrops,
 		r.SiteEvents, r.LinkEvents,
 		r.SettleOps, r.SettleAvailability(), conv, verdict)
 }
@@ -215,6 +268,23 @@ func RunAdversary(rt AdversaryRuntime, mirror *graph.State, cfg AdversaryConfig)
 	if cfg.Daemon {
 		rt.EnableSelfHealing(cfg.Health)
 	}
+	grayOn := cfg.Latency != nil || cfg.Adaptive != nil || cfg.Hedge || cfg.RecordLatency
+	var gr GrayRuntime
+	if grayOn {
+		g, ok := rt.(GrayRuntime)
+		if !ok {
+			panic("cluster: gray scenario features require a GrayRuntime")
+		}
+		gr = g
+		if cfg.Latency == nil {
+			cfg.Latency = faults.NewLatencySchedule()
+		}
+		if cfg.Adaptive != nil && cfg.Partitions == nil {
+			cfg.Partitions = faults.NewPartitionSchedule()
+		}
+		gr.EnableGrayLatency(cfg.Latency)
+		gr.ConfigureHedge(cfg.Hedge, cfg.HedgeK)
+	}
 	if cfg.Partitions != nil {
 		rt.EnablePartitions(cfg.Partitions)
 	}
@@ -228,6 +298,20 @@ func RunAdversary(rt AdversaryRuntime, mirror *graph.State, cfg AdversaryConfig)
 	maj := mirror.TotalVotes()/2 + 1
 	run := &AdversaryRun{Log: &history.Log{}}
 
+	// truthReach is the mirror's ground truth for one (coordinator, peer)
+	// pair at partition time pt: both up, same component, both message
+	// directions open.
+	truthReach := func(x, p int, pt int64) bool {
+		if !mirror.SiteUp(x) || !mirror.SiteUp(p) || !mirror.SameComponent(x, p) {
+			return false
+		}
+		if cfg.Partitions != nil &&
+			(cfg.Partitions.Blocked(pt, x, p) || cfg.Partitions.Blocked(pt, p, x)) {
+			return false
+		}
+		return true
+	}
+
 	// reachable computes the votes a coordinator's round can actually
 	// gather at partition time pt: its component members on the mirror,
 	// minus peers with either message direction cut (a one-way cut loses
@@ -238,16 +322,38 @@ func RunAdversary(rt AdversaryRuntime, mirror *graph.State, cfg AdversaryConfig)
 		}
 		v := mirror.Votes(x)
 		for p := 0; p < cfg.Sites; p++ {
-			if p == x || !mirror.SiteUp(p) || !mirror.SameComponent(x, p) {
-				continue
-			}
-			if cfg.Partitions != nil &&
-				(cfg.Partitions.Blocked(pt, x, p) || cfg.Partitions.Blocked(pt, p, x)) {
+			if p == x || !truthReach(x, p, pt) {
 				continue
 			}
 			v += mirror.Votes(p)
 		}
 		return v
+	}
+
+	// suspView mirrors every node's suspected set as of its latest daemon
+	// tick; it feeds the false-positive crosscheck, the detect-regret
+	// classification, and the adaptive adversary's knowledge of whom the
+	// detector already flagged.
+	suspView := make([][]bool, cfg.Sites)
+	for x := range suspView {
+		suspView[x] = make([]bool, cfg.Sites)
+	}
+	daemonSweep := func(pt int64) {
+		for x := 0; x < cfg.Sites; x++ {
+			rep := rt.DaemonStep(x)
+			row := make([]bool, cfg.Sites)
+			for _, p := range rep.Suspected {
+				row[p] = true
+				if !suspView[x][p] && truthReach(x, p, pt) {
+					// A fresh suspicion edge against a peer the mirror says
+					// was reachable: the detector cried wolf (the miss-count
+					// rule does this on gray slowness; φ must not).
+					run.FalsePositives++
+					rt.Observer().Inc(obs.CSuspicionFalsePositive)
+				}
+			}
+			suspView[x] = row
+		}
 	}
 
 	value := int64(0)
@@ -257,7 +363,15 @@ func RunAdversary(rt AdversaryRuntime, mirror *graph.State, cfg AdversaryConfig)
 		votes := reachable(site, pt)
 		var out Outcome
 		if read {
-			out = rt.ServeRead(site)
+			if grayOn && cfg.RecordLatency {
+				var gs GrayReadStats
+				out, gs = gr.ServeReadGray(site)
+				if !settling && out.Granted && gs.Latency >= 0 {
+					run.ReadLatencies = append(run.ReadLatencies, gs.Latency)
+				}
+			} else {
+				out = rt.ServeRead(site)
+			}
 			run.Log.RecordRead(site, out.Granted, out.Value, out.Stamp, t)
 		} else {
 			value++
@@ -300,7 +414,14 @@ func RunAdversary(rt AdversaryRuntime, mirror *graph.State, cfg AdversaryConfig)
 		}
 	}
 
-	closeEpoch := func(step int) {
+	// Regret decomposition. prevPolicy snapshots the daemon's restraint
+	// counters at the last epoch close, so each epoch sees only its own
+	// skip/no-change activity.
+	prevPolicy := int64(0)
+	policyOf := func(h stats.HealthCounters) int64 {
+		return h.CooldownSkips + h.NotLeaderSkips + h.DegradedSkips + h.DaemonNoChanges
+	}
+	closeEpoch := func(step int, pt int64) {
 		ops := tally.Ops()
 		if ops == 0 {
 			return
@@ -308,9 +429,47 @@ func RunAdversary(rt AdversaryRuntime, mirror *graph.State, cfg AdversaryConfig)
 		oracle, qr := tally.OracleAvailability()
 		grant := tally.GrantRate()
 		regret := (oracle - grant) * float64(ops)
+		bucket := "residual"
+		if cfg.Daemon {
+			// Detection bucket: some up node's suspicion view contradicts
+			// the mirror truth at epoch close — it suspects a reachable
+			// peer, or has not yet suspected an unreachable one.
+			detect := false
+			for x := 0; x < cfg.Sites && !detect; x++ {
+				if !mirror.SiteUp(x) {
+					continue
+				}
+				for p := 0; p < cfg.Sites; p++ {
+					if p == x {
+						continue
+					}
+					if suspView[x][p] == truthReach(x, p, pt) {
+						detect = true
+						break
+					}
+				}
+			}
+			policy := policyOf(rt.HealthCounters())
+			switch {
+			case detect:
+				bucket = "detect"
+			case policy > prevPolicy:
+				bucket = "policy"
+			}
+			prevPolicy = policy
+		}
+		switch bucket {
+		case "detect":
+			run.DetectRegret += regret
+		case "policy":
+			run.PolicyRegret += regret
+		default:
+			run.ResidualRegret += regret
+		}
 		run.Epochs = append(run.Epochs, EpochStat{
 			Step: step, Ops: ops, Alpha: tally.Alpha(),
 			GrantRate: grant, Oracle: oracle, OracleQR: qr, Regret: regret,
+			Bucket: bucket,
 		})
 		run.OracleOps += oracle * float64(ops)
 		run.Regret += regret
@@ -323,6 +482,58 @@ func RunAdversary(rt AdversaryRuntime, mirror *graph.State, cfg AdversaryConfig)
 		t := float64(step)
 		pt := int64(step)
 		rt.SetPartitionTime(pt)
+		if cfg.Adaptive != nil {
+			// The adversary moves first each step, armed with exactly the
+			// public state: the newest installed assignment, the sites'
+			// votes, and which sites the detector already flagged.
+			best := 0
+			for x := 1; x < cfg.Sites; x++ {
+				if rt.NodeVersion(x) > rt.NodeVersion(best) {
+					best = x
+				}
+			}
+			view := faults.AdversaryView{
+				Step:      pt,
+				Votes:     make([]int, cfg.Sites),
+				Suspected: make([]bool, cfg.Sites),
+			}
+			asn := gr.NodeAssignment(best)
+			view.QR, view.QW = asn.QR, asn.QW
+			for p := 0; p < cfg.Sites; p++ {
+				view.Votes[p] = mirror.Votes(p)
+				for x := 0; x < cfg.Sites && !view.Suspected[p]; x++ {
+					if x != p && mirror.SiteUp(x) && suspView[x][p] {
+						view.Suspected[p] = true
+					}
+				}
+			}
+			for _, act := range cfg.Adaptive.Advise(view) {
+				if len(act.Sites) == 0 || act.End <= act.Start {
+					continue
+				}
+				if act.Cut {
+					inSet := make(map[int]bool, len(act.Sites))
+					for _, s := range act.Sites {
+						inSet[s] = true
+					}
+					rest := make([]int, 0, cfg.Sites)
+					for p := 0; p < cfg.Sites; p++ {
+						if !inSet[p] {
+							rest = append(rest, p)
+						}
+					}
+					if len(rest) > 0 {
+						// One-way: the targets' outbound traffic is lost, so
+						// their acks never come home — the gray-adjacent cut.
+						cfg.Partitions.AddOneWay(act.Start, act.End, act.Sites, rest)
+					}
+				} else if act.Slow >= 1 {
+					for _, s := range act.Sites {
+						cfg.Latency.AddSiteSlow(act.Start, act.End, s, act.Slow, 0)
+					}
+				}
+			}
+		}
 		for _, ev := range churn.Step(t) {
 			switch ev.Kind {
 			case faults.SiteFail:
@@ -346,24 +557,27 @@ func RunAdversary(rt AdversaryRuntime, mirror *graph.State, cfg AdversaryConfig)
 			}
 		}
 		if cfg.Daemon && step%cfg.DaemonEvery == 0 {
-			for x := 0; x < cfg.Sites; x++ {
-				rt.DaemonStep(x)
-			}
+			daemonSweep(pt)
 		}
 		for n := arrivals.At(t); n > 0; n-- {
 			doOp(t, pt, false)
 		}
 		if (step+1)%cfg.EpochSteps == 0 {
-			closeEpoch(step + 1)
+			closeEpoch(step+1, pt)
 		}
 	}
-	closeEpoch(cfg.Steps) // flush a partial trailing epoch (no-op when empty)
+	// Flush a partial trailing epoch (no-op when empty).
+	closeEpoch(cfg.Steps, int64(cfg.Steps)-1)
 
-	// Phase 2: heal. Jump the partition clock past the schedule horizon so
-	// every cut is lifted, then repair everything churn took down.
+	// Phase 2: heal. Jump the partition clock past both schedule horizons
+	// so every cut and slowdown is lifted, then repair everything churn
+	// took down.
 	healT := int64(cfg.Steps)
 	if cfg.Partitions != nil && cfg.Partitions.Horizon() > healT {
 		healT = cfg.Partitions.Horizon()
+	}
+	if cfg.Latency != nil && cfg.Latency.Horizon() > healT {
+		healT = cfg.Latency.Horizon()
 	}
 	rt.SetPartitionTime(healT)
 	for i, down := range downSites {
@@ -382,9 +596,7 @@ func RunAdversary(rt AdversaryRuntime, mirror *graph.State, cfg AdversaryConfig)
 		h := cfg.Health.normalize()
 		sweeps := h.SuspectAfter + int(h.CooldownTicks) + 4
 		for s := 0; s < sweeps; s++ {
-			for x := 0; x < cfg.Sites; x++ {
-				rt.DaemonStep(x)
-			}
+			daemonSweep(healT)
 		}
 	}
 
@@ -392,9 +604,7 @@ func RunAdversary(rt AdversaryRuntime, mirror *graph.State, cfg AdversaryConfig)
 	for s := 0; s < cfg.SettleSteps; s++ {
 		t := float64(cfg.Steps + s)
 		if cfg.Daemon && (cfg.Steps+s)%cfg.DaemonEvery == 0 {
-			for x := 0; x < cfg.Sites; x++ {
-				rt.DaemonStep(x)
-			}
+			daemonSweep(healT)
 		}
 		doOp(t, healT, true)
 	}
@@ -409,6 +619,9 @@ func RunAdversary(rt AdversaryRuntime, mirror *graph.State, cfg AdversaryConfig)
 		}
 	}
 	run.Health = rt.HealthCounters()
+	if grayOn {
+		run.HedgeProbes, run.HedgeWins = gr.HedgeStats()
+	}
 	run.ViolationErr = run.Log.Check()
 	return run
 }

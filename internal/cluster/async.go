@@ -55,6 +55,9 @@ type Async struct {
 	// parts, when non-nil, holds the partition schedule and clock that
 	// cut message directions at the transport (see partition.go).
 	parts *asyncPartitions
+	// gray, when non-nil, holds the gray latency schedule, per-link
+	// latency estimators, and hedged-read configuration (see gray.go).
+	gray *grayState
 	// daemonStop, when non-nil, stops the background daemon goroutine
 	// started by StartDaemon; Close closes it.
 	daemonStop chan struct{}

@@ -193,6 +193,10 @@ type Cluster struct {
 	partNow   int64
 	partDrops int64
 
+	// gray, when non-nil, holds the gray latency schedule, per-link
+	// latency estimators, and hedged-read configuration (see gray.go).
+	gray *grayState
+
 	// obs, when non-nil, receives counters, histograms, and trace events
 	// (see obs.go); observation is write-only and never affects behaviour.
 	obs *obs.Registry
@@ -226,8 +230,16 @@ func (c *Cluster) Stats() Stats { return c.stats }
 // NodeVersion returns node i's assignment version (for invariant checks).
 func (c *Cluster) NodeVersion(i int) int64 { return c.nodes[i].version }
 
+// NodeAssignment returns node i's locally installed assignment without
+// running a round (the adversary's public knowledge of the system).
+func (c *Cluster) NodeAssignment(i int) quorum.Assignment { return c.nodes[i].assign }
+
 // NodeStamp returns node i's value stamp.
 func (c *Cluster) NodeStamp(i int) int64 { return c.nodes[i].stamp }
+
+// NodeValue returns node i's locally stored value (for state-equality
+// checks; a read round may return a newer value from a peer).
+func (c *Cluster) NodeValue(i int) int64 { return c.nodes[i].value }
 
 // send enqueues a message.
 func (c *Cluster) send(from, to int, body payload) {

@@ -1,0 +1,417 @@
+package cluster
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"quorumkit/internal/faults"
+	"quorumkit/internal/obs"
+	"quorumkit/internal/stats"
+)
+
+// Gray-failure layer for both runtimes: a pure faults.LatencySchedule
+// stretches message round trips without dropping anything, and a hedged
+// read path spends extra probes to route around the slowness.
+//
+// Enforcement differs by runtime on purpose. The concurrent Async adds the
+// schedule's delay slots to real deliveries (heartbeat probes sleep through
+// them like any chaos delay), so gray slowness is experienced end to end.
+// The deterministic Cluster keeps its synchronous drain untouched — folding
+// delays into the drain order would perturb delivery interleavings and
+// break the delay-only metamorphic guarantee (a schedule with no drops must
+// leave the final states byte-identical) — and instead reports each ack's
+// round trip analytically from the same pure schedule. Both runtimes
+// therefore feed their detectors identical latency observations for
+// identical schedules, which is what the detector comparison needs.
+//
+// Hedged reads are modeled the same way: the coordinator's minimal quorum
+// is ordered by each peer's learned latency profile, every primary gets a
+// budget of mean + K·sigma slots, and a primary that overruns its budget
+// triggers a backup probe to the next-fastest spare site. First q_r vote
+// arrivals win. Hedging reuses the ordinary vote-collection messages and
+// the existing timestamps for idempotence — no new wire-visible message
+// types — so the model only decides *which* sites are asked and *when* the
+// round would have completed, never what the round returns.
+
+// grayBaseRTT is the fault-free heartbeat round trip in delivery slots
+// (one slot per direction).
+const grayBaseRTT = 2
+
+// grayEstWindow is the sliding-window size of the per-link latency
+// estimators that drive hedged-read routing and budgets.
+const grayEstWindow = 16
+
+// grayState is the shared gray-latency context of one runtime.
+type grayState struct {
+	sched *faults.LatencySchedule
+	now   atomic.Int64 // gray clock; advanced by SetPartitionTime
+
+	mu     sync.Mutex
+	hedge  bool
+	hedgeK float64
+	n      int
+	est    []*stats.PhiEstimator // per (coordinator, peer) link, x*n+p, lazy
+	probes int64
+	wins   int64
+}
+
+func newGrayState(ls *faults.LatencySchedule, n int) *grayState {
+	return &grayState{sched: ls, hedgeK: 3, n: n, est: make([]*stats.PhiEstimator, n*n)}
+}
+
+// delay is the one-way gray delay of (from, to) at the current gray clock.
+func (g *grayState) delay(from, to int) int64 {
+	if g == nil || g.sched == nil {
+		return 0
+	}
+	return g.sched.Delay(g.now.Load(), from, to)
+}
+
+// rtt is the modeled round trip of a probe from x to p and back, in slots.
+func (g *grayState) rtt(x, p int) int64 {
+	if g == nil {
+		return grayBaseRTT
+	}
+	return grayBaseRTT + g.delay(x, p) + g.delay(p, x)
+}
+
+// estOf returns the link estimator for coordinator x observing peer p,
+// allocating it lazily. Callers hold g.mu.
+func (g *grayState) estOf(x, p int) *stats.PhiEstimator {
+	i := x*g.n + p
+	if g.est[i] == nil {
+		g.est[i] = stats.NewPhiEstimator(grayEstWindow)
+	}
+	return g.est[i]
+}
+
+// GrayReadStats describes the modeled latency of one gray read.
+type GrayReadStats struct {
+	// Latency is the modeled completion time of the round in delivery
+	// slots under the active hedging configuration (-1 when the round was
+	// not granted, so no completion exists to model).
+	Latency int64
+	// Unhedged is what the same round would have cost without backup
+	// probes; Latency == Unhedged when hedging is off.
+	Unhedged int64
+	// Probes is the number of backup probes the hedge issued.
+	Probes int
+	// Win reports whether hedging strictly beat the unhedged completion.
+	Win bool
+}
+
+// grayPeer is one candidate responder in the hedge model.
+type grayPeer struct {
+	id    int
+	votes int
+	rtt   int64   // actual modeled round trip this step
+	mean  float64 // estimator's predicted round trip
+	sigma float64
+}
+
+// hedgeModel computes when a read round collecting need votes completes,
+// unhedged and hedged. Peers must be alive candidates; the model sends the
+// minimal prefix (by predicted latency) covering need as primaries, gives
+// each primary a budget of ceil(mean + k·sigma) slots, and on overrun
+// probes the next spare. Returns (-1, -1, 0, false) when the candidates
+// cannot cover need at all.
+func hedgeModel(need int, peers []grayPeer, hedge bool, k float64) (latency, unhedged int64, probes int, win bool) {
+	if need <= 0 {
+		return 0, 0, 0, false
+	}
+	sort.Slice(peers, func(i, j int) bool {
+		if peers[i].mean != peers[j].mean {
+			return peers[i].mean < peers[j].mean
+		}
+		return peers[i].id < peers[j].id
+	})
+	primaries := 0
+	votes := 0
+	for primaries < len(peers) && votes < need {
+		votes += peers[primaries].votes
+		primaries++
+	}
+	if votes < need {
+		return -1, -1, 0, false
+	}
+
+	// completion is the earliest time the arrival events accumulate need
+	// votes.
+	completion := func(arrivals []grayPeer) int64 {
+		sort.Slice(arrivals, func(i, j int) bool {
+			if arrivals[i].rtt != arrivals[j].rtt {
+				return arrivals[i].rtt < arrivals[j].rtt
+			}
+			return arrivals[i].id < arrivals[j].id
+		})
+		got := 0
+		for _, a := range arrivals {
+			got += a.votes
+			if got >= need {
+				return a.rtt
+			}
+		}
+		return -1
+	}
+
+	prim := make([]grayPeer, primaries)
+	copy(prim, peers[:primaries])
+	unhedged = completion(prim)
+	if !hedge {
+		return unhedged, unhedged, 0, false
+	}
+
+	// Hedged run: overdue primaries trigger probes to unused spares, in
+	// budget-expiry order so the fastest spare backs the first overrun.
+	type overrun struct {
+		budget int64
+		id     int
+	}
+	var overruns []overrun
+	arrivals := make([]grayPeer, 0, len(peers))
+	arrivals = append(arrivals, peers[:primaries]...)
+	for _, p := range peers[:primaries] {
+		budget := int64(math.Ceil(p.mean + k*p.sigma))
+		if budget < grayBaseRTT {
+			budget = grayBaseRTT
+		}
+		if p.rtt > budget {
+			overruns = append(overruns, overrun{budget: budget, id: p.id})
+		}
+	}
+	sort.Slice(overruns, func(i, j int) bool {
+		if overruns[i].budget != overruns[j].budget {
+			return overruns[i].budget < overruns[j].budget
+		}
+		return overruns[i].id < overruns[j].id
+	})
+	spare := primaries
+	for _, o := range overruns {
+		if spare >= len(peers) {
+			break
+		}
+		s := peers[spare]
+		spare++
+		probes++
+		arrivals = append(arrivals, grayPeer{id: s.id, votes: s.votes, rtt: o.budget + s.rtt})
+	}
+	latency = completion(arrivals)
+	win = latency < unhedged
+	return latency, unhedged, probes, win
+}
+
+// ---- Deterministic runtime ----------------------------------------------
+
+// EnableGrayLatency attaches a gray latency schedule to the deterministic
+// runtime. The schedule must not be mutated afterwards except from the
+// single harness goroutine between steps. Pass nil to detach.
+func (c *Cluster) EnableGrayLatency(ls *faults.LatencySchedule) {
+	c.gray = newGrayState(ls, len(c.nodes))
+}
+
+// ConfigureHedge switches hedged gray reads on or off and sets the budget
+// multiplier K (budget = mean + K·sigma slots; K<=0 keeps the default 3).
+// Requires EnableGrayLatency.
+func (c *Cluster) ConfigureHedge(on bool, k float64) {
+	g := c.mustGray()
+	g.mu.Lock()
+	g.hedge = on
+	if k > 0 {
+		g.hedgeK = k
+	}
+	g.mu.Unlock()
+}
+
+// grayRTT is the round trip of a heartbeat from x to p at the current gray
+// clock (the fault-free base when no schedule is attached).
+func (c *Cluster) grayRTT(x, p int) int64 {
+	if c.gray == nil {
+		return grayBaseRTT
+	}
+	return c.gray.rtt(x, p)
+}
+
+// HedgeStats returns the cumulative (backup probes, hedge wins).
+func (c *Cluster) HedgeStats() (probes, wins int64) {
+	if c.gray == nil {
+		return 0, 0
+	}
+	c.gray.mu.Lock()
+	defer c.gray.mu.Unlock()
+	return c.gray.probes, c.gray.wins
+}
+
+// ServeReadGray runs ServeRead and models its completion latency under the
+// gray schedule and the active hedging configuration. Requires
+// EnableGrayLatency.
+func (c *Cluster) ServeReadGray(x int) (Outcome, GrayReadStats) {
+	c.mustGray()
+	out := c.ServeRead(x)
+	gs := GrayReadStats{Latency: -1, Unhedged: -1}
+	if !out.Granted {
+		return out, gs
+	}
+	n := &c.nodes[x]
+	need := n.assign.QR - n.votes
+	peers := make([]grayPeer, 0, len(c.nodes))
+	for p := range c.nodes {
+		if p == x || !c.st.SiteUp(p) {
+			continue
+		}
+		if c.partSched != nil &&
+			(c.partSched.Blocked(c.partNow, x, p) || c.partSched.Blocked(c.partNow, p, x)) {
+			continue // cut either way: no round trip exists to hedge
+		}
+		peers = append(peers, grayPeer{id: p, votes: c.nodes[p].votes, rtt: c.gray.rtt(x, p)})
+	}
+	c.gray.observeRead(c.obs, &gs, need, peers, x)
+	return out, gs
+}
+
+// observeRead resolves the hedge model for one granted read at x over the
+// alive peers and records the outcome into the estimators, counters, and
+// obs registry.
+func (g *grayState) observeRead(reg *obs.Registry, gs *GrayReadStats, need int, peers []grayPeer, x int) {
+	g.mu.Lock()
+	for i := range peers {
+		est := g.estOf(x, peers[i].id)
+		if est.Ready() {
+			peers[i].mean, peers[i].sigma = est.Stats()
+		} else {
+			peers[i].mean, peers[i].sigma = grayBaseRTT, 0.5
+		}
+	}
+	hedge, k := g.hedge, g.hedgeK
+	g.mu.Unlock()
+
+	lat, unhedged, probes, win := hedgeModel(need, peers, hedge, k)
+	gs.Latency, gs.Unhedged, gs.Probes, gs.Win = lat, unhedged, probes, win
+
+	// Every contacted round trip feeds the estimators — hedged and
+	// unhedged runs learn the same profiles, so routing adapts equally.
+	g.mu.Lock()
+	for i := range peers {
+		g.estOf(x, peers[i].id).Observe(float64(peers[i].rtt))
+	}
+	g.probes += int64(probes)
+	if win {
+		g.wins++
+	}
+	g.mu.Unlock()
+
+	if probes > 0 {
+		reg.Add(obs.CHedgeProbe, int64(probes))
+	}
+	if win {
+		reg.Inc(obs.CHedgeWin)
+	}
+	if lat >= 0 {
+		reg.Observe(obs.HGrayReadSlots, lat)
+	}
+}
+
+// mustGray asserts that EnableGrayLatency was called.
+func (c *Cluster) mustGray() *grayState {
+	if c.gray == nil {
+		panic("cluster: gray operation without EnableGrayLatency")
+	}
+	return c.gray
+}
+
+// ---- Concurrent runtime -------------------------------------------------
+
+// EnableGrayLatency attaches a gray latency schedule to the concurrent
+// runtime. Heartbeat deliveries sleep through the schedule's delay slots
+// like chaos delays; call before any concurrent operations and do not
+// mutate the schedule afterwards.
+func (a *Async) EnableGrayLatency(ls *faults.LatencySchedule) {
+	a.gray = newGrayState(ls, len(a.nodes))
+}
+
+// ConfigureHedge switches hedged gray reads on or off and sets the budget
+// multiplier K. Requires EnableGrayLatency.
+func (a *Async) ConfigureHedge(on bool, k float64) {
+	g := a.mustGrayAsync()
+	g.mu.Lock()
+	g.hedge = on
+	if k > 0 {
+		g.hedgeK = k
+	}
+	g.mu.Unlock()
+}
+
+// grayRTT is the round trip of a heartbeat from x to p at the current gray
+// clock.
+func (a *Async) grayRTT(x, p int) int64 {
+	if a.gray == nil {
+		return grayBaseRTT
+	}
+	return a.gray.rtt(x, p)
+}
+
+// graySlots is the extra delivery delay, in slots, that the gray schedule
+// imposes on one x→p probe and its ack (0 without a schedule).
+func (a *Async) graySlots(x, p int) int {
+	if a.gray == nil {
+		return 0
+	}
+	return int(a.gray.delay(x, p) + a.gray.delay(p, x))
+}
+
+// HedgeStats returns the cumulative (backup probes, hedge wins).
+func (a *Async) HedgeStats() (probes, wins int64) {
+	if a.gray == nil {
+		return 0, 0
+	}
+	a.gray.mu.Lock()
+	defer a.gray.mu.Unlock()
+	return a.gray.probes, a.gray.wins
+}
+
+// ServeReadGray runs ServeRead and models its completion latency under the
+// gray schedule and the active hedging configuration. Requires
+// EnableGrayLatency.
+func (a *Async) ServeReadGray(x int) (Outcome, GrayReadStats) {
+	g := a.mustGrayAsync()
+	out := a.ServeRead(x)
+	gs := GrayReadStats{Latency: -1, Unhedged: -1}
+	if !out.Granted {
+		return out, gs
+	}
+	self := a.nodes[x]
+	self.mu.Lock()
+	need := self.state.assign.QR - self.state.votes
+	self.mu.Unlock()
+	cut := func(p int) bool {
+		if a.parts == nil || a.parts.sched == nil {
+			return false
+		}
+		t := a.parts.now.Load()
+		return a.parts.sched.Blocked(t, x, p) || a.parts.sched.Blocked(t, p, x)
+	}
+	a.topoMu.RLock()
+	peers := make([]grayPeer, 0, len(a.nodes))
+	for p := range a.nodes {
+		if p == x || !a.st.SiteUp(p) || cut(p) {
+			continue
+		}
+		np := a.nodes[p]
+		np.mu.Lock()
+		votes := np.state.votes
+		np.mu.Unlock()
+		peers = append(peers, grayPeer{id: p, votes: votes, rtt: a.gray.rtt(x, p)})
+	}
+	a.topoMu.RUnlock()
+	g.observeRead(a.obs, &gs, need, peers, x)
+	return out, gs
+}
+
+// mustGrayAsync asserts that EnableGrayLatency was called.
+func (a *Async) mustGrayAsync() *grayState {
+	if a.gray == nil {
+		panic("cluster: gray operation without EnableGrayLatency")
+	}
+	return a.gray
+}

@@ -3,6 +3,7 @@ package cluster
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sync"
 
 	"quorumkit/internal/obs"
@@ -20,14 +21,28 @@ import (
 // here, the concurrent Async in health_async.go.
 //
 // Failure detector. Node x periodically broadcasts a heartbeat; every peer
-// that can be reached answers with its votes and assignment version. A peer
-// that misses SuspectAfter consecutive probes is *suspected* — a miss-count
-// accrual detector, the discrete analogue of phi-accrual suspicion: one
-// lost message (a transport fault) does not flip the view, a run of losses
-// (a dead peer or a partition) does. An answer from a suspected peer
-// unsuspects it immediately. The detector is purely local: it learns only
-// from messages, never from the shared topology state, so its view can be
-// wrong in exactly the ways a real deployment's can.
+// that can be reached answers with its votes and assignment version. Two
+// detectors are available (HealthConfig.Detector):
+//
+//   - DetectorMissCount (the compatibility mode, and the default): a peer
+//     that misses SuspectAfter consecutive probes is *suspected*; an
+//     answer unsuspects it. Under gray failures this rule misclassifies:
+//     an ack slower than MissDeadline delivery slots is treated as a miss
+//     (counted in LateAcks), so a merely slow peer looks dead.
+//
+//   - DetectorPhi: a φ-accrual detector (stats.PhiEstimator). Every ack's
+//     round-trip latency feeds a per-peer sliding window; on silence the
+//     detector computes φ = −log10 P(still alive given this much quiet)
+//     under the windowed fit and suspects at PhiThreshold. An answering
+//     peer is never suspected, however slow — slow and dead are different
+//     verdicts, which is exactly the distinction gray failures demand.
+//     Until the window holds enough samples the miss-count rule is the
+//     bootstrap fallback.
+//
+// The detector is purely local: it learns only from messages (and the pure
+// latency schedule that stretches them), never from the shared topology
+// state, so its view can be wrong in exactly the ways a real deployment's
+// can.
 //
 // Adaptive daemon. Each detector tick doubles as a quorum probe: the acked
 // votes plus the node's own bound the votes reachable right now. From that
@@ -90,11 +105,45 @@ func (m Mode) String() string {
 	}
 }
 
+// DetectorKind selects the failure-detection rule.
+type DetectorKind uint8
+
+// Detector kinds. The zero value is the PR-2 miss-count rule, so existing
+// configurations are unchanged.
+const (
+	DetectorMissCount DetectorKind = iota
+	DetectorPhi
+)
+
+// String implements fmt.Stringer.
+func (d DetectorKind) String() string {
+	switch d {
+	case DetectorMissCount:
+		return "miss-count"
+	case DetectorPhi:
+		return "phi-accrual"
+	default:
+		return fmt.Sprintf("DetectorKind(%d)", uint8(d))
+	}
+}
+
 // HealthConfig tunes the failure detector and the adaptive daemon.
 type HealthConfig struct {
+	// Detector selects the suspicion rule (default: miss count).
+	Detector DetectorKind
 	// SuspectAfter is the number of consecutive missed heartbeats before a
-	// peer is suspected.
+	// peer is suspected (miss-count mode, and the φ bootstrap fallback).
 	SuspectAfter int
+	// MissDeadline is the miss-count mode's fixed latency budget in
+	// delivery slots: an ack slower than this counts as a miss. The
+	// default (8) is comfortably above the fault-free round trip (2), so
+	// schedules without gray latency behave exactly as before.
+	MissDeadline int64
+	// PhiThreshold is the φ suspicion threshold (φ mode; default 8 —
+	// suspect when the odds the peer is alive drop below 1 in 10⁸).
+	PhiThreshold float64
+	// PhiWindow is the per-peer latency window size (φ mode; default 16).
+	PhiWindow int
 	// WindowSize is the per-node sliding window of operation outcomes that
 	// feeds the grant-rate trigger.
 	WindowSize int
@@ -120,6 +169,9 @@ type HealthConfig struct {
 func DefaultHealthConfig() HealthConfig {
 	return HealthConfig{
 		SuspectAfter:   2,
+		MissDeadline:   8,
+		PhiThreshold:   8,
+		PhiWindow:      16,
 		WindowSize:     32,
 		GrantRateFloor: 0.75,
 		CooldownTicks:  4,
@@ -134,6 +186,15 @@ func (cfg HealthConfig) normalize() HealthConfig {
 	d := DefaultHealthConfig()
 	if cfg.SuspectAfter < 1 {
 		cfg.SuspectAfter = d.SuspectAfter
+	}
+	if cfg.MissDeadline < 1 {
+		cfg.MissDeadline = d.MissDeadline
+	}
+	if cfg.PhiThreshold <= 0 {
+		cfg.PhiThreshold = d.PhiThreshold
+	}
+	if cfg.PhiWindow < 4 {
+		cfg.PhiWindow = d.PhiWindow
 	}
 	if cfg.WindowSize < 1 {
 		cfg.WindowSize = d.WindowSize
@@ -176,6 +237,10 @@ type healthView struct {
 	misses      []int
 	suspected   []bool
 	peerVersion []int64 // last assignment version heard per peer; -1 unknown
+
+	// phi holds the per-peer φ-accrual latency estimators (φ mode only;
+	// allocated lazily on first contact with each peer).
+	phi []*stats.PhiEstimator
 
 	mode     Mode
 	canRead  bool
@@ -275,25 +340,60 @@ func (v *healthView) grantRate() (float64, bool) {
 	return float64(granted) / float64(len(v.window)), true
 }
 
+// lateAck reports whether an ack with the given round-trip latency is past
+// the miss-count deadline and must be misread as a miss (the deliberate
+// gray-failure misclassification of the compatibility detector). Always
+// false in φ mode: slow is not dead.
+func (h *healthState) lateAck(rtt int64) bool {
+	return h.cfg.Detector == DetectorMissCount && rtt > h.cfg.MissDeadline
+}
+
+// phiOf returns node x's φ estimator for peer p, allocating it lazily.
+func (v *healthView) phiOf(p, window int) *stats.PhiEstimator {
+	if v.phi == nil {
+		v.phi = make([]*stats.PhiEstimator, len(v.misses))
+	}
+	if v.phi[p] == nil {
+		v.phi[p] = stats.NewPhiEstimator(window)
+	}
+	return v.phi[p]
+}
+
 // applyAcks runs the detector update for node x from one heartbeat round:
 // acked peers reset their miss counts (and unsuspect), silent peers accrue
 // misses, and the service mode is recomputed from the reachable votes.
-// Returns the probe's reachable-vote bound and whether the suspected set
-// changed. Callers hold h.mu.
-func (h *healthState) applyAcks(x int, acks []heartbeatAck, assign quorum.Assignment, selfVotes int) (reachable int, changed bool) {
+// rtts[i] is the round trip of acks[i] in delivery slots (nil: the
+// fault-free baseline for every ack). In miss-count mode an ack past
+// MissDeadline is dropped here — a miss that contributes no votes; in φ
+// mode every ack feeds the peer's latency window and silence is judged by
+// φ against the windowed fit. Returns the probe's reachable-vote bound and
+// whether the suspected set changed. Callers hold h.mu.
+func (h *healthState) applyAcks(x int, acks []heartbeatAck, rtts []int64, assign quorum.Assignment, selfVotes int) (reachable int, changed bool) {
 	v := h.views[x]
 	n := len(h.views)
 	acked := make([]bool, n)
+	ackRTT := make([]int64, n)
 	reachable = selfVotes
-	for _, a := range acks {
+	for i, a := range acks {
 		if a.from < 0 || a.from >= n || a.from == x {
 			continue
 		}
+		rtt := int64(grayBaseRTT)
+		if rtts != nil {
+			rtt = rtts[i]
+		}
+		if h.lateAck(rtt) {
+			h.counters.LateAcks++
+			h.obs.Inc(obs.CLateAck)
+			continue // misread as silence: miss accrues, votes lost
+		}
 		acked[a.from] = true
+		ackRTT[a.from] = rtt
 		reachable += a.votes
 		v.peerVersion[a.from] = a.version
 	}
 	h.counters.HeartbeatsSent += int64(n - 1)
+	phiMode := h.cfg.Detector == DetectorPhi
 	for p := 0; p < n; p++ {
 		if p == x {
 			continue
@@ -301,6 +401,13 @@ func (h *healthState) applyAcks(x int, acks []heartbeatAck, assign quorum.Assign
 		if acked[p] {
 			h.counters.HeartbeatAcks++
 			v.misses[p] = 0
+			if phiMode {
+				est := v.phiOf(p, h.cfg.PhiWindow)
+				if est.Ready() {
+					h.obs.Observe(obs.HPhi, int64(est.Phi(float64(ackRTT[p]))*100))
+				}
+				est.Observe(float64(ackRTT[p]))
+			}
 			if v.suspected[p] {
 				v.suspected[p] = false
 				h.counters.Unsuspicions++
@@ -312,7 +419,22 @@ func (h *healthState) applyAcks(x int, acks []heartbeatAck, assign quorum.Assign
 			continue
 		}
 		v.misses[p]++
-		if !v.suspected[p] && v.misses[p] >= h.cfg.SuspectAfter {
+		suspect := false
+		if phiMode && v.phi != nil && v.phi[p] != nil && v.phi[p].Ready() {
+			// Judge the silence by the peer's own latency regime: the
+			// elapsed quiet is misses heartbeat intervals, each at least
+			// one windowed-mean round trip.
+			mean, _ := v.phi[p].Stats()
+			elapsed := float64(v.misses[p]) * math.Max(mean, grayBaseRTT)
+			phi := v.phi[p].Phi(elapsed)
+			h.obs.Observe(obs.HPhi, int64(phi*100))
+			suspect = phi >= h.cfg.PhiThreshold
+		} else {
+			// Miss-count rule: directly, or as the φ bootstrap fallback
+			// before the window has enough samples.
+			suspect = v.misses[p] >= h.cfg.SuspectAfter
+		}
+		if !v.suspected[p] && suspect {
 			v.suspected[p] = true
 			h.counters.Suspicions++
 			changed = true
@@ -358,12 +480,12 @@ func (h *healthState) applyAcks(x int, acks []heartbeatAck, assign quorum.Assign
 // daemonStep runs the shared daemon state machine for node x after a
 // heartbeat round. The runtime r performs the optimize/install and sync
 // rounds; h.mu must NOT be held by the caller.
-func (h *healthState) daemonStep(r reassignRunner, x int, acks []heartbeatAck, assign quorum.Assignment, selfVotes int, version int64) DaemonReport {
+func (h *healthState) daemonStep(r reassignRunner, x int, acks []heartbeatAck, rtts []int64, assign quorum.Assignment, selfVotes int, version int64) DaemonReport {
 	h.mu.Lock()
 	v := h.views[x]
 	v.tick++
 	h.counters.DaemonTicks++
-	reachable, _ := h.applyAcks(x, acks, assign, selfVotes)
+	reachable, _ := h.applyAcks(x, acks, rtts, assign, selfVotes)
 
 	rep := DaemonReport{Node: x, Mode: v.mode, ReachableVotes: reachable}
 	for p, s := range v.suspected {
@@ -536,9 +658,11 @@ func (c *Cluster) Mode(x int) Mode {
 }
 
 // heartbeatRound broadcasts one probe from node x and gathers the
-// deduplicated acknowledgements of the current sequence number. A down
-// coordinator probes nothing and hears nothing — every peer accrues a miss.
-func (c *Cluster) heartbeatRound(x int) []heartbeatAck {
+// deduplicated acknowledgements of the current sequence number, along with
+// each ack's round-trip latency in delivery slots from the gray latency
+// schedule (the fault-free 2 when none is attached). A down coordinator
+// probes nothing and hears nothing — every peer accrues a miss.
+func (c *Cluster) heartbeatRound(x int) ([]heartbeatAck, []int64) {
 	h := c.health
 	h.mu.Lock()
 	h.views[x].hbSeq++
@@ -551,14 +675,16 @@ func (c *Cluster) heartbeatRound(x int) []heartbeatAck {
 	}
 	seen := make(map[int]bool, len(c.hbReplies))
 	acks := make([]heartbeatAck, 0, len(c.hbReplies))
+	rtts := make([]int64, 0, len(c.hbReplies))
 	for _, a := range c.hbReplies {
 		if a.seq != seq || seen[a.from] {
 			continue // stale or duplicated ack
 		}
 		seen[a.from] = true
 		acks = append(acks, a)
+		rtts = append(rtts, c.grayRTT(x, a.from))
 	}
-	return acks
+	return acks, rtts
 }
 
 // runReassignOptimal implements reassignRunner for the deterministic
@@ -594,22 +720,28 @@ func (c *Cluster) DaemonStep(x int) DaemonReport {
 		// peer so that, on recovery, it re-learns the world before acting.
 		// The §4.2 estimator counts down time as a component of zero votes.
 		c.recordObservation(x, 0)
-		return h.daemonStep(c, x, nil, c.nodes[x].assign, c.nodes[x].votes, c.nodes[x].version)
+		return h.daemonStep(c, x, nil, nil, c.nodes[x].assign, c.nodes[x].votes, c.nodes[x].version)
 	}
-	acks := c.heartbeatRound(x)
+	acks, rtts := c.heartbeatRound(x)
 	n := &c.nodes[x]
 	// Each probe is a free, unbiased periodic sample of the component's
 	// vote total — exactly the §4.2 recording the paper prescribes. The
 	// samples taken during ordinary collect rounds over-weight large
 	// components (a site in a component of size k responds to ~k rounds per
 	// step), which skews the optimizer toward large quorums; the detector's
-	// fixed-rate samples correct that bias.
+	// fixed-rate samples correct that bias. The sample is the *belief*, not
+	// the truth: in miss-count mode a late ack's votes are excluded here
+	// exactly as the detector excludes them, so the estimator and the
+	// detector misjudge gray slowness consistently.
 	reach := n.votes
-	for _, a := range acks {
+	for i, a := range acks {
+		if h.lateAck(rtts[i]) {
+			continue
+		}
 		reach += a.votes
 	}
 	c.recordObservation(x, reach)
-	return h.daemonStep(c, x, acks, n.assign, n.votes, n.version)
+	return h.daemonStep(c, x, acks, rtts, n.assign, n.votes, n.version)
 }
 
 // ServeRead is the serving-layer read at node x: it fails fast with a typed

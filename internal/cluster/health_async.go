@@ -8,6 +8,7 @@ import (
 	"quorumkit/internal/core"
 	"quorumkit/internal/faults"
 	"quorumkit/internal/obs"
+	"quorumkit/internal/quorum"
 	"quorumkit/internal/stats"
 )
 
@@ -53,24 +54,37 @@ func (a *Async) NodeVersion(x int) int64 {
 	return n.state.version
 }
 
+// NodeAssignment returns node x's locally installed assignment without
+// running a round. Thread-safe.
+func (a *Async) NodeAssignment(x int) quorum.Assignment {
+	n := a.nodes[x]
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.state.assign
+}
+
 // heartbeatRound broadcasts one probe from node x and gathers the
-// deduplicated acknowledgements. A down coordinator hears nothing. With a
-// chaos transport attached, each probe/ack pair is subject to the fault
-// plan's drop, duplicate, and delay decisions at the heartbeat stages.
-func (a *Async) heartbeatRound(x int) []heartbeatAck {
+// deduplicated acknowledgements plus each ack's round trip in delivery
+// slots. A down coordinator hears nothing. With a chaos transport attached,
+// each probe/ack pair is subject to the fault plan's drop, duplicate, and
+// delay decisions at the heartbeat stages; with a gray latency schedule
+// attached, the schedule's slowdown slots are added to every delivery, so
+// a gray-degraded peer really answers late.
+func (a *Async) heartbeatRound(x int) ([]heartbeatAck, []int64) {
 	h := a.health
 	h.mu.Lock()
 	h.views[x].hbSeq++
 	seq := h.views[x].hbSeq
 	h.mu.Unlock()
 	if !a.siteUpAny(x) {
-		return nil
+		return nil, nil
 	}
 	peers := a.peersOf(x)
 	replies := make(chan payload, 2*len(peers)+1)
 	var lostWG sync.WaitGroup // reply-less probes: side effects before return
 	probe := heartbeat{from: x, seq: seq}
 	for _, p := range peers {
+		gslots := a.graySlots(x, p)
 		if ch := a.chaos; ch != nil {
 			dreq := ch.plan.Message(ch.op, faults.StageHeartbeat, x, p, ch.attempt)
 			dack := ch.plan.Message(ch.op, faults.StageHeartbeatAck, p, x, ch.attempt)
@@ -86,7 +100,7 @@ func (a *Async) heartbeatRound(x int) []heartbeatAck {
 				replies <- lostMark{from: p}
 				continue
 			}
-			slots := ch.slotsOf(dreq, dack)
+			slots := ch.slotsOf(dreq, dack) + gslots
 			if dack.Drop || a.partBlocked(p, x) {
 				// The probe lands — the peer runs its pre-ack sync barrier,
 				// as in the deterministic runtime — but the ack is lost to
@@ -117,23 +131,36 @@ func (a *Async) heartbeatRound(x int) []heartbeatAck {
 			replies <- lostMark{from: p}
 			continue
 		}
-		a.sent.Add(1)
-		a.obs.Inc(obs.CMsgSent)
 		if a.partBlocked(p, x) {
 			// The probe lands — the peer's side effects run — but the ack
 			// direction is cut, so the prober records a miss. This is the
 			// asymmetric one-way case: both sides end up suspecting each
 			// other, each for its own lost direction.
 			lostWG.Add(1)
-			a.nodes[p].inbox <- asyncMsg{body: probe, ack: &lostWG}
+			if gslots > 0 {
+				a.chaosDeliver(p, asyncMsg{body: probe, ack: &lostWG}, gslots)
+			} else {
+				a.sent.Add(1)
+				a.obs.Inc(obs.CMsgSent)
+				a.nodes[p].inbox <- asyncMsg{body: probe, ack: &lostWG}
+			}
 			replies <- lostMark{from: p}
 			continue
 		}
+		if gslots > 0 {
+			// Gray slowness without chaos: the probe still travels the slow
+			// link for real.
+			a.chaosDeliver(p, asyncMsg{body: probe, reply: replies}, gslots)
+			continue
+		}
+		a.sent.Add(1)
+		a.obs.Inc(obs.CMsgSent)
 		a.nodes[p].inbox <- asyncMsg{body: probe, reply: replies}
 	}
 
 	seen := make(map[int]bool, len(peers))
 	acks := make([]heartbeatAck, 0, len(peers))
+	rtts := make([]int64, 0, len(peers))
 	deadline := time.NewTimer(asyncChaosDeadline)
 	defer deadline.Stop()
 	for pending := len(peers); pending > 0; {
@@ -156,12 +183,16 @@ func (a *Async) heartbeatRound(x int) []heartbeatAck {
 			seen[ack.from] = true
 			pending--
 			acks = append(acks, ack)
+			// The detector judges the ack by the schedule's round trip —
+			// the same pure function both runtimes consult — rather than a
+			// wall-clock measurement the scheduler could perturb.
+			rtts = append(rtts, a.grayRTT(x, ack.from))
 		case <-deadline.C:
 			pending = 0
 		}
 	}
 	lostWG.Wait() // reply-less side effects land before the round concludes
-	return acks
+	return acks, rtts
 }
 
 // siteUpAny snapshots one site's up state whether or not chaos is enabled.
@@ -330,20 +361,26 @@ func (a *Async) DaemonStep(x int) DaemonReport {
 	// every peer accrues a miss until the node recovers and re-learns the
 	// world.
 	var acks []heartbeatAck
+	var rtts []int64
 	up := a.siteUpAny(x)
 	if up {
-		acks = a.heartbeatRound(x)
+		acks, rtts = a.heartbeatRound(x)
 	}
 	n := a.nodes[x]
 	n.mu.Lock()
 	assign, votes, version := n.state.assign, n.state.votes, n.state.version
 	// Each probe is a free, unbiased periodic sample of the component's
 	// vote total — the §4.2 recording (see Cluster.DaemonStep); down time
-	// counts as a component of zero votes.
+	// counts as a component of zero votes. In miss-count mode a late ack's
+	// votes are excluded, matching the detector's misreading (see
+	// Cluster.DaemonStep).
 	reach := 0
 	if up {
 		reach = votes
-		for _, ack := range acks {
+		for i, ack := range acks {
+			if h.lateAck(rtts[i]) {
+				continue
+			}
 			reach += ack.votes
 		}
 	}
@@ -355,7 +392,7 @@ func (a *Async) DaemonStep(x int) DaemonReport {
 		n.persistObs(reach)
 	}
 	n.mu.Unlock()
-	return h.daemonStep(a, x, acks, assign, votes, version)
+	return h.daemonStep(a, x, acks, rtts, assign, votes, version)
 }
 
 // StartDaemon launches a background goroutine that sweeps DaemonStep over

@@ -35,9 +35,15 @@ func (c *Cluster) EnablePartitions(ps *faults.PartitionSchedule) {
 	c.partSched = ps
 }
 
-// SetPartitionTime advances the partition clock. Call once per harness
-// step, before the step's operations.
-func (c *Cluster) SetPartitionTime(t int64) { c.partNow = t }
+// SetPartitionTime advances the partition clock (and the gray latency
+// clock, which shares it). Call once per harness step, before the step's
+// operations.
+func (c *Cluster) SetPartitionTime(t int64) {
+	c.partNow = t
+	if c.gray != nil {
+		c.gray.now.Store(t)
+	}
+}
 
 // PartitionDrops returns how many messages the partition schedule has
 // eaten so far.
@@ -70,11 +76,14 @@ func (a *Async) EnablePartitions(ps *faults.PartitionSchedule) {
 	a.parts = &asyncPartitions{sched: ps}
 }
 
-// SetPartitionTime advances the partition clock (no-op when partitions are
-// not enabled).
+// SetPartitionTime advances the partition clock and the gray latency clock
+// (no-op for whichever is not enabled).
 func (a *Async) SetPartitionTime(t int64) {
 	if a.parts != nil {
 		a.parts.now.Store(t)
+	}
+	if a.gray != nil {
+		a.gray.now.Store(t)
 	}
 }
 

@@ -1,0 +1,100 @@
+package faults
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestQRCriticalTargetsHighestVotes(t *testing.T) {
+	adv := QRCritical{Every: 10, Duration: 8, Slow: 5, Top: 2}
+	v := AdversaryView{
+		Step: 20, QR: 3, QW: 4,
+		Votes:     []int{1, 3, 2, 1, 3},
+		Suspected: make([]bool, 5),
+	}
+	acts := adv.Advise(v)
+	if len(acts) != 1 {
+		t.Fatalf("want 1 action, got %d", len(acts))
+	}
+	a := acts[0]
+	if a.Cut {
+		t.Fatal("default moves must be slowdowns, not cuts")
+	}
+	if !reflect.DeepEqual(a.Sites, []int{1, 4}) {
+		t.Fatalf("targets %v, want the two highest-vote sites [1 4]", a.Sites)
+	}
+	if a.Start != 20 || a.End != 28 || a.Slow != 5 {
+		t.Fatalf("window/slow wrong: %+v", a)
+	}
+}
+
+func TestQRCriticalSkipsSuspectedAndOffPeriodSteps(t *testing.T) {
+	adv := QRCritical{Every: 10, Duration: 8, Slow: 5, Top: 1}
+	v := AdversaryView{
+		Step:      20,
+		Votes:     []int{1, 3, 2},
+		Suspected: []bool{false, true, false},
+	}
+	acts := adv.Advise(v)
+	if len(acts) != 1 || !reflect.DeepEqual(acts[0].Sites, []int{2}) {
+		t.Fatalf("suspected top site not skipped: %+v", acts)
+	}
+	if got := adv.Advise(AdversaryView{Step: 21, Votes: v.Votes, Suspected: v.Suspected}); got != nil {
+		t.Fatalf("off-period step must be quiet, got %+v", got)
+	}
+	allSusp := AdversaryView{Step: 20, Votes: []int{1, 1}, Suspected: []bool{true, true}}
+	if got := adv.Advise(allSusp); got != nil {
+		t.Fatalf("no unsuspected candidates must mean no action, got %+v", got)
+	}
+}
+
+func TestQRCriticalCutCadence(t *testing.T) {
+	adv := QRCritical{Every: 5, Duration: 4, Slow: 3, Top: 1, CutEvery: 3}
+	votes := []int{2, 1}
+	susp := make([]bool, 2)
+	var cuts, slows int
+	for step := int64(0); step < 60; step += 5 {
+		acts := adv.Advise(AdversaryView{Step: step, Votes: votes, Suspected: susp})
+		if len(acts) != 1 {
+			t.Fatalf("step %d: want 1 action", step)
+		}
+		if acts[0].Cut {
+			cuts++
+		} else {
+			slows++
+		}
+	}
+	if cuts != 4 || slows != 8 {
+		t.Fatalf("cadence wrong: %d cuts, %d slows (want 4, 8)", cuts, slows)
+	}
+}
+
+func TestQRCriticalDefensiveDefaults(t *testing.T) {
+	// Zero Every is treated as 1 (every step); zero Top or Duration is a
+	// no-op adversary.
+	adv := QRCritical{Duration: 2, Slow: 1, Top: 1}
+	if acts := adv.Advise(AdversaryView{Step: 7, Votes: []int{1}}); len(acts) != 1 {
+		t.Fatalf("Every=0 should plan every step, got %+v", acts)
+	}
+	if acts := (QRCritical{Every: 1, Slow: 1, Top: 0, Duration: 2}).Advise(AdversaryView{Step: 0, Votes: []int{1}}); acts != nil {
+		t.Fatal("Top=0 must be a no-op")
+	}
+	if acts := (QRCritical{Every: 1, Slow: 1, Top: 1}).Advise(AdversaryView{Step: 0, Votes: []int{1}}); acts != nil {
+		t.Fatal("Duration=0 must be a no-op")
+	}
+	// Top larger than the candidate set clamps.
+	acts := (QRCritical{Every: 1, Duration: 1, Slow: 1, Top: 10}).Advise(AdversaryView{Step: 0, Votes: []int{1, 2}})
+	if len(acts) != 1 || len(acts[0].Sites) != 2 {
+		t.Fatalf("Top clamp failed: %+v", acts)
+	}
+}
+
+func TestQRCriticalIsPure(t *testing.T) {
+	adv := QRCritical{Every: 2, Duration: 3, Slow: 2, Top: 2, CutEvery: 2}
+	v := AdversaryView{Step: 4, Votes: []int{3, 1, 2}, Suspected: []bool{false, false, false}}
+	a := adv.Advise(v)
+	b := adv.Advise(v)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("Advise not pure: %+v vs %+v", a, b)
+	}
+}

@@ -1,0 +1,273 @@
+package faults
+
+import (
+	"fmt"
+	"math"
+
+	"quorumkit/internal/rng"
+)
+
+// Gray failures: links and nodes that slow down without ever dropping a
+// message. A LatencySchedule is the delay analogue of a PartitionSchedule —
+// a deterministic timetable, keyed by the same external partition clock,
+// that answers "how many extra delivery slots does a message from `from`
+// to `to` suffer at step t?". Like every fault primitive here it is a pure
+// function of its construction inputs: Delay(t, from, to) depends only on
+// the timetable (and, for the heavy-tail term, a seed hashed with the
+// inputs), never on arrival order or which runtime asks, so both runtimes
+// replay the identical latency history.
+//
+// Three degradation shapes compose additively:
+//
+//   - slowdown windows (AddLinkSlow / AddSiteSlow): a flat added delay over
+//     [start, end), optionally ramping linearly from zero over the first
+//     `ramp` steps — the "disk filling up" / "GC death spiral" shape;
+//   - flapping (AddFlap): a slowdown that is only active during the first
+//     `on` steps of every `period`-step cycle — the intermittently
+//     overloaded box;
+//   - heavy-tail inflation (SetHeavyTail): with small probability per
+//     (step, link), an additional Pareto-tailed delay — the stray packet
+//     that hits a deep queue.
+//
+// Latency schedules introduce no new wire-visible messages and never drop
+// anything: they only stretch the delivery of existing protocol traffic,
+// so the wire codec and its fuzz corpus are unchanged (as with partitions).
+//
+// Construction is not synchronized: build (or append to) a schedule only
+// from the single harness goroutine that also advances the clock, as the
+// adaptive adversaries do at step boundaries.
+
+// latencyRule is one timed slowdown.
+type latencyRule struct {
+	start, end int64
+	ramp       int64 // linear ramp-in length in steps (0 = step function)
+	slow       int64 // peak added delivery slots
+	period, on int64 // flapping duty cycle (period 0 = always on)
+	from, to   map[int]bool // nil set = matches every site
+}
+
+// matches reports whether the rule covers the (from, to) direction.
+func (r *latencyRule) matches(from, to int) bool {
+	if r.from != nil && !r.from[from] {
+		return false
+	}
+	if r.to != nil && !r.to[to] {
+		return false
+	}
+	return true
+}
+
+// LatencySchedule is a timetable of gray (delay-only) degradation. The nil
+// schedule delays nothing.
+type LatencySchedule struct {
+	rules   []latencyRule
+	horizon int64
+
+	htSeed uint64
+	htProb float64
+	htMean int64
+	htCap  int64
+}
+
+// NewLatencySchedule returns an empty schedule.
+func NewLatencySchedule() *LatencySchedule {
+	return &LatencySchedule{}
+}
+
+// siteSet builds a membership set; an empty slice means "all sites" (nil).
+func siteSet(sites []int) map[int]bool {
+	if len(sites) == 0 {
+		return nil
+	}
+	m := make(map[int]bool, len(sites))
+	for _, s := range sites {
+		m[s] = true
+	}
+	return m
+}
+
+// addRule validates the common window fields and appends.
+func (ls *LatencySchedule) addRule(r latencyRule) {
+	if r.end <= r.start {
+		panic(fmt.Sprintf("faults: latency rule with empty window [%d, %d)", r.start, r.end))
+	}
+	if r.slow < 1 {
+		panic("faults: latency rule needs a positive slowdown")
+	}
+	ls.rules = append(ls.rules, r)
+	if r.end > ls.horizon {
+		ls.horizon = r.end
+	}
+}
+
+// AddLinkSlow adds a directional slowdown active on [start, end): messages
+// from any site in `from` to any site in `to` (empty slice = every site)
+// suffer `slow` extra delivery slots, ramping linearly from zero over the
+// first `ramp` steps when ramp > 0. Panics on malformed input (schedules
+// are built from trusted test/CLI configuration, like fault plans).
+func (ls *LatencySchedule) AddLinkSlow(start, end int64, from, to []int, slow, ramp int64) *LatencySchedule {
+	ls.addRule(latencyRule{
+		start: start, end: end, ramp: ramp, slow: slow,
+		from: siteSet(from), to: siteSet(to),
+	})
+	return ls
+}
+
+// AddSiteSlow slows every message into *and* out of one site on
+// [start, end) — the degraded-node shape. Equivalent to two AddLinkSlow
+// rules; the two directions accrue independently, so a round trip through
+// the site pays the slowdown twice, as it would in a real deployment.
+func (ls *LatencySchedule) AddSiteSlow(start, end int64, site int, slow, ramp int64) *LatencySchedule {
+	ls.AddLinkSlow(start, end, []int{site}, nil, slow, ramp)
+	ls.AddLinkSlow(start, end, nil, []int{site}, slow, ramp)
+	return ls
+}
+
+// AddFlap adds a flapping slowdown on [start, end): the delay applies only
+// during the first `on` steps of every `period`-step cycle (anchored at
+// start). Panics on a malformed duty cycle.
+func (ls *LatencySchedule) AddFlap(start, end int64, sites []int, slow, period, on int64) *LatencySchedule {
+	if period < 2 || on < 1 || on >= period {
+		panic(fmt.Sprintf("faults: AddFlap duty cycle on=%d period=%d is malformed", on, period))
+	}
+	set := siteSet(sites)
+	ls.addRule(latencyRule{start: start, end: end, slow: slow, period: period, on: on, from: set})
+	ls.addRule(latencyRule{start: start, end: end, slow: slow, period: period, on: on, to: set})
+	return ls
+}
+
+// SetHeavyTail enables per-(step, link) heavy-tailed delay inflation: with
+// probability prob a message direction suffers an additional Pareto(α=2)
+// delay of scale `mean`, capped at `cap` slots. The draw is a pure hash of
+// (seed, t, from, to), so both runtimes and repeated runs see the same
+// inflation pattern. Panics on malformed parameters.
+func (ls *LatencySchedule) SetHeavyTail(seed uint64, prob float64, mean, cap int64) *LatencySchedule {
+	if prob < 0 || prob > 1 {
+		panic(fmt.Sprintf("faults: heavy-tail prob %g out of [0,1]", prob))
+	}
+	if prob > 0 && (mean < 1 || cap < mean) {
+		panic(fmt.Sprintf("faults: heavy-tail needs 1 <= mean (%d) <= cap (%d)", mean, cap))
+	}
+	ls.htSeed, ls.htProb, ls.htMean, ls.htCap = seed, prob, mean, cap
+	return ls
+}
+
+// Delay returns the extra delivery slots a message from site `from` to
+// site `to` suffers at step t. Nil-safe: a nil schedule delays nothing.
+func (ls *LatencySchedule) Delay(t int64, from, to int) int64 {
+	if ls == nil {
+		return 0
+	}
+	var d int64
+	for i := range ls.rules {
+		r := &ls.rules[i]
+		if t < r.start || t >= r.end || !r.matches(from, to) {
+			continue
+		}
+		if r.period > 0 && (t-r.start)%r.period >= r.on {
+			continue
+		}
+		if r.ramp > 0 && t-r.start < r.ramp {
+			d += r.slow * (t - r.start + 1) / r.ramp
+			continue
+		}
+		d += r.slow
+	}
+	if ls.htProb > 0 {
+		h := mix64(ls.htSeed ^ mix64(uint64(t)+0x9e3779b97f4a7c15) ^ mix64(uint64(from)<<32|uint64(to)))
+		if unit(h) < ls.htProb {
+			// Pareto(α=2): P(X > x·mean) = 1/x²; u in (0,1].
+			u := 1 - unit(mix64(h+1))
+			extra := int64(float64(ls.htMean) / math.Sqrt(u))
+			if extra > ls.htCap {
+				extra = ls.htCap
+			}
+			d += extra
+		}
+	}
+	return d
+}
+
+// NumRules returns the number of slowdown rules (0 on nil).
+func (ls *LatencySchedule) NumRules() int {
+	if ls == nil {
+		return 0
+	}
+	return len(ls.rules)
+}
+
+// Horizon returns the end of the last slowdown window; heavy-tail
+// inflation has no horizon of its own. 0 on nil or empty schedules.
+func (ls *LatencySchedule) Horizon() int64 {
+	if ls == nil {
+		return 0
+	}
+	return ls.horizon
+}
+
+// GrayStormConfig parameterizes a seeded latency storm: overlapping
+// slowdown episodes against random sites, with exponential onset gaps and
+// durations — the delay analogue of StormConfig.
+type GrayStormConfig struct {
+	Sites int   // total sites in the topology
+	Start int64 // first step an episode may begin
+	End   int64 // no episode extends past this step
+
+	MeanDuration float64 // mean episode length, in steps
+	MeanGap      float64 // mean gap between onsets, in steps
+	SlowMin      int64   // per-episode slowdown drawn from [SlowMin, SlowMax]
+	SlowMax      int64
+	RampFraction float64 // P(an episode ramps in over half its length)
+	FlapFraction float64 // P(an episode flaps with a 4-step period instead)
+}
+
+// Validate rejects nonsensical storm configurations.
+func (c GrayStormConfig) Validate() error {
+	if c.Sites <= 0 {
+		return fmt.Errorf("faults: GrayStormConfig.Sites=%d must be positive", c.Sites)
+	}
+	if c.End <= c.Start {
+		return fmt.Errorf("faults: GrayStormConfig window [%d, %d) is empty", c.Start, c.End)
+	}
+	if c.MeanDuration <= 0 || c.MeanGap <= 0 {
+		return fmt.Errorf("faults: GrayStormConfig needs positive MeanDuration and MeanGap")
+	}
+	if c.SlowMin < 1 || c.SlowMax < c.SlowMin {
+		return fmt.Errorf("faults: GrayStormConfig needs 1 <= SlowMin (%d) <= SlowMax (%d)", c.SlowMin, c.SlowMax)
+	}
+	if c.RampFraction < 0 || c.RampFraction > 1 || c.FlapFraction < 0 || c.FlapFraction > 1 {
+		return fmt.Errorf("faults: GrayStormConfig fractions out of [0,1]")
+	}
+	return nil
+}
+
+// GrayStorm generates a deterministic latency storm: a Poisson sequence of
+// per-site slowdown episodes, each flat, ramped, or flapping. The schedule
+// is a pure function of (seed, cfg). It panics on an invalid config.
+func GrayStorm(seed uint64, cfg GrayStormConfig) *LatencySchedule {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	src := rng.New(seed ^ 0x67a15701) // distinct stream from Storm's and churn's
+	ls := NewLatencySchedule()
+	t := float64(cfg.Start) + src.Exp(cfg.MeanGap)
+	for int64(t) < cfg.End {
+		start := int64(t)
+		end := start + 2 + int64(src.Exp(cfg.MeanDuration))
+		if end > cfg.End {
+			end = cfg.End
+		}
+		site := src.Intn(cfg.Sites)
+		slow := cfg.SlowMin + int64(src.Uint64n(uint64(cfg.SlowMax-cfg.SlowMin+1)))
+		switch {
+		case src.Bernoulli(cfg.FlapFraction):
+			ls.AddFlap(start, end, []int{site}, slow, 4, 2)
+		case src.Bernoulli(cfg.RampFraction):
+			ls.AddSiteSlow(start, end, site, slow, (end-start)/2)
+		default:
+			ls.AddSiteSlow(start, end, site, slow, 0)
+		}
+		t += src.Exp(cfg.MeanGap)
+	}
+	return ls
+}

@@ -1,0 +1,245 @@
+package faults
+
+import "testing"
+
+func TestLatencyNilAndEmpty(t *testing.T) {
+	var nilLS *LatencySchedule
+	if nilLS.Delay(5, 0, 1) != 0 || nilLS.NumRules() != 0 || nilLS.Horizon() != 0 {
+		t.Fatal("nil schedule must delay nothing")
+	}
+	ls := NewLatencySchedule()
+	if ls.Delay(5, 0, 1) != 0 || ls.NumRules() != 0 || ls.Horizon() != 0 {
+		t.Fatal("empty schedule must delay nothing")
+	}
+}
+
+func TestLatencyLinkSlowWindowAndDirection(t *testing.T) {
+	ls := NewLatencySchedule().AddLinkSlow(10, 20, []int{0}, []int{1}, 6, 0)
+	cases := []struct {
+		t        int64
+		from, to int
+		want     int64
+	}{
+		{9, 0, 1, 0},  // before the window
+		{10, 0, 1, 6}, // window start
+		{19, 0, 1, 6}, // last active step
+		{20, 0, 1, 0}, // window end is exclusive
+		{15, 1, 0, 0}, // reverse direction untouched
+		{15, 0, 2, 0}, // other destination untouched
+	}
+	for _, c := range cases {
+		if got := ls.Delay(c.t, c.from, c.to); got != c.want {
+			t.Fatalf("Delay(%d, %d, %d) = %d, want %d", c.t, c.from, c.to, got, c.want)
+		}
+	}
+	if ls.Horizon() != 20 || ls.NumRules() != 1 {
+		t.Fatalf("horizon=%d rules=%d", ls.Horizon(), ls.NumRules())
+	}
+}
+
+func TestLatencyRamp(t *testing.T) {
+	ls := NewLatencySchedule().AddLinkSlow(0, 100, []int{0}, nil, 10, 10)
+	if d := ls.Delay(0, 0, 5); d != 1 {
+		t.Fatalf("ramp step 0: %d, want 1", d)
+	}
+	if d := ls.Delay(4, 0, 5); d != 5 {
+		t.Fatalf("ramp step 4: %d, want 5", d)
+	}
+	if d := ls.Delay(9, 0, 5); d != 10 {
+		t.Fatalf("ramp step 9: %d, want 10", d)
+	}
+	if d := ls.Delay(50, 0, 5); d != 10 {
+		t.Fatalf("past the ramp: %d, want peak 10", d)
+	}
+	// Ramps must be monotone nondecreasing.
+	prev := int64(-1)
+	for step := int64(0); step < 15; step++ {
+		d := ls.Delay(step, 0, 5)
+		if d < prev {
+			t.Fatalf("ramp not monotone at %d: %d < %d", step, d, prev)
+		}
+		prev = d
+	}
+}
+
+func TestLatencySiteSlowBothDirections(t *testing.T) {
+	ls := NewLatencySchedule().AddSiteSlow(0, 10, 3, 4, 0)
+	if d := ls.Delay(5, 3, 0); d != 4 {
+		t.Fatalf("out of slow site: %d, want 4", d)
+	}
+	if d := ls.Delay(5, 0, 3); d != 4 {
+		t.Fatalf("into slow site: %d, want 4", d)
+	}
+	if d := ls.Delay(5, 0, 1); d != 0 {
+		t.Fatalf("unrelated link: %d, want 0", d)
+	}
+	// A message both from and to slow sites accrues both rules.
+	ls.AddSiteSlow(0, 10, 0, 2, 0)
+	if d := ls.Delay(5, 0, 3); d != 6 {
+		t.Fatalf("compose: %d, want 4+2", d)
+	}
+}
+
+func TestLatencyFlap(t *testing.T) {
+	ls := NewLatencySchedule().AddFlap(100, 200, []int{2}, 5, 4, 2)
+	for step := int64(100); step < 120; step++ {
+		want := int64(0)
+		if (step-100)%4 < 2 {
+			want = 5
+		}
+		if d := ls.Delay(step, 2, 0); d != want {
+			t.Fatalf("flap out at %d: %d, want %d", step, d, want)
+		}
+		if d := ls.Delay(step, 0, 2); d != want {
+			t.Fatalf("flap in at %d: %d, want %d", step, d, want)
+		}
+	}
+	if d := ls.Delay(150, 0, 1); d != 0 {
+		t.Fatal("flap must not touch unrelated links")
+	}
+}
+
+func TestLatencyHeavyTail(t *testing.T) {
+	ls := NewLatencySchedule().SetHeavyTail(7, 0.2, 3, 50)
+	hits, sum := 0, int64(0)
+	var maxd int64
+	for step := int64(0); step < 4000; step++ {
+		d := ls.Delay(step, 0, 1)
+		if d < 0 {
+			t.Fatalf("negative delay %d", d)
+		}
+		if d > 0 {
+			hits++
+			sum += d
+			if d > maxd {
+				maxd = d
+			}
+			if d > 50 {
+				t.Fatalf("delay %d above cap", d)
+			}
+		}
+		// Purity: the same (t, from, to) always draws the same delay.
+		if again := ls.Delay(step, 0, 1); again != d {
+			t.Fatalf("heavy tail not pure at %d: %d vs %d", step, d, again)
+		}
+	}
+	rate := float64(hits) / 4000
+	if rate < 0.15 || rate > 0.25 {
+		t.Fatalf("hit rate %.3f far from 0.2", rate)
+	}
+	if maxd < 10 {
+		t.Fatalf("max inflated delay %d: tail not heavy", maxd)
+	}
+	// Different links draw independent inflation.
+	same := 0
+	for step := int64(0); step < 400; step++ {
+		if ls.Delay(step, 0, 1) == ls.Delay(step, 2, 3) {
+			same++
+		}
+	}
+	if same == 400 {
+		t.Fatal("links draw identical inflation: hash ignores the link")
+	}
+}
+
+func TestLatencyPanicsOnMalformedInput(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("empty window", func() {
+		NewLatencySchedule().AddLinkSlow(10, 10, nil, nil, 3, 0)
+	})
+	mustPanic("zero slow", func() {
+		NewLatencySchedule().AddLinkSlow(0, 10, nil, nil, 0, 0)
+	})
+	mustPanic("bad duty cycle", func() {
+		NewLatencySchedule().AddFlap(0, 10, nil, 3, 4, 4)
+	})
+	mustPanic("bad tail prob", func() {
+		NewLatencySchedule().SetHeavyTail(1, 1.5, 3, 50)
+	})
+	mustPanic("tail cap below mean", func() {
+		NewLatencySchedule().SetHeavyTail(1, 0.1, 10, 5)
+	})
+}
+
+func TestGrayStormDeterministicAndBounded(t *testing.T) {
+	cfg := GrayStormConfig{
+		Sites: 9, Start: 0, End: 500,
+		MeanDuration: 30, MeanGap: 25,
+		SlowMin: 3, SlowMax: 12,
+		RampFraction: 0.3, FlapFraction: 0.3,
+	}
+	a := GrayStorm(11, cfg)
+	b := GrayStorm(11, cfg)
+	if a.NumRules() == 0 {
+		t.Fatal("storm generated no episodes")
+	}
+	if a.NumRules() != b.NumRules() || a.Horizon() != b.Horizon() {
+		t.Fatal("same seed must generate identical storms")
+	}
+	for step := int64(0); step < 520; step++ {
+		for from := 0; from < cfg.Sites; from++ {
+			for to := 0; to < cfg.Sites; to++ {
+				da, db := a.Delay(step, from, to), b.Delay(step, from, to)
+				if da != db {
+					t.Fatalf("storms diverge at (%d,%d,%d)", step, from, to)
+				}
+				if da < 0 {
+					t.Fatalf("negative delay at (%d,%d,%d)", step, from, to)
+				}
+			}
+		}
+	}
+	if a.Horizon() > cfg.End {
+		t.Fatalf("horizon %d past End %d", a.Horizon(), cfg.End)
+	}
+	if c := GrayStorm(12, cfg); c.NumRules() == a.NumRules() && c.Horizon() == a.Horizon() {
+		// Rule counts colliding is possible; identical horizons too — but
+		// the full delay surface matching would mean the seed is ignored.
+		diff := false
+		for step := int64(0); step < 500 && !diff; step++ {
+			if c.Delay(step, 0, 1) != a.Delay(step, 0, 1) {
+				diff = true
+			}
+		}
+		if !diff {
+			t.Fatal("different seeds generated identical storms")
+		}
+	}
+}
+
+func TestGrayStormValidate(t *testing.T) {
+	good := GrayStormConfig{
+		Sites: 3, Start: 0, End: 10,
+		MeanDuration: 2, MeanGap: 2, SlowMin: 1, SlowMax: 2,
+	}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("good config rejected: %v", err)
+	}
+	bad := []GrayStormConfig{
+		{Sites: 0, Start: 0, End: 10, MeanDuration: 2, MeanGap: 2, SlowMin: 1, SlowMax: 2},
+		{Sites: 3, Start: 10, End: 10, MeanDuration: 2, MeanGap: 2, SlowMin: 1, SlowMax: 2},
+		{Sites: 3, Start: 0, End: 10, MeanDuration: 0, MeanGap: 2, SlowMin: 1, SlowMax: 2},
+		{Sites: 3, Start: 0, End: 10, MeanDuration: 2, MeanGap: 2, SlowMin: 0, SlowMax: 2},
+		{Sites: 3, Start: 0, End: 10, MeanDuration: 2, MeanGap: 2, SlowMin: 3, SlowMax: 2},
+		{Sites: 3, Start: 0, End: 10, MeanDuration: 2, MeanGap: 2, SlowMin: 1, SlowMax: 2, RampFraction: 2},
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Fatalf("bad config %d accepted", i)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("GrayStorm must panic on an invalid config")
+		}
+	}()
+	GrayStorm(1, bad[0])
+}

@@ -81,6 +81,13 @@ const (
 	CPartitionDrop
 	CMinorityWrite
 
+	// Gray-failure engine: hedged quorum reads and detector verdicts
+	// cross-checked against ground truth.
+	CHedgeProbe
+	CHedgeWin
+	CSuspicionFalsePositive
+	CLateAck
+
 	numCounters
 )
 
@@ -121,6 +128,10 @@ var counterNames = [numCounters]string{
 	"quorumkit_amnesiac_rejoins_total",
 	"quorumkit_partition_drops_total",
 	"quorumkit_minority_writes_total",
+	"quorumkit_hedge_probes_total",
+	"quorumkit_hedge_wins_total",
+	"quorumkit_suspicion_false_positive_total",
+	"quorumkit_late_acks_total",
 }
 
 // Name returns the exposition name of a counter.
@@ -175,6 +186,13 @@ const (
 	// HOpNanos: wall-clock nanoseconds per serving-layer operation
 	// (concurrent runtime only; inherently non-deterministic).
 	HOpNanos
+	// HPhi: per-site φ-accrual suspicion levels, in centi-φ (φ × 100),
+	// observed at every detector evaluation. Deterministic on the
+	// deterministic runtime: φ is a pure function of the latency schedule.
+	HPhi
+	// HGrayReadSlots: modeled end-to-end read completion latency in
+	// delivery slots (gray read path, hedged or not).
+	HGrayReadSlots
 
 	numHists
 )
@@ -183,6 +201,8 @@ var histNames = [numHists]string{
 	"quorumkit_read_round_msgs",
 	"quorumkit_write_round_msgs",
 	"quorumkit_op_nanos",
+	"quorumkit_phi_centi",
+	"quorumkit_gray_read_slots",
 }
 
 // Name returns the exposition name of a histogram.

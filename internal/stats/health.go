@@ -13,6 +13,7 @@ type HealthCounters struct {
 	HeartbeatAcks  int64 // acknowledgements received (deduplicated)
 	Suspicions     int64 // peers newly suspected (miss count reached threshold)
 	Unsuspicions   int64 // suspected peers that answered again
+	LateAcks       int64 // acks past the miss-count deadline, misread as misses
 
 	// Adaptive reassignment daemon.
 	DaemonTicks     int64 // daemon steps executed
@@ -38,6 +39,7 @@ func (c *HealthCounters) Merge(o HealthCounters) {
 	c.HeartbeatAcks += o.HeartbeatAcks
 	c.Suspicions += o.Suspicions
 	c.Unsuspicions += o.Unsuspicions
+	c.LateAcks += o.LateAcks
 	c.DaemonTicks += o.DaemonTicks
 	c.DaemonTriggers += o.DaemonTriggers
 	c.DaemonReassigns += o.DaemonReassigns
@@ -56,10 +58,10 @@ func (c *HealthCounters) Merge(o HealthCounters) {
 // String renders the counters as a compact three-line report.
 func (c HealthCounters) String() string {
 	return fmt.Sprintf(
-		"detector: heartbeats=%d acks=%d suspicions=%d unsuspicions=%d\n"+
+		"detector: heartbeats=%d acks=%d suspicions=%d unsuspicions=%d late-acks=%d\n"+
 			"daemon:   ticks=%d triggers=%d reassigns=%d no-change=%d errors=%d skips(cooldown=%d leader=%d degraded=%d) syncs=%d\n"+
 			"degrade:  down=%d healed=%d rejected-reads=%d rejected-writes=%d",
-		c.HeartbeatsSent, c.HeartbeatAcks, c.Suspicions, c.Unsuspicions,
+		c.HeartbeatsSent, c.HeartbeatAcks, c.Suspicions, c.Unsuspicions, c.LateAcks,
 		c.DaemonTicks, c.DaemonTriggers, c.DaemonReassigns, c.DaemonNoChanges,
 		c.DaemonErrors, c.CooldownSkips, c.NotLeaderSkips, c.DegradedSkips, c.SyncRounds,
 		c.Degradations, c.Healings, c.DegradedReads, c.DegradedWrites)
