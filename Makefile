@@ -5,9 +5,9 @@
 
 GO ?= go
 
-.PHONY: check vet build test race cover-obs cover-store cover-sim cover-workload cover-faults fuzz chaos diskchaos soak adversary grayfail hedge bench bench-robustness bench-obs bench-store bench-core bench-core-update bench-adversary bench-adversary-update bench-gray bench-gray-update study
+.PHONY: check vet build test race cover-obs cover-store cover-sim cover-workload cover-faults cover-strategy fuzz chaos diskchaos soak adversary grayfail hedge bench bench-robustness bench-obs bench-store bench-core bench-core-update bench-adversary bench-adversary-update bench-gray bench-gray-update bench-strategy bench-strategy-update strategy study
 
-check: vet build test race cover-obs cover-store cover-sim cover-workload cover-faults
+check: vet build test race cover-obs cover-store cover-sim cover-workload cover-faults cover-strategy
 
 vet:
 	$(GO) vet ./...
@@ -70,6 +70,16 @@ cover-faults:
 		printf "internal/faults coverage: %s (gate: 90%%)\n", $$3; \
 		if (pct < 90) { print "FAIL: internal/faults coverage below 90%"; exit 1 } }'
 
+# The strategy optimizer certifies its own answers, but a certificate only
+# binds the paths that run: the simplex edge cases, pricing, and the
+# column-generation rebuild logic stay near-fully covered.
+cover-strategy:
+	$(GO) test -coverprofile=/tmp/strategy.cover ./internal/strategy/ >/dev/null
+	@$(GO) tool cover -func=/tmp/strategy.cover | awk '/^total:/ { \
+		pct = $$3 + 0; \
+		printf "internal/strategy coverage: %s (gate: 90%%)\n", $$3; \
+		if (pct < 90) { print "FAIL: internal/strategy coverage below 90%"; exit 1 } }'
+
 # Short continuous fuzz of the wire codec (the committed corpus always
 # replays as part of `make test`).
 fuzz:
@@ -79,6 +89,11 @@ fuzz:
 # damage (the committed corpus replays in `make test`).
 fuzz-store:
 	$(GO) test ./internal/store/ -run FuzzFoldLog -fuzz FuzzFoldLog -fuzztime 30s
+
+# Short continuous fuzz of the simplex solver: random LPs must always yield
+# a verifiable certificate (optimality, Farkas, or unbounded ray).
+fuzz-simplex:
+	$(GO) test ./internal/strategy/ -run FuzzSimplex -fuzz FuzzSimplex -fuzztime 30s
 
 # Seeded fault-injection sweep over every mix on both runtimes.
 chaos:
@@ -161,6 +176,23 @@ bench-gray:
 # Regenerate the committed gray-failure baseline.
 bench-gray-update:
 	$(GO) run ./cmd/quorumsim -grayfail BENCH_gray.json -seed 1
+
+# Solve the case-study system for a certified capacity-optimal randomized
+# strategy and print it (see also `quorumopt -strategy -objective latency`).
+strategy:
+	$(GO) run ./cmd/quorumopt -strategy
+
+# Strategy regression gate: re-solve the suite and fail on an invalid
+# certificate, a randomization gain that no longer strictly beats the best
+# deterministic assignment, sim-vs-LP capacity disagreement over 2%, a
+# large-N bound gap over target, or a calibrated solve-time regression
+# >50% against the committed BENCH_strategy.json.
+bench-strategy:
+	$(GO) run ./cmd/quorumsim -benchstrategy /tmp/BENCH_strategy.json -strategybase BENCH_strategy.json -seed 1
+
+# Regenerate the committed strategy baseline (run on an idle machine).
+bench-strategy-update:
+	$(GO) run ./cmd/quorumsim -benchstrategy BENCH_strategy.json -seed 1
 
 # Large-N study smoke: a reduced chords × α grid at paper scale.
 study:

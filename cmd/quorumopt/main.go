@@ -31,8 +31,22 @@ func main() {
 		curve    = flag.Bool("curve", false, "print the full A(α, q_r) curve")
 		sweep    = flag.Bool("sweep", false, "emit CSV of A(α, q_r) over a grid of α (for plotting)")
 		omega    = flag.Bool("omega", false, "trace the §5.4 weighted-objective path over ω")
+
+		strat     = flag.Bool("strategy", false, "solve for an optimal randomized quorum strategy (capacity/latency LP, certified) instead of a single assignment")
+		objective = flag.String("objective", "capacity", "strategy: capacity | resilient | latency")
+		stratN    = flag.Int("stratn", 0, "strategy: sites in a seeded heterogeneous system (0 = the built-in case study)")
+		resilF    = flag.Int("f", 1, "strategy: tolerated site failures for -objective resilient")
+		loadLimit = flag.Float64("loadlimit", 0, "strategy: per-site load ceiling for -objective latency (0 = case-study limit)")
+		frs       = flag.String("frs", "", "strategy: read-fraction distribution as fr:weight pairs, e.g. 0.7:100,0.5:50 (empty = case-study distribution)")
+		gap       = flag.Float64("gap", 0, "strategy: stop column generation at this certified bound gap (0 = solve to priced optimality)")
+		seed      = flag.Uint64("seed", 7, "strategy: seed for the -stratn heterogeneous system")
+		asJSON    = flag.Bool("json", false, "strategy: print the canonical strategy as JSON")
 	)
 	flag.Parse()
+
+	if *strat {
+		os.Exit(runStrategy(*objective, *stratN, *resilF, *loadLimit, *frs, *gap, *seed, *asJSON))
+	}
 
 	var f dist.PMF
 	switch *net {

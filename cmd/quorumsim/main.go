@@ -101,6 +101,9 @@ func main() {
 		benchCore = flag.String("benchcore", "", "write core-kernel benchmark results (assignment kernel, steady-state access, sweep speedup) to this JSON file and exit")
 		benchBase = flag.String("benchbase", "", "with -benchcore: gate against this committed baseline (fail on allocs, <5× sweep speedup, or >10% calibrated slowdown)")
 
+		benchStrategy = flag.String("benchstrategy", "", "write strategy-optimizer benchmark results (case-study gain, sim agreement, 1001-site column generation) to this JSON file and exit")
+		strategyBase  = flag.String("strategybase", "", "with -benchstrategy: gate against this committed BENCH_strategy.json baseline (certificates, 2% sim agreement, bound gap, calibrated solve time)")
+
 		chaos    = flag.Bool("chaos", false, "run the chaos harness against the protocol runtimes instead")
 		chaosMix = flag.String("chaosmix", "all", "fault mix name, or 'all' (one of: "+joinNames()+")")
 		ops      = flag.Int("ops", 2000, "scheduled operations per chaos run")
@@ -145,6 +148,8 @@ func main() {
 	switch {
 	case *benchCore != "":
 		status = runBenchCore(*benchCore, *benchBase, *seed)
+	case *benchStrategy != "":
+		status = runBenchStrategy(*benchStrategy, *strategyBase, *seed)
 	case *study:
 		cfg := sim.StudyConfig{
 			Warmup:        *warmup,

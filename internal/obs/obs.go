@@ -88,6 +88,14 @@ const (
 	CSuspicionFalsePositive
 	CLateAck
 
+	// Probabilistic quorum strategies: accesses served by a sampled
+	// quorum, and the per-site probe fan-out they induce (the load the
+	// LP optimizer balances).
+	CStrategyRead
+	CStrategyWrite
+	CStrategyDeny
+	CStrategyProbe
+
 	numCounters
 )
 
@@ -132,6 +140,10 @@ var counterNames = [numCounters]string{
 	"quorumkit_hedge_wins_total",
 	"quorumkit_suspicion_false_positive_total",
 	"quorumkit_late_acks_total",
+	"quorumkit_strategy_reads_total",
+	"quorumkit_strategy_writes_total",
+	"quorumkit_strategy_denies_total",
+	"quorumkit_strategy_probe_sites_total",
 }
 
 // Name returns the exposition name of a counter.

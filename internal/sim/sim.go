@@ -206,11 +206,21 @@ type Simulator struct {
 	// follows the exact event trajectory of a protocol run.
 	tally *familyTally
 
+	// strat, when non-nil, judges each access by sampling a quorum from a
+	// randomized strategy (own RNG substream) and checking it against the
+	// submitter's component; see SetStrategyPolicy.
+	strat *StrategyPolicy
+
 	// pendGrant/pendDeny batch the per-access observability counter
 	// updates; they are flushed into obs at the end of every Run* call so
-	// a steady-state access touches no atomics.
-	pendGrant int64
-	pendDeny  int64
+	// a steady-state access touches no atomics. The pendStrat* fields do
+	// the same for the strategy-policy counters.
+	pendGrant      int64
+	pendDeny       int64
+	pendStratRead  int64
+	pendStratWrite int64
+	pendStratDeny  int64
+	pendStratProbe int64
 
 	// Correlated-shock bookkeeping: a site is effectively up iff its
 	// independent process says up AND no active shock covers it.
@@ -312,6 +322,7 @@ func (s *Simulator) Reset(seed uint64) {
 	s.net = nil
 	s.protocol = nil
 	s.tally = nil
+	s.strat = nil
 	s.alpha = 0
 	s.arm()
 }
@@ -381,6 +392,7 @@ func (s *Simulator) SetProtocol(p Protocol, alpha float64) {
 	}
 	s.protocol = p
 	s.tally = nil
+	s.strat = nil
 	s.alpha = alpha
 	s.ensureAccessEvents()
 }
@@ -395,6 +407,7 @@ func (s *Simulator) setFamilyTally(t *familyTally, alpha float64) {
 	}
 	s.tally = t
 	s.protocol = nil
+	s.strat = nil
 	s.alpha = alpha
 	s.ensureAccessEvents()
 }
@@ -412,6 +425,7 @@ func (s *Simulator) flushObs() {
 		}
 	}
 	s.pendGrant, s.pendDeny = 0, 0
+	s.flushStratObs()
 }
 
 func (s *Simulator) ensureAccessEvents() {
@@ -613,6 +627,8 @@ func (s *Simulator) step() eventKind {
 			} else {
 				s.tally.writes[votes]++
 			}
+		} else if s.strat != nil {
+			s.stratAccess(e.idx)
 		} else if s.protocol != nil {
 			if s.src.Bernoulli(s.alpha) {
 				if s.protocol.GrantRead(votes) {

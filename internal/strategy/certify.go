@@ -1,0 +1,218 @@
+package strategy
+
+import (
+	"fmt"
+	"math"
+)
+
+// Certification of solver output by direct arithmetic, independent of the
+// tableau the solver actually worked on. The conventions for min c·x with
+// x ≥ 0:
+//
+//   primal feasibility   each row holds within tol
+//   dual sign pattern    LE rows y ≤ 0, GE rows y ≥ 0, EQ rows free
+//   dual feasibility     reduced cost c_j − y·A_j ≥ 0 for every column
+//   complementarity      x_j·(c_j − y·A_j) = 0 and y_i·(a_i·x − b_i) = 0
+//   strong duality       c·x = y·b
+//
+// An infeasibility claim is checked as a Farkas certificate (y with the
+// dual sign pattern, y·A ≤ 0 columnwise, y·b > 0), and an unboundedness
+// claim as a feasible point plus a recession ray that strictly improves
+// the objective. A Solution that passes CheckSolution is proved correct
+// regardless of what the solver did internally.
+
+// CheckSolution verifies a Solution against its LP within tolerance tol.
+// A nil return means the claimed status is certified.
+func CheckSolution(lp LP, sol Solution, tol float64) error {
+	if err := lp.Validate(); err != nil {
+		return err
+	}
+	switch sol.Status {
+	case StatusOptimal:
+		if err := checkPrimalFeasible(lp, sol.X, tol); err != nil {
+			return err
+		}
+		return checkDualOptimal(lp, sol, tol)
+	case StatusInfeasible:
+		return checkFarkas(lp, sol.Y, tol)
+	case StatusUnbounded:
+		if err := checkPrimalFeasible(lp, sol.X, tol); err != nil {
+			return fmt.Errorf("unbounded claim: %w", err)
+		}
+		return checkRay(lp, sol.Ray, tol)
+	default:
+		return fmt.Errorf("strategy: cannot certify status %v", sol.Status)
+	}
+}
+
+func checkPrimalFeasible(lp LP, x []float64, tol float64) error {
+	if len(x) != lp.NumVars {
+		return fmt.Errorf("strategy: primal has %d values for %d variables", len(x), lp.NumVars)
+	}
+	for j, v := range x {
+		if math.IsNaN(v) || v < -tol {
+			return fmt.Errorf("strategy: x[%d] = %g violates nonnegativity", j, v)
+		}
+	}
+	for i, row := range lp.Rows {
+		resid := -row.RHS
+		for j, c := range row.Coef {
+			resid += c * x[j]
+		}
+		switch row.Sense {
+		case LE:
+			if resid > tol {
+				return fmt.Errorf("strategy: row %d (≤) violated by %g", i, resid)
+			}
+		case GE:
+			if resid < -tol {
+				return fmt.Errorf("strategy: row %d (≥) violated by %g", i, -resid)
+			}
+		case EQ:
+			if math.Abs(resid) > tol {
+				return fmt.Errorf("strategy: row %d (=) off by %g", i, resid)
+			}
+		}
+	}
+	return nil
+}
+
+func checkDualOptimal(lp LP, sol Solution, tol float64) error {
+	y := sol.Y
+	if len(y) != len(lp.Rows) {
+		return fmt.Errorf("strategy: dual has %d values for %d rows", len(y), len(lp.Rows))
+	}
+	for i, row := range lp.Rows {
+		if math.IsNaN(y[i]) {
+			return fmt.Errorf("strategy: y[%d] is NaN", i)
+		}
+		switch row.Sense {
+		case LE:
+			if y[i] > tol {
+				return fmt.Errorf("strategy: y[%d] = %g > 0 on a ≤ row", i, y[i])
+			}
+		case GE:
+			if y[i] < -tol {
+				return fmt.Errorf("strategy: y[%d] = %g < 0 on a ≥ row", i, y[i])
+			}
+		}
+	}
+	// Reduced costs and complementary slackness, column by column.
+	for j := 0; j < lp.NumVars; j++ {
+		rc := lp.Cost[j]
+		for i, row := range lp.Rows {
+			rc -= y[i] * row.Coef[j]
+		}
+		if rc < -tol {
+			return fmt.Errorf("strategy: column %d has reduced cost %g < 0", j, rc)
+		}
+		if s := sol.X[j] * rc; math.Abs(s) > tol {
+			return fmt.Errorf("strategy: complementary slackness x[%d]·rc = %g", j, s)
+		}
+	}
+	dualObj := 0.0
+	for i, row := range lp.Rows {
+		resid := -row.RHS
+		for j, c := range row.Coef {
+			resid += c * sol.X[j]
+		}
+		if s := y[i] * resid; math.Abs(s) > tol {
+			return fmt.Errorf("strategy: complementary slackness y[%d]·slack = %g", i, s)
+		}
+		dualObj += y[i] * row.RHS
+	}
+	primalObj := 0.0
+	for j, c := range lp.Cost {
+		primalObj += c * sol.X[j]
+	}
+	if math.Abs(primalObj-sol.Obj) > tol {
+		return fmt.Errorf("strategy: reported objective %g but c·x = %g", sol.Obj, primalObj)
+	}
+	if math.Abs(primalObj-dualObj) > tol {
+		return fmt.Errorf("strategy: duality gap %g (primal %g, dual %g)",
+			primalObj-dualObj, primalObj, dualObj)
+	}
+	return nil
+}
+
+// checkFarkas verifies an infeasibility witness: with the dual sign
+// pattern, any feasible x would force y·(Ax) ≥ y·b > 0, but y·A ≤ 0
+// columnwise and x ≥ 0 force y·(Ax) ≤ 0.
+func checkFarkas(lp LP, y []float64, tol float64) error {
+	if len(y) != len(lp.Rows) {
+		return fmt.Errorf("strategy: Farkas witness has %d values for %d rows", len(y), len(lp.Rows))
+	}
+	for i, row := range lp.Rows {
+		if math.IsNaN(y[i]) {
+			return fmt.Errorf("strategy: Farkas y[%d] is NaN", i)
+		}
+		switch row.Sense {
+		case LE:
+			if y[i] > tol {
+				return fmt.Errorf("strategy: Farkas y[%d] = %g > 0 on a ≤ row", i, y[i])
+			}
+		case GE:
+			if y[i] < -tol {
+				return fmt.Errorf("strategy: Farkas y[%d] = %g < 0 on a ≥ row", i, y[i])
+			}
+		}
+	}
+	for j := 0; j < lp.NumVars; j++ {
+		ya := 0.0
+		for i, row := range lp.Rows {
+			ya += y[i] * row.Coef[j]
+		}
+		if ya > tol {
+			return fmt.Errorf("strategy: Farkas y·A[%d] = %g > 0", j, ya)
+		}
+	}
+	yb := 0.0
+	for i, row := range lp.Rows {
+		yb += y[i] * row.RHS
+	}
+	if yb <= tol {
+		return fmt.Errorf("strategy: Farkas y·b = %g not positive", yb)
+	}
+	return nil
+}
+
+// checkRay verifies an unboundedness witness: a nonnegative recession
+// direction that keeps every row feasible and strictly decreases the cost.
+func checkRay(lp LP, d []float64, tol float64) error {
+	if len(d) != lp.NumVars {
+		return fmt.Errorf("strategy: ray has %d values for %d variables", len(d), lp.NumVars)
+	}
+	for j, v := range d {
+		if math.IsNaN(v) || v < -tol {
+			return fmt.Errorf("strategy: ray[%d] = %g violates nonnegativity", j, v)
+		}
+	}
+	for i, row := range lp.Rows {
+		ad := 0.0
+		for j, c := range row.Coef {
+			ad += c * d[j]
+		}
+		switch row.Sense {
+		case LE:
+			if ad > tol {
+				return fmt.Errorf("strategy: ray drifts out of ≤ row %d by %g", i, ad)
+			}
+		case GE:
+			if ad < -tol {
+				return fmt.Errorf("strategy: ray drifts out of ≥ row %d by %g", i, -ad)
+			}
+		case EQ:
+			if math.Abs(ad) > tol {
+				return fmt.Errorf("strategy: ray drifts out of = row %d by %g", i, ad)
+			}
+		}
+	}
+	cd := 0.0
+	for j, c := range lp.Cost {
+		cd += c * d[j]
+	}
+	if cd >= -tol {
+		return fmt.Errorf("strategy: ray has cost direction %g, not strictly negative", cd)
+	}
+	return nil
+}

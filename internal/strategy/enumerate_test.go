@@ -1,0 +1,154 @@
+package strategy
+
+import (
+	"sort"
+	"testing"
+
+	"quorumkit/internal/rng"
+)
+
+// bruteMinimalQuorums enumerates minimal f-resilient quorums by checking
+// every subset, the slow-but-obviously-correct oracle for enumerate.go.
+func bruteMinimalQuorums(votes []int, q, f int) []Quorum {
+	n := len(votes)
+	isQuorum := func(mask int) bool {
+		set := make(Quorum, 0, n)
+		for x := 0; x < n; x++ {
+			if mask&(1<<x) != 0 {
+				set = append(set, x)
+			}
+		}
+		return resilientVotes(votes, set, f) >= q
+	}
+	var out []Quorum
+	for mask := 1; mask < 1<<n; mask++ {
+		if !isQuorum(mask) {
+			continue
+		}
+		minimal := true
+		for x := 0; x < n && minimal; x++ {
+			if mask&(1<<x) != 0 && isQuorum(mask&^(1<<x)) {
+				minimal = false
+			}
+		}
+		if !minimal {
+			continue
+		}
+		set := make(Quorum, 0, n)
+		for x := 0; x < n; x++ {
+			if mask&(1<<x) != 0 {
+				set = append(set, x)
+			}
+		}
+		out = append(out, set)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].less(out[j]) })
+	return out
+}
+
+func sortPool(pool []Quorum) []Quorum {
+	out := append([]Quorum(nil), pool...)
+	sort.Slice(out, func(i, j int) bool { return out[i].less(out[j]) })
+	return out
+}
+
+func poolsEqual(a, b []Quorum) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if keyOf(a[i]) != keyOf(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestMinimalQuorumsOracle cross-checks the DFS enumerator against the
+// exhaustive subset oracle on randomized vote assignments, with and without
+// resilience.
+func TestMinimalQuorumsOracle(t *testing.T) {
+	src := rng.New(0x5EED)
+	for trial := 0; trial < 300; trial++ {
+		n := 1 + src.Intn(9)
+		votes := make([]int, n)
+		T := 0
+		for i := range votes {
+			votes[i] = src.Intn(4) // zero-vote sites included on purpose
+			T += votes[i]
+		}
+		if T == 0 {
+			votes[src.Intn(n)] = 1
+			T = 1
+		}
+		q := 1 + src.Intn(T)
+		f := src.Intn(3)
+		want := bruteMinimalQuorums(votes, q, f)
+		got, complete := MinimalResilientQuorums(votes, q, f, 0)
+		if !complete {
+			t.Fatalf("trial %d: unlimited enumeration reported incomplete", trial)
+		}
+		if !poolsEqual(sortPool(got), want) {
+			t.Fatalf("trial %d: votes=%v q=%d f=%d\n got %v\nwant %v", trial, votes, q, f, got, want)
+		}
+		if f == 0 {
+			plain, _ := MinimalQuorums(votes, q, 0)
+			if !poolsEqual(sortPool(plain), want) {
+				t.Fatalf("trial %d: MinimalQuorums disagrees with f=0 resilient pool", trial)
+			}
+		}
+	}
+}
+
+// TestMinimalQuorumsTruncation: the max cap must stop enumeration and
+// report incompleteness exactly when the pool exceeds it.
+func TestMinimalQuorumsTruncation(t *testing.T) {
+	votes := []int{1, 1, 1, 1, 1, 1, 1} // majority of 7: C(7,4) = 35 minimal quorums
+	full, complete := MinimalQuorums(votes, 4, 0)
+	if !complete || len(full) != 35 {
+		t.Fatalf("full enumeration: got %d quorums, complete=%v, want 35, true", len(full), complete)
+	}
+	part, complete := MinimalQuorums(votes, 4, 10)
+	if complete {
+		t.Fatalf("cap 10 on a 35-quorum pool reported complete")
+	}
+	if len(part) > 10 {
+		t.Fatalf("cap 10 returned %d quorums", len(part))
+	}
+	exact, complete := MinimalQuorums(votes, 4, 35)
+	if !complete || len(exact) != 35 {
+		t.Fatalf("cap exactly 35: got %d, complete=%v", len(exact), complete)
+	}
+}
+
+// TestMinimalQuorumsProperties spot-checks structural invariants the oracle
+// comparison already implies, on a weighted example small enough to read.
+func TestMinimalQuorumsProperties(t *testing.T) {
+	votes := []int{3, 2, 2, 1, 1} // T = 9
+	pool, _ := MinimalQuorums(votes, 5, 0)
+	for _, q := range pool {
+		if q.votes(votes) < 5 {
+			t.Errorf("quorum %v holds %d votes, need 5", q, q.votes(votes))
+		}
+		for drop := range q {
+			sub := append(Quorum(nil), q[:drop]...)
+			sub = append(sub, q[drop+1:]...)
+			if sub.votes(votes) >= 5 {
+				t.Errorf("quorum %v is not minimal: dropping %d keeps a quorum", q, q[drop])
+			}
+		}
+		if !sort.IntsAreSorted(q) {
+			t.Errorf("quorum %v is not sorted", q)
+		}
+	}
+	// f=1 resilient quorums survive losing their largest member.
+	res, _ := MinimalResilientQuorums(votes, 5, 1, 0)
+	if len(res) == 0 {
+		t.Fatalf("no 1-resilient quorums for votes=%v q=5", votes)
+	}
+	for _, q := range res {
+		if resilientVotes(votes, q, 1) < 5 {
+			t.Errorf("resilient quorum %v drops below 5 votes after worst failure", q)
+		}
+	}
+}

@@ -1,0 +1,157 @@
+package strategy
+
+import (
+	"math"
+	"testing"
+
+	"quorumkit/internal/rng"
+)
+
+// genTol is the certification tolerance for column-generation runs: their
+// tableaux see far more pivots than enumerated solves, so roundoff grows
+// beyond the 1e-9 we hold enumerated runs to.
+const genTol = 1e-6
+
+// uniformSystem builds an n-site majority system with heterogeneous
+// capacities and latencies drawn from seed.
+func uniformSystem(n int, seed uint64) System {
+	src := rng.New(seed)
+	sys := System{
+		Votes: make([]int, n), QR: n/2 + 1, QW: n/2 + 1,
+		ReadCap:  make([]float64, n),
+		WriteCap: make([]float64, n),
+		Latency:  make([]float64, n),
+	}
+	for i := 0; i < n; i++ {
+		sys.Votes[i] = 1
+		sys.ReadCap[i] = 1000 + 3000*src.Float64()
+		sys.WriteCap[i] = 500 + 1500*src.Float64()
+		sys.Latency[i] = 1 + 9*src.Float64()
+	}
+	return sys
+}
+
+// TestGenerationMatchesEnumerated forces the column-generation path with a
+// tiny enumeration cap and checks it reaches the same optimum as the
+// complete-pool solve on systems small enough to enumerate.
+func TestGenerationMatchesEnumerated(t *testing.T) {
+	d, err := NewFrDist(map[float64]float64{0.8: 2, 0.5: 1, 0.2: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{7, 9, 11} {
+		sys := uniformSystem(n, uint64(n))
+		exact, err := OptimizeCapacity(sys, d, Options{})
+		if err != nil {
+			t.Fatalf("n=%d exact: %v", n, err)
+		}
+		if !exact.PoolComplete {
+			t.Fatalf("n=%d: expected complete enumeration", n)
+		}
+		gen, err := OptimizeCapacity(sys, d, Options{MaxEnumerate: 4})
+		if err != nil {
+			t.Fatalf("n=%d generated: %v", n, err)
+		}
+		if gen.PoolComplete {
+			t.Fatalf("n=%d: cap 4 did not force generation", n)
+		}
+		if !gen.Priced {
+			t.Fatalf("n=%d: pricing did not converge", n)
+		}
+		if gen.Rounds == 0 || gen.Generated == 0 {
+			t.Fatalf("n=%d: generation did no work (rounds=%d generated=%d)",
+				n, gen.Rounds, gen.Generated)
+		}
+		if err := gen.Certify(genTol); err != nil {
+			t.Fatalf("n=%d certify: %v", n, err)
+		}
+		if rel := math.Abs(gen.Value-exact.Value) / exact.Value; rel > 1e-6 {
+			t.Fatalf("n=%d: generated value %.12g vs enumerated %.12g (rel %g)",
+				n, gen.Value, exact.Value, rel)
+		}
+		if gen.Bound > gen.Value+1e-12 || gen.Bound < exact.Value-1e-6*exact.Value {
+			t.Fatalf("n=%d: bound %.12g outside [optimum, value] = [%.12g, %.12g]",
+				n, gen.Bound, exact.Value, gen.Value)
+		}
+		if err := gen.Strategy.Validate(sys); err != nil {
+			t.Fatalf("n=%d: generated strategy invalid: %v", n, err)
+		}
+	}
+}
+
+// TestGenerationLargeCertified: a 101-site heterogeneous system — far past
+// any enumeration — solves to priced-out optimality with a valid
+// certificate, and the whole run is deterministic.
+func TestGenerationLargeCertified(t *testing.T) {
+	if testing.Short() {
+		t.Skip("column generation at n=101 takes ~10s")
+	}
+	sys := uniformSystem(101, 7)
+	d, err := NewFrDist(map[float64]float64{0.8: 2, 0.5: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := OptimizeCapacity(sys, d, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PoolComplete {
+		t.Fatal("n=101 should not enumerate completely")
+	}
+	if !res.Priced {
+		t.Fatal("pricing did not converge")
+	}
+	if err := res.Certify(genTol); err != nil {
+		t.Fatalf("certify: %v", err)
+	}
+	if gap := (res.Value - res.Bound) / res.Value; gap > 1e-6 {
+		t.Fatalf("priced run left bound gap %g", gap)
+	}
+	if err := res.Strategy.Validate(sys); err != nil {
+		t.Fatalf("strategy invalid: %v", err)
+	}
+	// Determinism: a second run from the same inputs lands on the same
+	// objective and the same canonical strategy.
+	res2, err := OptimizeCapacity(sys, d, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Value != res.Value || res2.Rounds != res.Rounds || res2.Generated != res.Generated {
+		t.Fatalf("rerun diverged: value %.17g vs %.17g, rounds %d vs %d, generated %d vs %d",
+			res2.Value, res.Value, res2.Rounds, res.Rounds, res2.Generated, res.Generated)
+	}
+	a, _ := res.Strategy.MarshalJSON()
+	b, _ := res2.Strategy.MarshalJSON()
+	if string(a) != string(b) {
+		t.Fatal("rerun produced a different strategy")
+	}
+}
+
+// TestGenerationTargetGap: a positive TargetGap stops generation early with
+// a certified bound whose relative gap respects the target.
+func TestGenerationTargetGap(t *testing.T) {
+	if testing.Short() {
+		t.Skip("column generation at n=101 takes seconds")
+	}
+	sys := uniformSystem(101, 7)
+	d, err := NewFrDist(map[float64]float64{0.8: 2, 0.5: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := OptimizeCapacity(sys, d, Options{TargetGap: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Certify(genTol); err != nil {
+		t.Fatalf("certify: %v", err)
+	}
+	if res.Bound <= 0 {
+		t.Fatalf("no usable bound: %g", res.Bound)
+	}
+	if gap := (res.Value - res.Bound) / res.Value; gap > 0.05+1e-9 {
+		t.Fatalf("gap %g exceeds target 0.05", gap)
+	}
+	if err := res.Strategy.Validate(sys); err != nil {
+		t.Fatalf("strategy invalid: %v", err)
+	}
+}

@@ -1,0 +1,623 @@
+package strategy
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// A pure-Go dense two-phase primal simplex. No external dependencies: the
+// optimizers need exact control over determinism (golden fixtures), dual
+// extraction (certificates) and warm starts (column generation), none of
+// which an external solver binding would give us.
+//
+// The LP is stated in natural form — min c·x subject to rows of sense
+// ≤ / = / ≥ with x ≥ 0 — and converted internally to standard form with
+// slack and artificial columns. Artificial columns are kept in the tableau
+// for every row (banned from ever entering the basis once phase 1 ends):
+// since each starts as the identity column e_i, its current tableau column
+// is always B⁻¹e_i, which gives
+//
+//   - dual values y = c_B·B⁻¹ read directly off the objective row, and
+//   - warm-started column generation: a new column a enters as B⁻¹a,
+//     computed from the artificial columns without refactorization.
+//
+// Pivoting is Dantzig's rule (most negative reduced cost) until a run of
+// degenerate pivots suggests cycling, after which the solver switches
+// permanently to Bland's rule (smallest index entering, smallest basic
+// variable leaving on ties), which guarantees termination.
+
+// RowSense is the comparison direction of an LP row.
+type RowSense int8
+
+// Row senses.
+const (
+	LE RowSense = iota // Σ coef·x ≤ rhs
+	GE                 // Σ coef·x ≥ rhs
+	EQ                 // Σ coef·x = rhs
+)
+
+// Row is one linear constraint.
+type Row struct {
+	Coef  []float64
+	Sense RowSense
+	RHS   float64
+}
+
+// LP is min Cost·x subject to Rows, x ≥ 0.
+type LP struct {
+	NumVars int
+	Cost    []float64
+	Rows    []Row
+}
+
+// Validate rejects malformed or non-finite input.
+func (lp LP) Validate() error {
+	if lp.NumVars <= 0 {
+		return fmt.Errorf("strategy: LP has %d variables", lp.NumVars)
+	}
+	if len(lp.Cost) != lp.NumVars {
+		return fmt.Errorf("strategy: LP has %d costs for %d variables", len(lp.Cost), lp.NumVars)
+	}
+	if len(lp.Rows) == 0 {
+		return fmt.Errorf("strategy: LP has no rows")
+	}
+	finite := func(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
+	for _, c := range lp.Cost {
+		if !finite(c) {
+			return fmt.Errorf("strategy: non-finite cost %g", c)
+		}
+	}
+	for i, r := range lp.Rows {
+		if len(r.Coef) != lp.NumVars {
+			return fmt.Errorf("strategy: row %d has %d coefficients for %d variables", i, len(r.Coef), lp.NumVars)
+		}
+		if r.Sense != LE && r.Sense != GE && r.Sense != EQ {
+			return fmt.Errorf("strategy: row %d has unknown sense %d", i, r.Sense)
+		}
+		if !finite(r.RHS) {
+			return fmt.Errorf("strategy: row %d has non-finite rhs", i)
+		}
+		for _, c := range r.Coef {
+			if !finite(c) {
+				return fmt.Errorf("strategy: row %d has non-finite coefficient", i)
+			}
+		}
+	}
+	return nil
+}
+
+// Status is the outcome of a solve.
+type Status uint8
+
+// Solve outcomes.
+const (
+	StatusOptimal Status = iota
+	StatusInfeasible
+	StatusUnbounded
+	StatusIterLimit // pivot cap hit; should not occur in practice
+)
+
+// String implements fmt.Stringer.
+func (s Status) String() string {
+	switch s {
+	case StatusOptimal:
+		return "optimal"
+	case StatusInfeasible:
+		return "infeasible"
+	case StatusUnbounded:
+		return "unbounded"
+	case StatusIterLimit:
+		return "iteration-limit"
+	default:
+		return fmt.Sprintf("Status(%d)", uint8(s))
+	}
+}
+
+// Solution is the certified outcome of a solve.
+//
+// StatusOptimal carries the primal optimum X, its duals Y, and Obj = c·X =
+// Y·b. StatusInfeasible carries a Farkas certificate in Y: a vector with
+// the dual sign pattern satisfying Y·A ≤ 0 columnwise and Y·b > 0, which
+// no feasible x can permit. StatusUnbounded carries a feasible X and a Ray
+// with A·Ray respecting every row sense, Ray ≥ 0, and Cost·Ray < 0.
+type Solution struct {
+	Status Status
+	X      []float64
+	Obj    float64
+	Y      []float64
+	Ray    []float64
+	Pivots int
+}
+
+const (
+	pivTol    = 1e-9  // minimum pivot magnitude / reduced-cost threshold
+	feasTol   = 1e-7  // phase-1 objective below this means feasible
+	degenTol  = 1e-12 // a step shorter than this is a degenerate pivot
+	blandTrip = 40    // degenerate pivots in a row before Bland's rule
+)
+
+// simplex is the internal standard-form tableau.
+type simplex struct {
+	lp      LP
+	m       int       // rows
+	rowMult []float64 // ±1: applied to make every RHS non-negative
+	sense   []RowSense
+	ncols   int
+	nStruct int
+	slackOf []int // row → slack column (-1 if EQ)
+	artOf   []int // row → artificial column (always present)
+	isArt   []bool
+
+	cols      [][]float64 // column-major tableau, cols[j][i]
+	b         []float64
+	cost      []float64 // phase-2 cost per column
+	banned    []bool    // artificial columns, once phase 1 ends
+	basis     []int     // row → basic column
+	obj       []float64 // reduced costs (current phase)
+	objVal    float64
+	pivots    int
+	pivotBase int // pivots at the start of the current phase
+	bland     bool
+	degen     int
+	// banArtLeave: during phase 1, permanently ban an artificial the moment
+	// it leaves the basis — re-entry would let it migrate rows and survive
+	// into phase 2 with a nonzero ray component.
+	banArtLeave bool
+	// crashing suspends the b ≥ 0 clamp during crash pivots: intermediate
+	// values may dip negative exactly and cancel by the final crash pivot,
+	// and clamping mid-sequence would corrupt them.
+	crashing bool
+}
+
+// Solve solves the LP from scratch. The returned error reports malformed
+// input only; infeasibility and unboundedness are Solution statuses.
+func Solve(lp LP) (Solution, error) {
+	s, err := newSimplex(lp)
+	if err != nil {
+		return Solution{}, err
+	}
+	return s.solve(), nil
+}
+
+func newSimplex(lp LP) (*simplex, error) {
+	if err := lp.Validate(); err != nil {
+		return nil, err
+	}
+	m := len(lp.Rows)
+	s := &simplex{
+		lp:      lp,
+		m:       m,
+		rowMult: make([]float64, m),
+		sense:   make([]RowSense, m),
+		nStruct: lp.NumVars,
+		slackOf: make([]int, m),
+		artOf:   make([]int, m),
+		b:       make([]float64, m),
+		basis:   make([]int, m),
+	}
+	// Standard form: flip rows with negative RHS (which flips LE↔GE), then
+	// count columns: structural + one slack per inequality + one artificial
+	// per row.
+	ncols := s.nStruct
+	for i, r := range lp.Rows {
+		s.rowMult[i] = 1
+		s.sense[i] = r.Sense
+		s.b[i] = r.RHS
+		if r.RHS < 0 {
+			s.rowMult[i] = -1
+			s.b[i] = -r.RHS
+			switch r.Sense {
+			case LE:
+				s.sense[i] = GE
+			case GE:
+				s.sense[i] = LE
+			}
+		}
+		s.slackOf[i] = -1
+		if s.sense[i] != EQ {
+			s.slackOf[i] = ncols
+			ncols++
+		}
+	}
+	for i := range lp.Rows {
+		s.artOf[i] = ncols
+		ncols++
+	}
+	s.ncols = ncols
+	s.cols = make([][]float64, ncols)
+	for j := range s.cols {
+		s.cols[j] = make([]float64, m)
+	}
+	s.cost = make([]float64, ncols)
+	s.banned = make([]bool, ncols)
+	s.isArt = make([]bool, ncols)
+	s.obj = make([]float64, ncols)
+	for j := 0; j < s.nStruct; j++ {
+		for i := range lp.Rows {
+			s.cols[j][i] = s.rowMult[i] * lp.Rows[i].Coef[j]
+		}
+		s.cost[j] = lp.Cost[j]
+	}
+	for i := range lp.Rows {
+		if sc := s.slackOf[i]; sc >= 0 {
+			if s.sense[i] == LE {
+				s.cols[sc][i] = 1
+			} else {
+				s.cols[sc][i] = -1
+			}
+		}
+		s.cols[s.artOf[i]][i] = 1
+		s.isArt[s.artOf[i]] = true
+	}
+	// Initial basis: the slack for LE rows, the artificial otherwise. LE
+	// artificials are never usable — they exist only as B⁻¹ readout.
+	for i := range lp.Rows {
+		if s.sense[i] == LE {
+			s.basis[i] = s.slackOf[i]
+			s.banned[s.artOf[i]] = true
+		} else {
+			s.basis[i] = s.artOf[i]
+		}
+	}
+	return s, nil
+}
+
+// setPhaseObjective loads the reduced-cost row for the given per-column
+// cost vector: obj[j] = c_j − c_B·(B⁻¹A_j), objVal = c_B·b.
+func (s *simplex) setPhaseObjective(c []float64) {
+	s.objVal = 0
+	cb := make([]float64, s.m)
+	for i, bj := range s.basis {
+		cb[i] = c[bj]
+		s.objVal += cb[i] * s.b[i]
+	}
+	for j := 0; j < s.ncols; j++ {
+		r := c[j]
+		col := s.cols[j]
+		for i := 0; i < s.m; i++ {
+			if cb[i] != 0 {
+				r -= cb[i] * col[i]
+			}
+		}
+		s.obj[j] = r
+	}
+}
+
+// entering picks the entering column, or -1 at optimality.
+func (s *simplex) entering() int {
+	if s.bland {
+		for j := 0; j < s.ncols; j++ {
+			if !s.banned[j] && s.obj[j] < -pivTol {
+				return j
+			}
+		}
+		return -1
+	}
+	best, bestVal := -1, -pivTol
+	for j := 0; j < s.ncols; j++ {
+		if !s.banned[j] && s.obj[j] < bestVal {
+			best, bestVal = j, s.obj[j]
+		}
+	}
+	return best
+}
+
+// leaving runs the ratio test for entering column e, or -1 if unbounded.
+// Ties are broken by the largest pivot element (fewer degenerate rows
+// downstream, better conditioning), except in Bland mode where the
+// lowest-index rule is what guarantees termination.
+func (s *simplex) leaving(e int) int {
+	col := s.cols[e]
+	row, bestRatio := -1, math.Inf(1)
+	for i := 0; i < s.m; i++ {
+		if col[i] <= pivTol {
+			continue
+		}
+		ratio := s.b[i] / col[i]
+		if ratio < bestRatio-degenTol {
+			row, bestRatio = i, ratio
+			continue
+		}
+		if ratio >= bestRatio+degenTol || row < 0 {
+			if row < 0 {
+				row, bestRatio = i, ratio
+			}
+			continue
+		}
+		if s.bland {
+			if s.basis[i] < s.basis[row] {
+				row, bestRatio = i, ratio
+			}
+		} else if col[i] > col[row] {
+			row, bestRatio = i, ratio
+		}
+	}
+	return row
+}
+
+// pivot brings column e into the basis at row r.
+func (s *simplex) pivot(r, e int) {
+	pe := s.cols[e][r]
+	theta := s.b[r] / pe
+	if theta < degenTol {
+		s.degen++
+		if s.degen >= blandTrip {
+			s.bland = true
+		}
+	} else {
+		// Strict progress: the objective just decreased, so no earlier basis
+		// can recur. Dropping back to Dantzig keeps Bland's slow-but-safe
+		// rule confined to degenerate stretches without losing finiteness.
+		s.degen = 0
+		s.bland = false
+	}
+	s.objVal += s.obj[e] * theta
+
+	// Save the pivot column before it is overwritten.
+	d := make([]float64, s.m)
+	copy(d, s.cols[e])
+	objE := s.obj[e]
+
+	s.b[r] = theta
+	for i := 0; i < s.m; i++ {
+		if i != r && d[i] != 0 {
+			s.b[i] -= d[i] * theta
+			if s.b[i] < 0 && !s.crashing {
+				s.b[i] = 0 // clamp rounding; b stays feasible by construction
+			}
+		}
+	}
+	for j := 0; j < s.ncols; j++ {
+		col := s.cols[j]
+		vr := col[r] / pe
+		if vr == 0 && s.obj[j] == 0 {
+			continue
+		}
+		col[r] = vr
+		if vr != 0 {
+			for i := 0; i < s.m; i++ {
+				if i != r && d[i] != 0 {
+					col[i] -= d[i] * vr
+				}
+			}
+		}
+		s.obj[j] -= objE * vr
+	}
+	s.obj[e] = 0 // exact: entering column's reduced cost vanishes
+	if old := s.basis[r]; s.banArtLeave && s.isArt[old] {
+		s.banned[old] = true
+	}
+	s.basis[r] = e
+	s.pivots++
+}
+
+// crash pivots a caller-supplied starting basis in, bypassing the ratio
+// test: each pair is (row, entering column). The caller must order the
+// pairs so that b stays nonnegative after every pivot — crash verifies
+// only that each pivot element is numerically usable. Artificials
+// displaced by the crash are banned exactly as in phase 1; if the crash
+// leaves no artificial basic, phase 1 reduces to a no-op and the solve
+// proceeds straight to phase 2 from the crashed vertex.
+func (s *simplex) crash(pairs [][2]int) error {
+	s.banArtLeave, s.crashing = true, true
+	defer func() { s.banArtLeave, s.crashing = false, false }()
+	for _, p := range pairs {
+		r, e := p[0], p[1]
+		if r < 0 || r >= s.m || e < 0 || e >= s.ncols {
+			return fmt.Errorf("strategy: crash pivot (%d,%d) out of range", r, e)
+		}
+		if math.Abs(s.cols[e][r]) <= pivTol {
+			return fmt.Errorf("strategy: crash pivot (%d,%d) element %g too small", r, e, s.cols[e][r])
+		}
+		s.pivot(r, e)
+	}
+	for i := 0; i < s.m; i++ {
+		if s.b[i] < 0 {
+			if s.b[i] < -feasTol {
+				return fmt.Errorf("strategy: crash basis infeasible at row %d (b = %g)", i, s.b[i])
+			}
+			s.b[i] = 0
+		}
+	}
+	return nil
+}
+
+// maxPivots is the per-phase pivot budget; each phase-2 (re)start resets
+// the base so warm-started column-generation rounds get a fresh budget.
+func (s *simplex) maxPivots() int {
+	return 20000 + 50*(s.m+s.ncols)
+}
+
+// beginPhase resets the per-phase pivot base and the anti-cycling state.
+func (s *simplex) beginPhase() {
+	s.pivotBase = s.pivots
+	s.bland = false
+	s.degen = 0
+}
+
+// iterate runs pivots until optimality (true) or unboundedness/iteration
+// cap (false, with status set by the caller from enter).
+func (s *simplex) iterate() (Status, int) {
+	for {
+		if s.pivots-s.pivotBase > s.maxPivots() {
+			return StatusIterLimit, -1
+		}
+		e := s.entering()
+		if e < 0 {
+			return StatusOptimal, -1
+		}
+		r := s.leaving(e)
+		if r < 0 {
+			return StatusUnbounded, e
+		}
+		s.pivot(r, e)
+	}
+}
+
+// phase1 drives the artificial variables to zero. Returns false when the
+// LP is infeasible (or the pivot cap was hit, with st telling which).
+func (s *simplex) phase1() (ok bool, st Status) {
+	c := make([]float64, s.ncols)
+	needed := false
+	for i := range s.basis {
+		if s.basis[i] == s.artOf[i] && !s.banned[s.artOf[i]] {
+			needed = true
+		}
+	}
+	// Cost 1 on every artificial — including the banned LE ones, which can
+	// never be basic — so the Farkas duals read uniformly as 1 − obj[art].
+	for i := 0; i < s.m; i++ {
+		c[s.artOf[i]] = 1
+	}
+	s.setPhaseObjective(c)
+	if needed {
+		s.beginPhase()
+		s.banArtLeave = true
+		st, _ := s.iterate()
+		s.banArtLeave = false
+		if st == StatusIterLimit {
+			return false, st
+		}
+		if s.objVal > feasTol {
+			return false, StatusInfeasible
+		}
+	}
+	// Drive any basic artificial out of its (degenerate) row; rows with no
+	// nonzero real entry are redundant and keep the artificial at zero.
+	for i := 0; i < s.m; i++ {
+		if !s.isArt[s.basis[i]] {
+			continue
+		}
+		for j := 0; j < s.ncols; j++ {
+			if !s.isArt[j] && math.Abs(s.cols[j][i]) > pivTol {
+				s.pivot(i, j)
+				break
+			}
+		}
+	}
+	// Ban every artificial from here on; basic ones in redundant rows stay
+	// pinned at zero because their rows are zero in every other column.
+	for i := 0; i < s.m; i++ {
+		s.banned[s.artOf[i]] = true
+	}
+	return true, StatusOptimal
+}
+
+// duals extracts y = c_B·B⁻¹ in the caller's row convention for the
+// currently loaded objective, using the artificial columns' reduced costs
+// (their original column is e_i, so obj[art_i] = c_art − y_i).
+func (s *simplex) duals(artCost float64) []float64 {
+	y := make([]float64, s.m)
+	for i := 0; i < s.m; i++ {
+		y[i] = s.rowMult[i] * (artCost - s.obj[s.artOf[i]])
+	}
+	return y
+}
+
+// extractX reads the structural variable values.
+func (s *simplex) extractX() []float64 {
+	x := make([]float64, s.nStruct)
+	for i, bj := range s.basis {
+		if bj < s.nStruct {
+			x[bj] = s.b[i]
+		}
+	}
+	return x
+}
+
+// value reads the current value of any column (generated ones included).
+func (s *simplex) value(j int) float64 {
+	for i, bj := range s.basis {
+		if bj == j {
+			return s.b[i]
+		}
+	}
+	return 0
+}
+
+// solve runs both phases from the current state and packages the result.
+func (s *simplex) solve() Solution {
+	ok, st := s.phase1()
+	if !ok {
+		sol := Solution{Status: st, Pivots: s.pivots}
+		if st == StatusInfeasible {
+			// Farkas certificate from the phase-1 duals (artificial cost 1).
+			sol.Y = s.duals(1)
+			sol.Obj = s.objVal
+		}
+		return sol
+	}
+	return s.solvePhase2()
+}
+
+// solvePhase2 re-loads the real objective and iterates to a terminal
+// status; separated so column generation can resume without re-running
+// phase 1.
+func (s *simplex) solvePhase2() Solution {
+	s.beginPhase()
+	s.setPhaseObjective(s.cost)
+	st, enter := s.iterate()
+	sol := Solution{Status: st, Pivots: s.pivots}
+	switch st {
+	case StatusOptimal:
+		sol.X = s.extractX()
+		sol.Obj = s.objVal
+		sol.Y = s.duals(0)
+	case StatusUnbounded:
+		sol.X = s.extractX()
+		sol.Obj = s.objVal
+		ray := make([]float64, s.nStruct)
+		if enter < s.nStruct {
+			ray[enter] = 1
+		}
+		for i, bj := range s.basis {
+			if bj < s.nStruct {
+				if d := -s.cols[enter][i]; d > 0 {
+					ray[bj] = d
+				}
+			}
+		}
+		sol.Ray = ray
+	}
+	return sol
+}
+
+// addColumn appends a structural column (given in the caller's row
+// convention) with the given cost, priced through the current basis via
+// the artificial columns (B⁻¹), and returns its index. The current basis
+// stays feasible, so a subsequent solvePhase2 warm-starts.
+func (s *simplex) addColumn(cost float64, coef map[int]float64) int {
+	col := make([]float64, s.m)
+	// Accumulate in sorted row order: float addition is not associative, so
+	// map-order iteration would make the column — and every downstream pivot
+	// choice — vary run to run.
+	rows := make([]int, 0, len(coef))
+	for r := range coef {
+		rows = append(rows, r)
+	}
+	sort.Ints(rows)
+	for _, r := range rows {
+		a := coef[r] * s.rowMult[r]
+		if a == 0 {
+			continue
+		}
+		art := s.cols[s.artOf[r]]
+		for i := 0; i < s.m; i++ {
+			col[i] += a * art[i]
+		}
+	}
+	j := s.ncols
+	// Grow every per-column slice. Insert before nothing — columns are
+	// ordered [struct | slack | art | generated…]; generated columns are
+	// structural for extraction purposes, so extend nStruct bookkeeping via
+	// structMap instead: we simply treat indices ≥ ncols as non-structural
+	// here and let the optimizer track its own column→quorum mapping.
+	s.cols = append(s.cols, col)
+	s.cost = append(s.cost, cost)
+	s.banned = append(s.banned, false)
+	s.isArt = append(s.isArt, false)
+	s.obj = append(s.obj, 0)
+	s.ncols++
+	return j
+}

@@ -1,0 +1,283 @@
+package strategy
+
+import (
+	"math"
+	"testing"
+
+	"quorumkit/internal/rng"
+)
+
+const certTol = 1e-9
+
+// solveChecked solves and certifies in one step; every status must carry a
+// valid certificate.
+func solveChecked(t *testing.T, lp LP) Solution {
+	t.Helper()
+	sol, err := Solve(lp)
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if sol.Status == StatusIterLimit {
+		t.Fatalf("hit iteration limit after %d pivots", sol.Pivots)
+	}
+	if err := CheckSolution(lp, sol, certTol); err != nil {
+		t.Fatalf("certificate for %v rejected: %v", sol.Status, err)
+	}
+	return sol
+}
+
+func TestSimplexBasicOptimal(t *testing.T) {
+	// min -x - 2y s.t. x + y ≤ 4, x ≤ 3, y ≤ 2 → (2, 2), obj -6.
+	lp := LP{
+		NumVars: 2,
+		Cost:    []float64{-1, -2},
+		Rows: []Row{
+			{Coef: []float64{1, 1}, Sense: LE, RHS: 4},
+			{Coef: []float64{1, 0}, Sense: LE, RHS: 3},
+			{Coef: []float64{0, 1}, Sense: LE, RHS: 2},
+		},
+	}
+	sol := solveChecked(t, lp)
+	if sol.Status != StatusOptimal {
+		t.Fatalf("status %v", sol.Status)
+	}
+	if math.Abs(sol.Obj+6) > 1e-9 || math.Abs(sol.X[0]-2) > 1e-9 || math.Abs(sol.X[1]-2) > 1e-9 {
+		t.Fatalf("got x=%v obj=%g, want (2,2) obj -6", sol.X, sol.Obj)
+	}
+}
+
+func TestSimplexEqualityAndGE(t *testing.T) {
+	// min 2x + 3y s.t. x + y = 10, x ≥ 2, y ≥ 3 → (7, 3), obj 23.
+	lp := LP{
+		NumVars: 2,
+		Cost:    []float64{2, 3},
+		Rows: []Row{
+			{Coef: []float64{1, 1}, Sense: EQ, RHS: 10},
+			{Coef: []float64{1, 0}, Sense: GE, RHS: 2},
+			{Coef: []float64{0, 1}, Sense: GE, RHS: 3},
+		},
+	}
+	sol := solveChecked(t, lp)
+	if sol.Status != StatusOptimal {
+		t.Fatalf("status %v", sol.Status)
+	}
+	if math.Abs(sol.Obj-23) > 1e-9 {
+		t.Fatalf("obj %g, want 23", sol.Obj)
+	}
+}
+
+func TestSimplexNegativeRHS(t *testing.T) {
+	// Rows with negative RHS exercise the row-flip path.
+	// min x + y s.t. -x - y ≤ -5 (i.e. x + y ≥ 5) → obj 5.
+	lp := LP{
+		NumVars: 2,
+		Cost:    []float64{1, 1},
+		Rows: []Row{
+			{Coef: []float64{-1, -1}, Sense: LE, RHS: -5},
+		},
+	}
+	sol := solveChecked(t, lp)
+	if sol.Status != StatusOptimal || math.Abs(sol.Obj-5) > 1e-9 {
+		t.Fatalf("status %v obj %g, want optimal 5", sol.Status, sol.Obj)
+	}
+}
+
+func TestSimplexInfeasible(t *testing.T) {
+	// x ≥ 3 and x ≤ 1 cannot both hold.
+	lp := LP{
+		NumVars: 1,
+		Cost:    []float64{1},
+		Rows: []Row{
+			{Coef: []float64{1}, Sense: GE, RHS: 3},
+			{Coef: []float64{1}, Sense: LE, RHS: 1},
+		},
+	}
+	sol := solveChecked(t, lp)
+	if sol.Status != StatusInfeasible {
+		t.Fatalf("status %v, want infeasible", sol.Status)
+	}
+}
+
+func TestSimplexInfeasibleEquality(t *testing.T) {
+	// x + y = 1 and x + y = 2 with x, y ≥ 0.
+	lp := LP{
+		NumVars: 2,
+		Cost:    []float64{0, 0},
+		Rows: []Row{
+			{Coef: []float64{1, 1}, Sense: EQ, RHS: 1},
+			{Coef: []float64{1, 1}, Sense: EQ, RHS: 2},
+		},
+	}
+	sol := solveChecked(t, lp)
+	if sol.Status != StatusInfeasible {
+		t.Fatalf("status %v, want infeasible", sol.Status)
+	}
+}
+
+func TestSimplexUnbounded(t *testing.T) {
+	// min -x s.t. x - y ≤ 1: push x with y along the ray (1,1).
+	lp := LP{
+		NumVars: 2,
+		Cost:    []float64{-1, 0},
+		Rows: []Row{
+			{Coef: []float64{1, -1}, Sense: LE, RHS: 1},
+		},
+	}
+	sol := solveChecked(t, lp)
+	if sol.Status != StatusUnbounded {
+		t.Fatalf("status %v, want unbounded", sol.Status)
+	}
+}
+
+func TestSimplexDegenerate(t *testing.T) {
+	// A classically degenerate vertex (redundant constraints through the
+	// optimum). The solver must terminate and certify.
+	lp := LP{
+		NumVars: 2,
+		Cost:    []float64{-1, -1},
+		Rows: []Row{
+			{Coef: []float64{1, 0}, Sense: LE, RHS: 1},
+			{Coef: []float64{0, 1}, Sense: LE, RHS: 1},
+			{Coef: []float64{1, 1}, Sense: LE, RHS: 2},
+			{Coef: []float64{2, 1}, Sense: LE, RHS: 3},
+			{Coef: []float64{1, 2}, Sense: LE, RHS: 3},
+		},
+	}
+	sol := solveChecked(t, lp)
+	if sol.Status != StatusOptimal || math.Abs(sol.Obj+2) > 1e-9 {
+		t.Fatalf("status %v obj %g, want optimal -2", sol.Status, sol.Obj)
+	}
+}
+
+func TestSimplexRedundantEquality(t *testing.T) {
+	// Duplicated equality rows leave an artificial basic in a redundant
+	// row; the solve must still certify.
+	lp := LP{
+		NumVars: 2,
+		Cost:    []float64{1, 2},
+		Rows: []Row{
+			{Coef: []float64{1, 1}, Sense: EQ, RHS: 3},
+			{Coef: []float64{2, 2}, Sense: EQ, RHS: 6},
+		},
+	}
+	sol := solveChecked(t, lp)
+	if sol.Status != StatusOptimal || math.Abs(sol.Obj-3) > 1e-9 {
+		t.Fatalf("status %v obj %g, want optimal 3 at (3,0)", sol.Status, sol.Obj)
+	}
+}
+
+func TestSimplexRejectsMalformed(t *testing.T) {
+	cases := []LP{
+		{NumVars: 0, Cost: nil, Rows: []Row{{Coef: nil, Sense: LE}}},
+		{NumVars: 1, Cost: []float64{1}, Rows: nil},
+		{NumVars: 1, Cost: []float64{math.NaN()}, Rows: []Row{{Coef: []float64{1}, Sense: LE, RHS: 1}}},
+		{NumVars: 1, Cost: []float64{1}, Rows: []Row{{Coef: []float64{math.Inf(1)}, Sense: LE, RHS: 1}}},
+		{NumVars: 1, Cost: []float64{1}, Rows: []Row{{Coef: []float64{1}, Sense: LE, RHS: math.NaN()}}},
+		{NumVars: 1, Cost: []float64{1}, Rows: []Row{{Coef: []float64{1, 2}, Sense: LE, RHS: 1}}},
+		{NumVars: 1, Cost: []float64{1}, Rows: []Row{{Coef: []float64{1}, Sense: RowSense(9), RHS: 1}}},
+	}
+	for i, lp := range cases {
+		if _, err := Solve(lp); err == nil {
+			t.Errorf("case %d: malformed LP accepted", i)
+		}
+	}
+}
+
+// TestSimplexRandomCertified cross-checks random LPs: every solve must
+// terminate with a certificate that CheckSolution accepts.
+func TestSimplexRandomCertified(t *testing.T) {
+	src := rng.New(0xA11CE)
+	statuses := map[Status]int{}
+	for trial := 0; trial < 300; trial++ {
+		nv := 1 + int(src.Uint64()%5)
+		m := 1 + int(src.Uint64()%6)
+		lp := LP{NumVars: nv, Cost: make([]float64, nv), Rows: make([]Row, m)}
+		for j := range lp.Cost {
+			lp.Cost[j] = math.Round((src.Float64()*8-4)*4) / 4
+		}
+		for i := range lp.Rows {
+			coef := make([]float64, nv)
+			for j := range coef {
+				coef[j] = math.Round((src.Float64()*6-3)*2) / 2
+			}
+			lp.Rows[i] = Row{
+				Coef:  coef,
+				Sense: RowSense(src.Uint64() % 3),
+				RHS:   math.Round((src.Float64()*10-3)*2) / 2,
+			}
+		}
+		sol, err := Solve(lp)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if sol.Status == StatusIterLimit {
+			t.Fatalf("trial %d: iteration limit", trial)
+		}
+		if err := CheckSolution(lp, sol, 1e-7); err != nil {
+			t.Fatalf("trial %d: status %v rejected: %v\nLP: %+v", trial, sol.Status, err, lp)
+		}
+		statuses[sol.Status]++
+	}
+	// The generator must actually exercise all three terminal statuses.
+	for _, st := range []Status{StatusOptimal, StatusInfeasible, StatusUnbounded} {
+		if statuses[st] == 0 {
+			t.Errorf("no %v outcomes among random trials", st)
+		}
+	}
+}
+
+func TestStatusString(t *testing.T) {
+	for st, want := range map[Status]string{
+		StatusOptimal:    "optimal",
+		StatusInfeasible: "infeasible",
+		StatusUnbounded:  "unbounded",
+		StatusIterLimit:  "iteration-limit",
+		Status(99):       "Status(99)",
+	} {
+		if got := st.String(); got != want {
+			t.Errorf("Status(%d).String() = %q, want %q", st, got, want)
+		}
+	}
+}
+
+// FuzzSimplex feeds arbitrary small LPs to the solver and requires
+// termination with a status whose certificate verifies. Certificates make
+// the oracle trivial: whatever the solver claims, CheckSolution re-proves
+// it or the fuzz fails.
+func FuzzSimplex(f *testing.F) {
+	f.Add(uint64(1), uint64(2), int64(100))
+	f.Add(uint64(3), uint64(4), int64(-7))
+	f.Add(uint64(5), uint64(1), int64(0))
+	f.Fuzz(func(t *testing.T, a, b uint64, salt int64) {
+		src := rng.New(a ^ b<<17 ^ uint64(salt))
+		nv := 1 + int(a%4)
+		m := 1 + int(b%5)
+		lp := LP{NumVars: nv, Cost: make([]float64, nv), Rows: make([]Row, m)}
+		for j := range lp.Cost {
+			lp.Cost[j] = math.Round((src.Float64()*10-5)*4) / 4
+		}
+		for i := range lp.Rows {
+			coef := make([]float64, nv)
+			for j := range coef {
+				// Small half-integer coefficients keep vertices rational and
+				// tolerances honest while still hitting degenerate geometry.
+				coef[j] = math.Round((src.Float64()*6-3)*2) / 2
+			}
+			lp.Rows[i] = Row{
+				Coef:  coef,
+				Sense: RowSense(src.Uint64() % 3),
+				RHS:   math.Round((src.Float64()*12-4)*2) / 2,
+			}
+		}
+		sol, err := Solve(lp)
+		if err != nil {
+			t.Fatalf("Solve: %v", err)
+		}
+		if sol.Status == StatusIterLimit {
+			t.Fatalf("iteration limit on %d×%d LP", m, nv)
+		}
+		if err := CheckSolution(lp, sol, 1e-7); err != nil {
+			t.Fatalf("status %v rejected: %v\nLP: %+v", sol.Status, err, lp)
+		}
+	})
+}
