@@ -5,9 +5,9 @@
 
 GO ?= go
 
-.PHONY: check vet build test race cover-obs cover-store cover-sim cover-workload cover-faults cover-strategy fuzz chaos diskchaos soak adversary grayfail hedge bench bench-robustness bench-obs bench-store bench-core bench-core-update bench-adversary bench-adversary-update bench-gray bench-gray-update bench-strategy bench-strategy-update strategy study
+.PHONY: check vet build test race cover-obs cover-store cover-sim cover-workload cover-faults cover-strategy fuzz chaos diskchaos soak adversary strategy-chaos grayfail hedge bench bench-robustness bench-obs bench-store bench-core bench-core-update bench-adversary bench-adversary-update bench-gray bench-gray-update bench-strategy bench-strategy-update bench-strategy-adversity bench-strategy-adversity-update strategy study
 
-check: vet build test race cover-obs cover-store cover-sim cover-workload cover-faults cover-strategy
+check: vet build test race cover-obs cover-store cover-sim cover-workload cover-faults cover-strategy bench-strategy-adversity
 
 vet:
 	$(GO) vet ./...
@@ -95,6 +95,11 @@ fuzz-store:
 fuzz-simplex:
 	$(GO) test ./internal/strategy/ -run FuzzSimplex -fuzz FuzzSimplex -fuzztime 30s
 
+# Short continuous fuzz of the strategy decoder: a corrupted serialized
+# strategy must always be rejected with a typed DecodeError, never armed.
+fuzz-strategy:
+	$(GO) test ./internal/strategy/ -run FuzzStrategyDecode -fuzz FuzzStrategyDecode -fuzztime 30s
+
 # Seeded fault-injection sweep over every mix on both runtimes.
 chaos:
 	$(GO) run ./cmd/quorumsim -chaos -chaosmix all -ops 5000 -seed 1
@@ -116,6 +121,14 @@ soak:
 # and gated on the committed regret baseline.
 adversary:
 	$(GO) run ./cmd/quorumsim -adversary /tmp/BENCH_adversary.json -adversarybase BENCH_adversary.json -seed 1
+
+# Strategy-adversity suite: the same scenarios with a certified randomized
+# strategy installed at boot, frozen vs daemon re-solving on identical
+# stimuli. Fails on any 1SR or minority-write verdict, a scenario whose
+# strategy never served, a missing certified re-solve, or re-solve regret
+# not strictly below frozen regret.
+strategy-chaos:
+	$(GO) run ./cmd/quorumsim -strategychaos /tmp/BENCH_strategy_adversity.json -seed 1
 
 bench:
 	$(GO) test -bench=. -benchmem
@@ -156,6 +169,16 @@ bench-adversary:
 # Regenerate the committed adversary regret baseline.
 bench-adversary-update:
 	$(GO) run ./cmd/quorumsim -adversary BENCH_adversary.json -seed 1
+
+# Strategy-adversity regret gate: replay the suite with strategies
+# installed and fail on any safety or re-solve verdict, or on re-solve
+# regret/op drifting above the committed BENCH_strategy_adversity.json.
+bench-strategy-adversity:
+	$(GO) run ./cmd/quorumsim -strategychaos /tmp/BENCH_strategy_adversity.json -strategyadversitybase BENCH_strategy_adversity.json -seed 1
+
+# Regenerate the committed strategy-adversity baseline.
+bench-strategy-adversity-update:
+	$(GO) run ./cmd/quorumsim -strategychaos BENCH_strategy_adversity.json -seed 1
 
 # Gray-failure suite: slow replicas, gray storms, and the assignment-
 # adaptive adversary, replayed daemon-off / miss-count / φ-accrual on

@@ -2,6 +2,7 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"strconv"
@@ -44,12 +45,10 @@ func runStrategy(objective string, n int, f int, loadLimit float64, frSpec strin
 	}
 	elapsed := time.Since(start)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		return 1
+		return strategyFail(objective, "solve", err)
 	}
 	if cerr := res.Certify(1e-6); cerr != nil {
-		fmt.Fprintf(os.Stderr, "certificate rejected: %v\n", cerr)
-		return 1
+		return strategyFail(objective, "certificate", cerr)
 	}
 
 	if asJSON {
@@ -100,6 +99,35 @@ func runStrategy(objective string, n int, f int, loadLimit float64, frSpec strin
 		}
 	}
 	return 0
+}
+
+// strategyError is the structured failure object `-strategy` emits on
+// stderr when the LP cannot produce a certified strategy, so scripted
+// callers can branch on `.infeasible` instead of scraping prose.
+type strategyError struct {
+	Error      string `json:"error"`
+	Objective  string `json:"objective"`
+	Stage      string `json:"stage"` // "solve" | "certificate"
+	Infeasible bool   `json:"infeasible"`
+}
+
+// strategyFail reports a solve or certification failure as one structured
+// JSON object on stderr and returns the non-zero exit status. Infeasibility
+// — the load limit unreachable, or no f-resilient quorum existing — is
+// distinguished from numerical or certification failures.
+func strategyFail(objective, stage string, err error) int {
+	infeasible := errors.Is(err, strategy.ErrLoadLimitInfeasible) ||
+		errors.Is(err, strategy.ErrResilienceInfeasible)
+	out, jerr := json.Marshal(strategyError{
+		Error: err.Error(), Objective: objective,
+		Stage: stage, Infeasible: infeasible,
+	})
+	if jerr != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	fmt.Fprintln(os.Stderr, string(out))
+	return 1
 }
 
 // strategySystem resolves the system and read-fraction distribution: the

@@ -36,6 +36,16 @@
 // against a committed baseline with -adversarybase. Every run must keep
 // one-copy serializability and grant zero writes from minority partitions.
 //
+// With -strategychaos it replays the same adversarial suite with a
+// certified randomized quorum strategy installed at boot, frozen (daemon
+// off, strategy pinned to the boot assignment version) versus re-solving
+// (daemon on, every suspicion edge re-running the resilient capacity LP
+// over the surviving sites, installing only KKT-certified results). Output
+// is BENCH_strategy_adversity.json-style and gated against a committed
+// baseline with -strategyadversitybase; every run must keep one-copy
+// serializability, grant zero minority writes, and the re-solving run must
+// beat the frozen run's regret on the identical stimulus.
+//
 // With -benchjson it times the robustness hot paths and writes
 // BENCH_robustness.json-style output; -benchobs measures the observability
 // layer's own overhead and writes BENCH_obs.json-style output; -benchstore
@@ -117,6 +127,10 @@ func main() {
 		adversaryBase = flag.String("adversarybase", "", "with -adversary: gate daemon-on regret/op against this committed BENCH_adversary.json baseline")
 		advOps        = flag.Int("advops", 2500, "adversary: churn-phase steps per scenario")
 
+		strategyChaos    = flag.String("strategychaos", "", "run the adversarial suite with a certified randomized strategy installed, frozen vs daemon re-solving, and write regret results to this JSON file")
+		strategyAdvBase  = flag.String("strategyadversitybase", "", "with -strategychaos: gate re-solve regret/op against this committed BENCH_strategy_adversity.json baseline")
+		strategyChaosOps = flag.Int("strategyops", 2500, "strategychaos: churn-phase steps per scenario")
+
 		grayfail  = flag.String("grayfail", "", "run the gray-failure suite (slow replicas, gray storms, adaptive adversary) and write regret/latency results to this JSON file")
 		benchGray = flag.String("benchgray", "", "with -grayfail: gate φ-detector regret/op and the hedge ratio against this committed BENCH_gray.json baseline")
 		grayOps   = flag.Int("grayops", 2000, "grayfail: steps per scenario run")
@@ -171,6 +185,8 @@ func main() {
 		status = runGrayfail(*grayfail, *benchGray, *grayOps, *seed, sink)
 	case *hedge:
 		status = runHedgeDemo(*grayOps, *seed, sink)
+	case *strategyChaos != "":
+		status = runStrategyChaos(*strategyChaos, *strategyAdvBase, *strategyChaosOps, *seed, sink)
 	case *adversary != "":
 		status = runAdversary(*adversary, *adversaryBase, *advOps, *seed, sink)
 	case *churn:

@@ -1,0 +1,226 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"quorumkit/internal/cluster"
+	"quorumkit/internal/graph"
+	"quorumkit/internal/quorum"
+	"quorumkit/internal/strategy"
+)
+
+// Strategy-chaos mode: certify randomized quorum strategies through the
+// adversarial scenario suite. Every scenario runs twice on the identical
+// seeded stimulus with the same certified strategy installed at boot:
+//
+//   - frozen:  daemon off — the strategy is pinned to the boot assignment
+//     version and serving falls back deterministically the moment the
+//     topology outgrows it.
+//   - resolve: daemon on with availability-aware re-solving — each
+//     suspicion edge re-runs the resilient capacity LP over the surviving
+//     sites and installs only KKT-certified results.
+//
+// The verdicts: one-copy serializability and zero minority writes on every
+// run, sampled quorums actually carrying traffic, at least one certified
+// re-solve per scenario, and strictly less re-solve regret than frozen
+// regret on the identical schedule. With -strategyadversitybase the
+// re-solve regret-per-op is additionally gated against the committed
+// BENCH_strategy_adversity.json baseline.
+
+// strategyAdvResult is one run's entry in BENCH_strategy_adversity.json.
+type strategyAdvResult struct {
+	Scenario       string  `json:"scenario"`
+	Mode           string  `json:"mode"` // "frozen" | "resolve"
+	Ops            int     `json:"ops"`
+	GrantRate      float64 `json:"grant_rate"`
+	Regret         float64 `json:"regret"`
+	RegretPerOp    float64 `json:"regret_per_op"`
+	MinorityWrites int     `json:"minority_writes"`
+	OneSR          bool    `json:"one_sr"`
+	SampledReads   int64   `json:"sampled_reads"`
+	SampledWrites  int64   `json:"sampled_writes"`
+	Resamples      int64   `json:"resamples"`
+	Fallbacks      int64   `json:"fallbacks"`
+	StaleFallbacks int64   `json:"stale_fallbacks"`
+	Resolves       int64   `json:"resolves"`
+	ResolveFails   int64   `json:"resolve_fails"`
+	Converged      bool    `json:"converged"`
+}
+
+type strategyAdvFile struct {
+	Suite         string              `json:"suite"`
+	Seed          uint64              `json:"seed"`
+	Steps         int                 `json:"steps"`
+	SeedCertified bool                `json:"seed_certified"`
+	Results       []strategyAdvResult `json:"results"`
+}
+
+// strategyAdvSeed solves and certifies the boot strategy the scenarios
+// install: the resilient capacity LP over the 9 unit-vote ring sites at
+// Majority(9), every sampled quorum surviving any single site failure.
+func strategyAdvSeed(alpha float64) (strategy.Strategy, error) {
+	const sites = 9
+	votes := make([]int, sites)
+	unit := make([]float64, sites)
+	for i := range votes {
+		votes[i], unit[i] = 1, 1
+	}
+	m := quorum.Majority(sites)
+	sys := strategy.System{Votes: votes, QR: m.QR, QW: m.QW,
+		ReadCap: unit, WriteCap: unit, Latency: unit}
+	res, err := strategy.OptimizeResilientCapacity(sys, strategy.SingleFr(alpha), 1, strategy.Options{})
+	if err != nil {
+		return strategy.Strategy{}, err
+	}
+	if err := res.Certify(1e-6); err != nil {
+		return strategy.Strategy{}, fmt.Errorf("seed strategy certificate: %w", err)
+	}
+	return res.Strategy, nil
+}
+
+// runStrategyChaos replays every adversarial scenario frozen then
+// re-solving on the deterministic runtime, writes
+// BENCH_strategy_adversity.json-style output to path, and — when base
+// names a committed baseline — gates re-solve regret-per-op against it.
+// Exit status is non-zero when any verdict or the gate fails.
+func runStrategyChaos(path, base string, steps int, seed uint64, sink *obsSink) int {
+	st, err := strategyAdvSeed(0.75)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	status := 0
+	file := strategyAdvFile{Suite: "strategy-adversity", Seed: seed, Steps: steps, SeedCertified: true}
+	for _, sc := range advScenarios(seed, steps) {
+		var runs [2]*cluster.AdversaryRun
+		for i, mode := range []string{"frozen", "resolve"} {
+			g := graph.Ring(sc.cfg.Sites)
+			rt, err := cluster.New(graph.NewState(g, nil), quorum.Majority(sc.cfg.Sites))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return 2
+			}
+			sink.attach(rt)
+			cfg := sc.cfg
+			cfg.Strategy = &st
+			cfg.StrategySeed = seed ^ 0x57a7
+			if mode == "resolve" {
+				cfg.Daemon = true
+				cfg.Health.Strategy = cluster.StrategyResolveConfig{Enabled: true}
+			}
+			run := cluster.RunAdversary(rt, graph.NewState(g, nil), cfg)
+			runs[i] = run
+
+			sct := run.Strategy
+			res := strategyAdvResult{
+				Scenario: sc.name, Mode: mode, Ops: run.Ops,
+				GrantRate: run.Availability(),
+				Regret:    run.Regret, RegretPerOp: run.RegretPerOp(),
+				MinorityWrites: run.MinorityWrites,
+				OneSR:          run.ViolationErr == nil,
+				SampledReads:   sct.SampledReads, SampledWrites: sct.SampledWrites,
+				Resamples: sct.Resamples, Fallbacks: sct.Fallbacks,
+				StaleFallbacks: sct.StaleFallbacks,
+				Resolves:       sct.Resolves, ResolveFails: sct.ResolveFails,
+				Converged: run.Converged,
+			}
+			file.Results = append(file.Results, res)
+			fmt.Printf("scenario=%-16s mode=%-7s %v\n  %v\n", sc.name, mode, run, sct)
+
+			if run.ViolationErr != nil {
+				fmt.Printf("  FAIL: one-copy serializability violated: %v\n", run.ViolationErr)
+				status = 1
+			}
+			if run.MinorityWrites != 0 {
+				fmt.Printf("  FAIL: %d writes granted from minority components\n", run.MinorityWrites)
+				status = 1
+			}
+			if sct.SampledReads+sct.SampledWrites == 0 {
+				fmt.Printf("  FAIL: %s: the strategy never served an operation\n", sc.name)
+				status = 1
+			}
+			if mode == "resolve" && sct.Resolves == 0 {
+				fmt.Printf("  FAIL: %s: the daemon never installed a certified re-solve\n", sc.name)
+				status = 1
+			}
+		}
+		frozen, resolve := runs[0], runs[1]
+		if resolve.Regret >= frozen.Regret {
+			fmt.Printf("  FAIL: %s: re-solve regret %.1f not below frozen %.1f\n",
+				sc.name, resolve.Regret, frozen.Regret)
+			status = 1
+		}
+		if !resolve.Converged {
+			fmt.Printf("  FAIL: %s: assignment versions diverged after healing: %v\n",
+				sc.name, resolve.FinalVersions)
+			status = 1
+		}
+	}
+
+	out, err := json.MarshalIndent(file, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	out = append(out, '\n')
+	if err := os.WriteFile(path, out, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	fmt.Printf("wrote %s (%d runs)\n", path, len(file.Results))
+
+	if base != "" {
+		if err := gateStrategyAdversity(file, base); err != nil {
+			fmt.Fprintf(os.Stderr, "strategy-adversity gate: %v\n", err)
+			status = 1
+		} else {
+			fmt.Printf("strategy-adversity gate vs %s: OK\n", base)
+		}
+	}
+	if status == 0 {
+		fmt.Println("strategy-adversity: all verdicts OK (1SR, minority writes, sampling, re-solves, regret)")
+	}
+	return status
+}
+
+// gateStrategyAdversity compares re-solve regret-per-op against the
+// committed baseline: a scenario may not drift above its baseline by more
+// than the shared adversary tolerance, and no baseline scenario may
+// disappear.
+func gateStrategyAdversity(cur strategyAdvFile, basePath string) error {
+	raw, err := os.ReadFile(basePath)
+	if err != nil {
+		return err
+	}
+	var base strategyAdvFile
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("%s: %w", basePath, err)
+	}
+	if base.Seed != cur.Seed || base.Steps != cur.Steps {
+		return fmt.Errorf("baseline (seed=%d steps=%d) does not match run (seed=%d steps=%d)",
+			base.Seed, base.Steps, cur.Seed, cur.Steps)
+	}
+	resolveOf := func(f strategyAdvFile) map[string]strategyAdvResult {
+		m := make(map[string]strategyAdvResult)
+		for _, r := range f.Results {
+			if r.Mode == "resolve" {
+				m[r.Scenario] = r
+			}
+		}
+		return m
+	}
+	curR, baseR := resolveOf(cur), resolveOf(base)
+	for name, b := range baseR {
+		c, ok := curR[name]
+		if !ok {
+			return fmt.Errorf("scenario %q missing from this run", name)
+		}
+		if c.RegretPerOp > b.RegretPerOp+advRegretTolerance {
+			return fmt.Errorf("scenario %q: re-solve regret/op %.4f regressed past baseline %.4f (+%.2f allowed)",
+				name, c.RegretPerOp, b.RegretPerOp, advRegretTolerance)
+		}
+	}
+	return nil
+}

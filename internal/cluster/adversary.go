@@ -11,6 +11,7 @@ import (
 	"quorumkit/internal/rng"
 	"quorumkit/internal/sim"
 	"quorumkit/internal/stats"
+	"quorumkit/internal/strategy"
 	"quorumkit/internal/workload"
 )
 
@@ -60,6 +61,16 @@ type GrayRuntime interface {
 	NodeAssignment(x int) quorum.Assignment
 }
 
+// StrategyRuntime extends AdversaryRuntime with the randomized-strategy
+// serving surface (see strategy.go). Both runtimes implement it.
+type StrategyRuntime interface {
+	AdversaryRuntime
+	InstallStrategy(st strategy.Strategy, assign quorum.Assignment, version int64, budget int, seed uint64) error
+	ClearStrategy()
+	StrategyCounters() stats.StrategyCounters
+	NodeAssignment(x int) quorum.Assignment
+}
+
 // AdversaryConfig parameterizes one adversarial scenario replay.
 type AdversaryConfig struct {
 	Seed  uint64
@@ -96,6 +107,16 @@ type AdversaryConfig struct {
 	Hedge         bool
 	HedgeK        float64
 	RecordLatency bool
+
+	// Strategy (optional) is a randomized quorum strategy installed before
+	// the scenario starts, served through the sampled-quorum ladder with
+	// resample budget StrategyBudget (default 3) and sampling seed
+	// StrategySeed. Requires rt to implement StrategyRuntime. With Daemon
+	// and Health.Strategy.Enabled set, the daemon re-solves it on suspicion
+	// edges; without, the strategy is frozen and version drift disarms it.
+	Strategy       *strategy.Strategy
+	StrategyBudget int
+	StrategySeed   uint64
 
 	// Daemon enables self-healing, swept every DaemonEvery steps. When
 	// false the run is the static baseline the regret comparison judges
@@ -189,6 +210,7 @@ type AdversaryRun struct {
 
 	SettleOps, SettleGranted int
 	Health                   stats.HealthCounters
+	Strategy                 stats.StrategyCounters // zero unless cfg.Strategy was set
 	FinalVersions            []int64
 	Converged                bool
 	ViolationErr             error // Log.Check() result
@@ -287,6 +309,21 @@ func RunAdversary(rt AdversaryRuntime, mirror *graph.State, cfg AdversaryConfig)
 	}
 	if cfg.Partitions != nil {
 		rt.EnablePartitions(cfg.Partitions)
+	}
+	var srt StrategyRuntime
+	if cfg.Strategy != nil {
+		s, ok := rt.(StrategyRuntime)
+		if !ok {
+			panic("cluster: an installed strategy requires a StrategyRuntime")
+		}
+		srt = s
+		budget := cfg.StrategyBudget
+		if budget < 1 {
+			budget = 3
+		}
+		if err := srt.InstallStrategy(*cfg.Strategy, srt.NodeAssignment(0), rt.NodeVersion(0), budget, cfg.StrategySeed); err != nil {
+			panic("cluster: install scenario strategy: " + err.Error())
+		}
 	}
 	churn := faults.NewChurn(cfg.Seed, cfg.Sites, cfg.Links, cfg.Churn)
 	src := rng.New(cfg.Seed ^ 0xad5e)
@@ -619,6 +656,9 @@ func RunAdversary(rt AdversaryRuntime, mirror *graph.State, cfg AdversaryConfig)
 		}
 	}
 	run.Health = rt.HealthCounters()
+	if srt != nil {
+		run.Strategy = srt.StrategyCounters()
+	}
 	if grayOn {
 		run.HedgeProbes, run.HedgeWins = gr.HedgeStats()
 	}

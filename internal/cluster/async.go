@@ -52,6 +52,10 @@ type Async struct {
 	// reassignment daemon, and degradation gate (see health_async.go).
 	health *healthState
 
+	// strat, when non-nil, holds the installed randomized quorum strategy
+	// the serving layer samples from (see strategy_async.go).
+	strat *strategyState
+
 	// parts, when non-nil, holds the partition schedule and clock that
 	// cut message directions at the transport (see partition.go).
 	parts *asyncPartitions

@@ -187,6 +187,10 @@ type Cluster struct {
 	// reassignment daemon, and degradation gate (see health.go).
 	health *healthState
 
+	// strat, when non-nil, holds the installed randomized quorum strategy
+	// the serving layer samples from (see strategy.go).
+	strat *strategyState
+
 	// Partition transport (see partition.go): a schedule of network cuts
 	// evaluated per message direction at the current partition time.
 	partSched *faults.PartitionSchedule

@@ -160,6 +160,10 @@ type HealthConfig struct {
 	// Hysteresis is the minimum predicted availability improvement before a
 	// new assignment is installed (anti-flap).
 	Hysteresis float64
+	// Strategy, when enabled, makes every daemon reassignment attempt
+	// re-solve the installed randomized quorum strategy restricted to the
+	// surviving sites (see strategy.go).
+	Strategy StrategyResolveConfig
 }
 
 // DefaultHealthConfig mirrors conservative production defaults: suspect
@@ -211,6 +215,7 @@ func (cfg HealthConfig) normalize() HealthConfig {
 	if cfg.Hysteresis <= 0 {
 		cfg.Hysteresis = d.Hysteresis
 	}
+	cfg.Strategy = cfg.Strategy.normalize(cfg.Alpha)
 	return cfg
 }
 
@@ -576,6 +581,16 @@ func (h *healthState) daemonStep(r reassignRunner, x int, acks []heartbeatAck, r
 		h.counters.DaemonNoChanges++
 	}
 	h.mu.Unlock()
+	if err == nil && h.cfg.Strategy.Enabled {
+		// Availability-aware re-solve: the attempt above settled the
+		// assignment in force (installed or kept); restrict the strategy LP
+		// to the survivors and install only a certified result. Runs whether
+		// or not the assignment changed — the suspicion edge that triggered
+		// the attempt is exactly the signal the strategy must re-price.
+		if sr, isResolver := r.(strategyResolver); isResolver {
+			sr.runStrategyResolve(x, rep.Suspected)
+		}
+	}
 	if !changed && err == nil && staleVersion {
 		// The optimizer kept the incumbent without a full install round;
 		// still repair the observed version divergence.
@@ -761,6 +776,17 @@ func (c *Cluster) ServeRead(x int) Outcome {
 			return Outcome{Err: err}
 		}
 	}
+	if c.strat != nil && c.chaos == nil {
+		if out, served := c.strategyServe(x, false, 0); served {
+			if c.health != nil {
+				c.health.recordGrant(x, out.Granted)
+			}
+			return out
+		}
+		// Fallback ladder: the sampled path could not grant (stale strategy
+		// or resample budget exhausted); the deterministic round below is
+		// the authoritative answer.
+	}
 	var out Outcome
 	if c.chaos != nil {
 		out = c.ChaosRead(x)
@@ -792,6 +818,14 @@ func (c *Cluster) ServeWrite(x int, value int64) Outcome {
 		if err := c.health.gate(x, true); err != nil {
 			c.health.recordGrant(x, false)
 			return Outcome{Err: err}
+		}
+	}
+	if c.strat != nil && c.chaos == nil {
+		if out, served := c.strategyServe(x, true, value); served {
+			if c.health != nil {
+				c.health.recordGrant(x, out.Granted)
+			}
+			return out
 		}
 	}
 	var out Outcome

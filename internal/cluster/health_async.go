@@ -449,6 +449,19 @@ func (a *Async) ServeRead(x int) Outcome {
 			return Outcome{Err: err}
 		}
 	}
+	if a.strat != nil && a.chaos == nil {
+		a.opMu.Lock()
+		out, served := a.strategyServeLocked(x, false, 0)
+		a.opMu.Unlock()
+		if served {
+			if a.health != nil {
+				a.health.recordGrant(x, out.Granted)
+			}
+			return out
+		}
+		// Fallback ladder: the sampled path could not grant; the
+		// deterministic round below is the authoritative answer.
+	}
 	var out Outcome
 	if a.chaos != nil {
 		out = a.ChaosRead(x)
@@ -483,6 +496,17 @@ func (a *Async) ServeWrite(x int, value int64) Outcome {
 		if err := a.health.gate(x, true); err != nil {
 			a.health.recordGrant(x, false)
 			return Outcome{Err: err}
+		}
+	}
+	if a.strat != nil && a.chaos == nil {
+		a.opMu.Lock()
+		out, served := a.strategyServeLocked(x, true, value)
+		a.opMu.Unlock()
+		if served {
+			if a.health != nil {
+				a.health.recordGrant(x, out.Granted)
+			}
+			return out
 		}
 	}
 	var out Outcome

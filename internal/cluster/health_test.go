@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"errors"
+	"reflect"
 	"testing"
 	"time"
 
@@ -294,7 +295,9 @@ func TestModeStringAndConfigNormalize(t *testing.T) {
 	}
 	var zero HealthConfig
 	n := zero.normalize()
-	if n != DefaultHealthConfig() {
+	want := DefaultHealthConfig()
+	want.Strategy = want.Strategy.normalize(want.Alpha)
+	if !reflect.DeepEqual(n, want) {
 		t.Fatalf("zero config must normalize to defaults: %+v", n)
 	}
 	partial := HealthConfig{SuspectAfter: 7}

@@ -1,0 +1,244 @@
+package cluster
+
+import (
+	"sync"
+
+	"quorumkit/internal/obs"
+	"quorumkit/internal/quorum"
+	"quorumkit/internal/stats"
+	"quorumkit/internal/strategy"
+)
+
+// Concurrent-runtime side of strategy serving (see strategy.go for the
+// design and the serving ladder). The shared strategyState carries the
+// sampler, version pin, and RNG; this file supplies the scatter/gather
+// quorum round on the goroutine-per-node transport. The whole ladder runs
+// under opMu, so the sampling sequence is serialized exactly as on the
+// deterministic runtime: under the same topology schedule both runtimes
+// draw the same quorums in the same order and reach the same grant,
+// resample, and fallback decisions (the crosscheck tests pin this).
+
+// InstallStrategy arms sampled-quorum serving on the concurrent runtime
+// (see Cluster.InstallStrategy).
+func (a *Async) InstallStrategy(st strategy.Strategy, assign quorum.Assignment, version int64, budget int, seed uint64) error {
+	if a.strat == nil {
+		a.strat = &strategyState{}
+	}
+	return a.strat.install(st, a.voteVector(), assign, version, budget, seed)
+}
+
+// ClearStrategy disarms sampled-quorum serving.
+func (a *Async) ClearStrategy() {
+	if a.strat != nil {
+		a.strat.clear()
+	}
+}
+
+// StrategyCounters returns a snapshot of the strategy-serving counters.
+func (a *Async) StrategyCounters() stats.StrategyCounters {
+	if a.strat == nil {
+		return stats.StrategyCounters{}
+	}
+	return a.strat.snapshot()
+}
+
+// voteVector snapshots the per-site votes.
+func (a *Async) voteVector() []int {
+	a.topoMu.RLock()
+	defer a.topoMu.RUnlock()
+	votes := make([]int, len(a.nodes))
+	for i := range votes {
+		votes[i] = a.st.Votes(i)
+	}
+	return votes
+}
+
+// runStrategyResolve implements strategyResolver for the concurrent
+// runtime. Called from the shared daemonStep with opMu already held (the
+// daemon occupies one operation slot); the resolve itself is pure LP work
+// plus an install, no message rounds, so no further runtime locks are
+// needed.
+func (a *Async) runStrategyResolve(x int, suspected []int) {
+	if a.strat == nil || a.health == nil {
+		return
+	}
+	n := a.nodes[x]
+	n.mu.Lock()
+	assign, version := n.state.assign, n.state.version
+	n.mu.Unlock()
+	a.strat.resolve(a.health.cfg.Strategy, a.voteVector(), suspected, assign, version, a.obs)
+}
+
+// strategyServeLocked runs the sampled-quorum ladder for one operation at
+// coordinator x; caller holds opMu. Mirrors Cluster.strategyServe.
+func (a *Async) strategyServeLocked(x int, write bool, value int64) (Outcome, bool) {
+	s := a.strat
+	n := a.nodes[x]
+	n.mu.Lock()
+	nodeVersion := n.state.version
+	n.mu.Unlock()
+	budget, stale, active := s.armed(nodeVersion)
+	if !active {
+		return Outcome{}, false
+	}
+	if stale {
+		s.bump(func(ct *stats.StrategyCounters) { ct.StaleFallbacks++; ct.Fallbacks++ })
+		a.obs.Inc(obs.CStrategyFallback)
+		return Outcome{}, false
+	}
+	for attempt := 1; attempt <= budget; attempt++ {
+		q, version, ok := s.sample(write)
+		if !ok {
+			return Outcome{}, false
+		}
+		out, granted, newer := a.strategyRound(x, q, version, write, value)
+		if newer {
+			s.bump(func(ct *stats.StrategyCounters) { ct.StaleFallbacks++; ct.Fallbacks++ })
+			a.obs.Inc(obs.CStrategyFallback)
+			return Outcome{}, false
+		}
+		if granted {
+			out.Attempts = attempt
+			if write {
+				s.bump(func(ct *stats.StrategyCounters) { ct.SampledWrites++ })
+				a.obs.Inc(obs.CStrategyWrite)
+			} else {
+				s.bump(func(ct *stats.StrategyCounters) { ct.SampledReads++ })
+				a.obs.Inc(obs.CStrategyRead)
+			}
+			return out, true
+		}
+		if attempt < budget {
+			// The final failed attempt is the fallback, not a redraw.
+			s.bump(func(ct *stats.StrategyCounters) { ct.Resamples++ })
+			a.obs.Inc(obs.CStrategyResample)
+		}
+	}
+	s.bump(func(ct *stats.StrategyCounters) { ct.Fallbacks++ })
+	a.obs.Inc(obs.CStrategyFallback)
+	return Outcome{}, false
+}
+
+// strategyRound probes exactly the members of one sampled quorum and
+// grants iff every member answered, mirroring Cluster.strategyRound on the
+// concurrent transport. Members that are down, outside the coordinator's
+// component, cut by the partition schedule in either direction, or
+// amnesiac count as unanswered — semantically identical to the
+// deterministic runtime's drop-at-delivery, though the drop *totals*
+// legitimately differ (the pre-filter suppresses the send).
+func (a *Async) strategyRound(x int, q strategy.Quorum, version int64, write bool, value int64) (out Outcome, granted, newer bool) {
+	a.topoMu.RLock()
+	up := a.st.SiteUp(x)
+	missing := false
+	var targets []int
+	for _, m := range q {
+		if m == x {
+			continue
+		}
+		if !a.st.SiteUp(m) || !a.st.SameComponent(x, m) {
+			missing = true
+			continue
+		}
+		targets = append(targets, m)
+	}
+	a.topoMu.RUnlock()
+	if !up {
+		return Outcome{}, false, false
+	}
+	kept := targets[:0]
+	for _, m := range targets {
+		if a.partBlocked(x, m) || a.partBlocked(m, x) {
+			missing = true
+			continue
+		}
+		kept = append(kept, m)
+	}
+	a.obs.Add(obs.CStrategyProbe, int64(len(q)))
+
+	op := OpRead
+	if write {
+		op = OpWrite
+	}
+	replies := make(chan payload, len(kept))
+	a.obs.Add(obs.CMsgSent, int64(len(kept)))
+	for _, m := range kept {
+		a.sent.Add(1)
+		a.nodes[m].inbox <- asyncMsg{body: voteRequest{op: op}, reply: replies}
+	}
+
+	self := a.nodes[x]
+	self.mu.Lock()
+	eff := self.state
+	self.mu.Unlock()
+
+	answered := make(map[int]bool, len(kept))
+	a.obs.Add(obs.CMsgDelivered, int64(len(kept)))
+	for range kept {
+		pl := <-replies
+		a.delivered.Add(1)
+		r, isReply := pl.(voteReply)
+		if !isReply { // lostMark: an amnesiac member abstaining
+			missing = true
+			continue
+		}
+		answered[r.from] = true
+		if r.version > eff.version {
+			eff.version, eff.assign = r.version, r.assign
+		}
+		if r.stamp > eff.stamp {
+			eff.stamp, eff.value = r.stamp, r.value
+		}
+	}
+	if eff.version > version {
+		self.mu.Lock()
+		if self.state.adopt(eff.assign, eff.version, eff.stamp, eff.value) {
+			self.persistState()
+		}
+		self.mu.Unlock()
+		return Outcome{}, false, true
+	}
+	if missing {
+		return Outcome{}, false, false // unreachable member: redraw
+	}
+
+	responders := make([]int, 0, len(kept)+1)
+	responders = append(responders, x)
+	for _, m := range kept {
+		if answered[m] {
+			responders = append(responders, m)
+		}
+	}
+
+	if !write {
+		// Push the merged view to self and the responders; votesSeen 0
+		// keeps the §4.2 estimator unbiased (strategy rounds are targeted
+		// samples, not component measurements).
+		var ack sync.WaitGroup
+		sync1 := syncState{value: eff.value, stamp: eff.stamp, version: eff.version,
+			assign: eff.assign, votesSeen: 0}
+		ack.Add(len(responders))
+		a.obs.Add(obs.CMsgSent, int64(len(responders)))
+		for _, p := range responders {
+			a.sent.Add(1)
+			a.nodes[p].inbox <- asyncMsg{body: sync1, ack: &ack}
+		}
+		ack.Wait()
+		a.delivered.Add(int64(len(responders)))
+		a.obs.Add(obs.CMsgDelivered, int64(len(responders)))
+		return Outcome{Granted: true, Value: eff.value, Stamp: eff.stamp}, true, false
+	}
+
+	stamp := eff.stamp + 1
+	var ack sync.WaitGroup
+	msg := applyWrite{value: value, stamp: stamp}
+	ack.Add(len(responders))
+	a.obs.Add(obs.CMsgSent, int64(len(responders)))
+	for _, p := range responders {
+		a.sent.Add(1)
+		a.nodes[p].inbox <- asyncMsg{body: msg, ack: &ack}
+	}
+	ack.Wait()
+	a.delivered.Add(int64(len(responders)))
+	a.obs.Add(obs.CMsgDelivered, int64(len(responders)))
+	return Outcome{Granted: true, Value: value, Stamp: stamp}, true, false
+}

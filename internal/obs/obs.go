@@ -96,6 +96,15 @@ const (
 	CStrategyDeny
 	CStrategyProbe
 
+	// Strategy serving under adversity: sampled quorums that missed a
+	// member and were redrawn, operations that exhausted the resample
+	// budget (or found the strategy stale) and fell back to the
+	// deterministic assignment, and daemon re-solves that installed a
+	// certified survivor-restricted strategy.
+	CStrategyResample
+	CStrategyFallback
+	CStrategyResolve
+
 	numCounters
 )
 
@@ -144,6 +153,9 @@ var counterNames = [numCounters]string{
 	"quorumkit_strategy_writes_total",
 	"quorumkit_strategy_denies_total",
 	"quorumkit_strategy_probe_sites_total",
+	"quorumkit_strategy_resamples_total",
+	"quorumkit_strategy_fallbacks_total",
+	"quorumkit_strategy_resolves_total",
 }
 
 // Name returns the exposition name of a counter.

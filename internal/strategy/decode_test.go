@@ -1,0 +1,159 @@
+package strategy
+
+import (
+	"encoding/json"
+	"errors"
+	"math"
+	"testing"
+)
+
+// mustJSON marshals the case-study optimal strategy for round-trip seeds.
+func mustJSON(t *testing.T) []byte {
+	t.Helper()
+	sys := CaseStudySystem()
+	res, err := OptimizeCapacity(sys, CaseStudyFrDist(), Options{})
+	if err != nil {
+		t.Fatalf("solve: %v", err)
+	}
+	out, err := json.Marshal(res.Strategy)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	return out
+}
+
+func TestDecodeRoundTrip(t *testing.T) {
+	raw := mustJSON(t)
+	var st Strategy
+	if err := json.Unmarshal(raw, &st); err != nil {
+		t.Fatalf("decode canonical serialization: %v", err)
+	}
+	again, err := json.Marshal(st)
+	if err != nil {
+		t.Fatalf("re-marshal: %v", err)
+	}
+	var st2 Strategy
+	if err := json.Unmarshal(again, &st2); err != nil {
+		t.Fatalf("re-decode: %v", err)
+	}
+	// Marshal renormalizes, so the round trip is structural rather than
+	// byte-for-byte: identical quorums, probabilities within an ulp or two.
+	sameSide := func(side string, aq, bq []Quorum, ap, bp []float64) {
+		if len(aq) != len(bq) {
+			t.Fatalf("%s side lost quorums: %d vs %d", side, len(aq), len(bq))
+		}
+		for i := range aq {
+			if len(aq[i]) != len(bq[i]) {
+				t.Fatalf("%s quorum %d changed", side, i)
+			}
+			for k := range aq[i] {
+				if aq[i][k] != bq[i][k] {
+					t.Fatalf("%s quorum %d changed: %v vs %v", side, i, aq[i], bq[i])
+				}
+			}
+			if math.Abs(ap[i]-bp[i]) > 1e-12 {
+				t.Fatalf("%s prob %d drifted: %g vs %g", side, i, ap[i], bp[i])
+			}
+		}
+	}
+	sameSide("read", st.ReadQuorums, st2.ReadQuorums, st.ReadProbs, st2.ReadProbs)
+	sameSide("write", st.WriteQuorums, st2.WriteQuorums, st.WriteProbs, st2.WriteProbs)
+}
+
+func TestDecodeRejectsCorruption(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+		side string
+		idx  int
+	}{
+		{"empty reads", `{"reads":[],"writes":[{"sites":[0,1],"p":1}]}`, "read", -1},
+		{"empty writes", `{"reads":[{"sites":[0],"p":1}],"writes":[]}`, "write", -1},
+		{"empty quorum", `{"reads":[{"sites":[],"p":1}],"writes":[{"sites":[0],"p":1}]}`, "read", 0},
+		{"negative site", `{"reads":[{"sites":[-1,0],"p":1}],"writes":[{"sites":[0],"p":1}]}`, "read", 0},
+		{"unsorted sites", `{"reads":[{"sites":[1,0],"p":1}],"writes":[{"sites":[0],"p":1}]}`, "read", 0},
+		{"duplicate sites", `{"reads":[{"sites":[0,0],"p":1}],"writes":[{"sites":[0],"p":1}]}`, "read", 0},
+		{"negative prob", `{"reads":[{"sites":[0],"p":-0.5},{"sites":[1],"p":1.5}],"writes":[{"sites":[0],"p":1}]}`, "read", 0},
+		{"zero prob", `{"reads":[{"sites":[0],"p":0},{"sites":[1],"p":1}],"writes":[{"sites":[0],"p":1}]}`, "read", 0},
+		{"not normalized", `{"reads":[{"sites":[0],"p":0.25}],"writes":[{"sites":[0],"p":1}]}`, "read", -1},
+		{"over normalized", `{"reads":[{"sites":[0],"p":1}],"writes":[{"sites":[0],"p":0.6},{"sites":[1],"p":0.6}]}`, "write", -1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var st Strategy
+			err := json.Unmarshal([]byte(tc.in), &st)
+			var de *DecodeError
+			if !errors.As(err, &de) {
+				t.Fatalf("got %v, want *DecodeError", err)
+			}
+			if de.Side != tc.side || de.Index != tc.idx {
+				t.Fatalf("got (%s, %d), want (%s, %d): %v", de.Side, de.Index, tc.side, tc.idx, de)
+			}
+			if st.ReadQuorums != nil || st.WriteQuorums != nil {
+				t.Fatalf("receiver partially populated on decode error")
+			}
+		})
+	}
+	// NaN and Inf cannot be encoded as JSON numbers; a raw token still
+	// fails the decode rather than smuggling a non-finite probability in.
+	var st Strategy
+	if err := json.Unmarshal([]byte(`{"reads":[{"sites":[0],"p":NaN}],"writes":[]}`), &st); err == nil {
+		t.Fatalf("NaN token decoded")
+	}
+}
+
+// FuzzStrategyDecode asserts the decoder's contract on arbitrary bytes:
+// it either rejects the input or yields a strategy whose every invariant
+// the sampler depends on holds — sorted-unique non-negative quorums and
+// positive finite probabilities normalized per side — and whose canonical
+// re-serialization decodes again.
+func FuzzStrategyDecode(f *testing.F) {
+	f.Add([]byte(`{"reads":[{"sites":[0,1],"p":1}],"writes":[{"sites":[0,1,2],"p":1}]}`))
+	f.Add([]byte(`{"reads":[{"sites":[0],"p":0.5},{"sites":[1],"p":0.5}],"writes":[{"sites":[0,1],"p":1}]}`))
+	f.Add([]byte(`{"reads":[{"sites":[2,5,9],"p":0.25},{"sites":[0,3],"p":0.75}],"writes":[{"sites":[0,1,2,3],"p":1}]}`))
+	f.Add([]byte(`{"reads":[],"writes":[]}`))
+	f.Add([]byte(`{"reads":[{"sites":[1,0],"p":1}],"writes":[{"sites":[0],"p":1}]}`))
+	f.Add([]byte(`{"reads":[{"sites":[0],"p":-1},{"sites":[1],"p":2}],"writes":[{"sites":[0],"p":1}]}`))
+	f.Add([]byte(`{"reads":[{"sites":[0],"p":1e-13},{"sites":[1],"p":1}],"writes":[{"sites":[0],"p":1}]}`))
+	f.Add([]byte(`not json`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var st Strategy
+		if err := json.Unmarshal(data, &st); err != nil {
+			return
+		}
+		checkSide := func(side string, qs []Quorum, ps []float64) {
+			if len(qs) == 0 || len(qs) != len(ps) {
+				t.Fatalf("%s side decoded malformed: %d quorums, %d probs", side, len(qs), len(ps))
+			}
+			sum := 0.0
+			for i, q := range qs {
+				if len(q) == 0 {
+					t.Fatalf("%s quorum %d empty", side, i)
+				}
+				for k, x := range q {
+					if x < 0 || (k > 0 && q[k-1] >= x) {
+						t.Fatalf("%s quorum %d not sorted-unique non-negative: %v", side, i, q)
+					}
+				}
+				p := ps[i]
+				if math.IsNaN(p) || math.IsInf(p, 0) || p <= 0 {
+					t.Fatalf("%s prob %d = %g escaped validation", side, i, p)
+				}
+				sum += p
+			}
+			if math.Abs(sum-1) > 1e-9 {
+				t.Fatalf("%s probs sum to %g", side, sum)
+			}
+		}
+		checkSide("read", st.ReadQuorums, st.ReadProbs)
+		checkSide("write", st.WriteQuorums, st.WriteProbs)
+		out, err := json.Marshal(st)
+		if err != nil {
+			t.Fatalf("re-marshal of accepted strategy: %v", err)
+		}
+		var again Strategy
+		if err := json.Unmarshal(out, &again); err != nil {
+			t.Fatalf("canonical re-serialization rejected: %v\n%s", err, out)
+		}
+	})
+}

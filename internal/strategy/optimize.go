@@ -37,6 +37,11 @@ var genDebug = os.Getenv("STRATEGY_GEN_DEBUG") != ""
 // certificate proving it.
 var ErrLoadLimitInfeasible = errors.New("strategy: no strategy meets the load limit")
 
+// ErrResilienceInfeasible reports that the f-resilient pool is empty: no
+// quorum keeps its threshold after every possible f-site loss, so the
+// resilient capacity LP has no columns at all.
+var ErrResilienceInfeasible = errors.New("strategy: no resilient quorum exists")
+
 // Options tunes the optimizers. The zero value picks sensible defaults.
 type Options struct {
 	// MaxEnumerate caps exhaustive minimal-quorum enumeration; above it the
@@ -227,7 +232,7 @@ func optimizeCapacity(sys System, d FrDist, f int, opts Options) (*Result, error
 	writePool, wOK := minimalResilientQuorums(sys.Votes, sys.QW, f, opts.MaxEnumerate)
 	if rOK && wOK {
 		if len(readPool) == 0 || len(writePool) == 0 {
-			return nil, fmt.Errorf("strategy: no %d-resilient quorum exists", f)
+			return nil, fmt.Errorf("%w (f=%d)", ErrResilienceInfeasible, f)
 		}
 		lp := buildCapacityLP(sys, d, readPool, writePool, scale)
 		sol, err := Solve(lp)

@@ -1,0 +1,111 @@
+package strategy
+
+import (
+	"fmt"
+	"math"
+
+	"quorumkit/internal/core"
+	"quorumkit/internal/dist"
+)
+
+// The availability-aware objective: a capacity-optimal randomized strategy
+// is worthless if its quorum family collapses the moment the realized vote
+// density shifts, so the operator's real question is the capacity ×
+// availability trade-off, not either number alone. OptimizeCapacityAvailability
+// answers it by tracing the Pareto frontier over an availability floor
+// grid. The O(T) curve kernel prices every family member's availability in
+// one pass — the same prefilter OptimizeCapacityOverFamily uses — and each
+// member's capacity LP is solved at most once across the whole grid, so a
+// dense frontier costs no more than a single family sweep.
+
+// ParetoPoint is one point of the capacity × availability frontier: the
+// best certified capacity achievable by a family member whose availability
+// clears the floor.
+type ParetoPoint struct {
+	MinAvail float64 // the availability floor this point answers
+	Feasible bool    // some family member clears the floor
+	QR, QW   int     // the member realizing the point (when feasible)
+	Avail    float64 // that member's availability
+	Capacity float64
+	// Result is the member's certified capacity solve. Floors answered by
+	// the same member share one *Result.
+	Result *Result
+}
+
+// OptimizeCapacityAvailability traces the capacity × availability Pareto
+// frontier of the assignment family (q_r, T−q_r+1) over the given
+// availability floors. rDist and wDist are the aggregated read/write vote
+// densities of length T+1 (as produced by internal/dist) and alpha the
+// read fraction at which availability is priced, exactly as in
+// OptimizeCapacityOverFamily. Every returned point's LP solve carries a
+// KKT certificate re-verified here (tolerance 1e-9); a floor no member
+// clears yields a point with Feasible=false rather than an error, so a
+// grid that walks off the top of the curve still reports where it ended.
+//
+// Capacity is non-increasing in the floor: raising the floor only shrinks
+// the feasible member set. The property tests check this against a
+// brute-force oracle.
+func OptimizeCapacityAvailability(sys System, d FrDist, alpha float64, rDist, wDist dist.PMF, floors []float64, opts Options) ([]ParetoPoint, error) {
+	if err := sys.Validate(); err != nil {
+		return nil, err
+	}
+	if err := d.validate(); err != nil {
+		return nil, err
+	}
+	if len(floors) == 0 {
+		return nil, fmt.Errorf("strategy: no availability floors")
+	}
+	T := sys.T()
+	if len(rDist) != T+1 || len(wDist) != T+1 {
+		return nil, fmt.Errorf("strategy: densities have lengths %d/%d, want %d", len(rDist), len(wDist), T+1)
+	}
+	for _, f := range floors {
+		if math.IsNaN(f) || f < 0 || f > 1 {
+			return nil, fmt.Errorf("strategy: availability floor %g out of [0,1]", f)
+		}
+	}
+	curve := core.AvailabilityCurveInto(alpha, rDist, wDist, nil)
+
+	// Lazy per-member cache: each q_r's capacity LP is solved and certified
+	// at most once, however many floors it answers.
+	solved := make([]*Result, len(curve))
+	solve := func(qr int) (*Result, error) {
+		if solved[qr-1] != nil {
+			return solved[qr-1], nil
+		}
+		member := sys
+		member.QR, member.QW = qr, T-qr+1
+		res, err := OptimizeCapacity(member, d, opts)
+		if err != nil {
+			return nil, fmt.Errorf("strategy: family member q_r=%d: %w", qr, err)
+		}
+		if err := res.Certify(1e-9); err != nil {
+			return nil, fmt.Errorf("strategy: family member q_r=%d certificate: %w", qr, err)
+		}
+		solved[qr-1] = res
+		return res, nil
+	}
+
+	points := make([]ParetoPoint, 0, len(floors))
+	for _, floor := range floors {
+		pt := ParetoPoint{MinAvail: floor}
+		for qr := 1; qr <= T/2; qr++ {
+			if curve[qr-1] < floor {
+				continue
+			}
+			res, err := solve(qr)
+			if err != nil {
+				return nil, err
+			}
+			if !pt.Feasible || res.Capacity > pt.Capacity {
+				pt.Feasible = true
+				pt.QR, pt.QW = qr, T-qr+1
+				pt.Avail = curve[qr-1]
+				pt.Capacity = res.Capacity
+				pt.Result = res
+			}
+		}
+		points = append(points, pt)
+	}
+	return points, nil
+}

@@ -1,0 +1,199 @@
+package strategy
+
+import (
+	"math"
+	"testing"
+
+	"quorumkit/internal/dist"
+	"quorumkit/internal/rng"
+)
+
+// binomialPMF is the vote density of n independent unit-vote sites each up
+// with probability p.
+func binomialPMF(n int, p float64) dist.PMF {
+	out := make(dist.PMF, n+1)
+	out[0] = 1
+	for i := 0; i < n; i++ {
+		next := make(dist.PMF, n+1)
+		for v := 0; v <= i; v++ {
+			next[v] += out[v] * (1 - p)
+			next[v+1] += out[v] * p
+		}
+		out = next
+	}
+	return out
+}
+
+// paretoSystem draws a small heterogeneous unit-vote system.
+func paretoSystem(n int, seed uint64) System {
+	src := rng.New(seed)
+	sys := System{
+		Votes: make([]int, n), QR: n/2 + 1, QW: n/2 + 1,
+		ReadCap:  make([]float64, n),
+		WriteCap: make([]float64, n),
+		Latency:  make([]float64, n),
+	}
+	for i := 0; i < n; i++ {
+		sys.Votes[i] = 1
+		sys.ReadCap[i] = 50 + 150*src.Float64()
+		sys.WriteCap[i] = 20 + 80*src.Float64()
+		sys.Latency[i] = 1 + 4*src.Float64()
+	}
+	return sys
+}
+
+// tailSum is the independent brute-force availability arithmetic.
+func tailSum(d dist.PMF, from int) float64 {
+	s := 0.0
+	for v := from; v < len(d); v++ {
+		s += d[v]
+	}
+	return s
+}
+
+// TestParetoAgainstBruteForce checks every frontier point against a
+// brute-force oracle: solve every family member directly, price its
+// availability by direct tail sums, and take the best capacity over the
+// members clearing each floor.
+func TestParetoAgainstBruteForce(t *testing.T) {
+	const alpha = 0.7
+	floors := []float64{0, 0.2, 0.4, 0.6, 0.8, 0.9, 0.95, 0.99, 1}
+	for _, n := range []int{4, 5, 7} {
+		sys := paretoSystem(n, uint64(100+n))
+		d, err := NewFrDist(map[float64]float64{0.8: 3, 0.4: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rDist := binomialPMF(n, 0.9)
+		wDist := binomialPMF(n, 0.85)
+
+		points, err := OptimizeCapacityAvailability(sys, d, alpha, rDist, wDist, floors, Options{})
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if len(points) != len(floors) {
+			t.Fatalf("n=%d: %d points for %d floors", n, len(points), len(floors))
+		}
+
+		// Brute force: availability and capacity of every family member.
+		T := sys.T()
+		type member struct {
+			qr    int
+			avail float64
+			cap_  float64
+		}
+		var members []member
+		for qr := 1; qr <= T/2; qr++ {
+			avail := alpha*tailSum(rDist, qr) + (1-alpha)*tailSum(wDist, T-qr+1)
+			m := sys
+			m.QR, m.QW = qr, T-qr+1
+			res, err := OptimizeCapacity(m, d, Options{})
+			if err != nil {
+				t.Fatalf("n=%d q_r=%d: %v", n, qr, err)
+			}
+			members = append(members, member{qr: qr, avail: avail, cap_: res.Capacity})
+		}
+
+		for i, pt := range points {
+			floor := floors[i]
+			bestCap, feasible := 0.0, false
+			for _, m := range members {
+				if m.avail >= floor-1e-12 && (!feasible || m.cap_ > bestCap) {
+					feasible, bestCap = true, m.cap_
+				}
+			}
+			if pt.Feasible != feasible {
+				t.Fatalf("n=%d floor %g: feasible=%v, brute force says %v", n, floor, pt.Feasible, feasible)
+			}
+			if !feasible {
+				continue
+			}
+			if math.Abs(pt.Capacity-bestCap) > 1e-9*bestCap {
+				t.Fatalf("n=%d floor %g: capacity %.12g, brute force %.12g", n, floor, pt.Capacity, bestCap)
+			}
+			if pt.Avail < floor {
+				t.Fatalf("n=%d floor %g: chosen member availability %g below floor", n, floor, pt.Avail)
+			}
+			if pt.Result == nil {
+				t.Fatalf("n=%d floor %g: missing certified result", n, floor)
+			}
+			if err := pt.Result.Certify(1e-9); err != nil {
+				t.Fatalf("n=%d floor %g: certificate: %v", n, floor, err)
+			}
+			if got := pt.Result.Strategy.Capacity(paretoMember(sys, pt.QR), d); math.Abs(got-pt.Capacity) > 1e-6*pt.Capacity {
+				t.Fatalf("n=%d floor %g: strategy capacity %g disagrees with LP %g", n, floor, got, pt.Capacity)
+			}
+		}
+	}
+}
+
+func paretoMember(sys System, qr int) System {
+	sys.QR, sys.QW = qr, sys.T()-qr+1
+	return sys
+}
+
+// TestParetoMonotone property-tests the frontier shape over random small
+// systems: capacity is non-increasing and availability non-decreasing in
+// the floor, and once a floor is infeasible every higher floor is too.
+func TestParetoMonotone(t *testing.T) {
+	floors := []float64{0, 0.1, 0.25, 0.5, 0.7, 0.85, 0.95, 0.99, 0.999, 1}
+	for seed := uint64(1); seed <= 8; seed++ {
+		src := rng.New(seed * 77)
+		n := 4 + int(src.Intn(4)) // 4..7 sites
+		sys := paretoSystem(n, seed)
+		d := SingleFr(0.5 + 0.4*src.Float64())
+		rDist := binomialPMF(n, 0.7+0.25*src.Float64())
+		wDist := binomialPMF(n, 0.7+0.25*src.Float64())
+
+		points, err := OptimizeCapacityAvailability(sys, d, 0.6, rDist, wDist, floors, Options{})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		infeasibleSeen := false
+		for i, pt := range points {
+			if !pt.Feasible {
+				infeasibleSeen = true
+				continue
+			}
+			if infeasibleSeen {
+				t.Fatalf("seed %d: floor %g feasible after an infeasible lower floor", seed, pt.MinAvail)
+			}
+			if i == 0 {
+				continue
+			}
+			prev := points[i-1]
+			if !prev.Feasible {
+				continue
+			}
+			if pt.Capacity > prev.Capacity+1e-9*prev.Capacity {
+				t.Fatalf("seed %d: capacity increased with the floor: %g@%g -> %g@%g",
+					seed, prev.Capacity, prev.MinAvail, pt.Capacity, pt.MinAvail)
+			}
+			if pt.Avail < prev.Avail-1e-12 {
+				t.Fatalf("seed %d: realized availability decreased with the floor", seed)
+			}
+		}
+	}
+}
+
+// TestParetoBadInputs covers the validation edges.
+func TestParetoBadInputs(t *testing.T) {
+	sys := paretoSystem(5, 3)
+	d := SingleFr(0.7)
+	r := binomialPMF(5, 0.9)
+	w := binomialPMF(5, 0.9)
+	if _, err := OptimizeCapacityAvailability(sys, d, 0.7, r, w, nil, Options{}); err == nil {
+		t.Fatal("no floors accepted")
+	}
+	if _, err := OptimizeCapacityAvailability(sys, d, 0.7, r[:3], w, []float64{0.5}, Options{}); err == nil {
+		t.Fatal("short density accepted")
+	}
+	if _, err := OptimizeCapacityAvailability(sys, d, 0.7, r, w, []float64{1.5}, Options{}); err == nil {
+		t.Fatal("out-of-range floor accepted")
+	}
+	bad := sys
+	bad.QR, bad.QW = 0, 0
+	if _, err := OptimizeCapacityAvailability(bad, d, 0.7, r, w, []float64{0.5}, Options{}); err == nil {
+		t.Fatal("invalid system accepted")
+	}
+}

@@ -401,22 +401,88 @@ func (st Strategy) MarshalJSON() ([]byte, error) {
 	return json.Marshal(j)
 }
 
-// UnmarshalJSON reads the canonical serialization.
+// DecodeError is the typed validation failure of the canonical strategy
+// decoder: it names the side, the offending entry (-1 for side-level
+// failures), and the reason the serialization was rejected. A strategy
+// that fails decoding is never partially populated, so a corrupted
+// installed strategy can never be sampled.
+type DecodeError struct {
+	Side   string // "read" or "write"
+	Index  int    // entry index within the side; -1 for side-level failures
+	Reason string
+}
+
+// Error implements error.
+func (e *DecodeError) Error() string {
+	if e.Index < 0 {
+		return fmt.Sprintf("strategy: decode %s side: %s", e.Side, e.Reason)
+	}
+	return fmt.Sprintf("strategy: decode %s entry %d: %s", e.Side, e.Index, e.Reason)
+}
+
+// decodeSide validates one side of the canonical serialization: every
+// quorum non-empty, sorted-unique, with non-negative site ids; every
+// probability finite, positive, and the side summing to 1 within 1e-9.
+// (Site-range and vote-threshold checks need a System and stay in
+// Validate.)
+func decodeSide(side string, entries []quorumProbJSON) ([]Quorum, []float64, error) {
+	if len(entries) == 0 {
+		return nil, nil, &DecodeError{Side: side, Index: -1, Reason: "no quorums"}
+	}
+	qs := make([]Quorum, 0, len(entries))
+	ps := make([]float64, 0, len(entries))
+	sum := 0.0
+	for i, e := range entries {
+		if len(e.Sites) == 0 {
+			return nil, nil, &DecodeError{Side: side, Index: i, Reason: "empty quorum"}
+		}
+		for k, x := range e.Sites {
+			if x < 0 {
+				return nil, nil, &DecodeError{Side: side, Index: i,
+					Reason: fmt.Sprintf("negative site id %d", x)}
+			}
+			if k > 0 && e.Sites[k-1] >= x {
+				return nil, nil, &DecodeError{Side: side, Index: i, Reason: "sites not sorted-unique"}
+			}
+		}
+		if math.IsNaN(e.P) || math.IsInf(e.P, 0) {
+			return nil, nil, &DecodeError{Side: side, Index: i,
+				Reason: fmt.Sprintf("non-finite probability %g", e.P)}
+		}
+		if e.P <= 0 {
+			return nil, nil, &DecodeError{Side: side, Index: i,
+				Reason: fmt.Sprintf("non-positive probability %g", e.P)}
+		}
+		qs = append(qs, Quorum(e.Sites))
+		ps = append(ps, e.P)
+		sum += e.P
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		return nil, nil, &DecodeError{Side: side, Index: -1,
+			Reason: fmt.Sprintf("probabilities sum to %g, want 1", sum)}
+	}
+	return qs, ps, nil
+}
+
+// UnmarshalJSON reads the canonical serialization, rejecting corrupted
+// inputs — NaN/Inf/non-positive probabilities, non-normalized sides,
+// unsorted or negative site lists — with a typed *DecodeError. On error
+// the receiver is left unchanged.
 func (st *Strategy) UnmarshalJSON(data []byte) error {
 	var j strategyJSON
 	if err := json.Unmarshal(data, &j); err != nil {
 		return err
 	}
-	st.ReadQuorums, st.ReadProbs = nil, nil
-	st.WriteQuorums, st.WriteProbs = nil, nil
-	for _, e := range j.Reads {
-		st.ReadQuorums = append(st.ReadQuorums, Quorum(e.Sites))
-		st.ReadProbs = append(st.ReadProbs, e.P)
+	rq, rp, err := decodeSide("read", j.Reads)
+	if err != nil {
+		return err
 	}
-	for _, e := range j.Writes {
-		st.WriteQuorums = append(st.WriteQuorums, Quorum(e.Sites))
-		st.WriteProbs = append(st.WriteProbs, e.P)
+	wq, wp, err := decodeSide("write", j.Writes)
+	if err != nil {
+		return err
 	}
+	st.ReadQuorums, st.ReadProbs = rq, rp
+	st.WriteQuorums, st.WriteProbs = wq, wp
 	return nil
 }
 
