@@ -69,6 +69,7 @@
 //	quorumsim -chaos -chaosmix all -ops 5000 -seed 7
 //	quorumsim -diskchaos -diskmix disk-all -ops 2000 -seed 7
 //	quorumsim -churn -seeds 3 -soakops 4000
+//	quorumsim -weightcheck -weightsites 9 -alpha 0.75 -seed 1
 //	quorumsim -adversary BENCH_adversary.json -adversarybase BENCH_adversary.json
 //	quorumsim -churn -metrics metrics.prom -trace trace.jsonl -pprof churn
 //	quorumsim -benchjson BENCH_robustness.json
@@ -136,6 +137,9 @@ func main() {
 		grayOps   = flag.Int("grayops", 2000, "grayfail: steps per scenario run")
 		hedge     = flag.Bool("hedge", false, "run the hedged-read demo: slow-replica scenario unhedged vs hedged, printing the p50/p99 read-latency shift")
 
+		weightCheck = flag.Bool("weightcheck", false, "anneal weighted votes on a star and crosscheck the scenario engine's predicted availability against the discrete-event simulator")
+		weightSites = flag.Int("weightsites", 9, "weightcheck: star size")
+
 		churn      = flag.Bool("churn", false, "run the churn soak: self-healing daemon on vs off under site/link churn")
 		soakSeeds  = flag.Int("seeds", 3, "churn soak: seeds per configuration")
 		soakOps    = flag.Int("soakops", 4000, "churn soak: churn-phase operations per run")
@@ -189,6 +193,8 @@ func main() {
 		status = runStrategyChaos(*strategyChaos, *strategyAdvBase, *strategyChaosOps, *seed, sink)
 	case *adversary != "":
 		status = runAdversary(*adversary, *adversaryBase, *advOps, *seed, sink)
+	case *weightCheck:
+		status = runWeightCheck(*weightSites, *alpha, *seed)
 	case *churn:
 		status = runChurn(*soakSeeds, *soakOps, firstNonZero(*sites, 9), *soakAlpha, *seed, sink)
 	case *diskChaos:

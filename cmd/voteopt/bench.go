@@ -1,0 +1,251 @@
+package main
+
+// The weights benchmark: certified annealing runs at representative scales,
+// written as BENCH_weights.json and gated against the committed baseline in
+// CI. The gate asserts the search's quality contract, not wall-clock alone:
+// every accepted candidate carried an intersection certificate, the weighted
+// result never fell below the uniform baseline, an in-process rerun with the
+// same seed reproduced the result bit-for-bit, and the objective values
+// match the committed baseline to 1e-9 relative (values are deterministic
+// across machines up to last-ulp differences in math.Exp; the trajectory
+// hash is recorded for forensics but only compared within one host's
+// double run).
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"time"
+
+	"quorumkit/internal/graph"
+	"quorumkit/internal/quorum"
+	"quorumkit/internal/votes"
+)
+
+// weightsBench is one annealing run in BENCH_weights.json.
+type weightsBench struct {
+	Name          string  `json:"name"`
+	Sites         int     `json:"sites"`
+	Objective     string  `json:"objective"`
+	Value         float64 `json:"value"`
+	UniformValue  float64 `json:"uniform_value"`
+	Votes         []int   `json:"votes"`
+	QR            int     `json:"qr"`
+	QW            int     `json:"qw"`
+	Evaluations   int     `json:"evaluations"`
+	Accepted      int     `json:"accepted"`
+	AllCertified  bool    `json:"all_certified"`
+	Deterministic bool    `json:"deterministic"`
+	Trajectory    string  `json:"trajectory_hash"`
+	ElapsedSec    float64 `json:"elapsed_sec"`
+}
+
+type weightsBenchFile struct {
+	Seed    uint64         `json:"seed"`
+	Results []weightsBench `json:"results"`
+}
+
+// weightsCase is one benchmark scenario: a builder for the objective (fresh
+// per run — objectives reuse internal buffers) and the search configuration.
+type weightsCase struct {
+	name string
+	n    int
+	obj  func() (votes.Objective, error)
+	cfg  votes.SearchConfig
+}
+
+func weightsCases(seed uint64) []weightsCase {
+	avail := func(g *graph.Graph, p, r, alpha float64, count int) func() (votes.Objective, error) {
+		return func() (votes.Objective, error) {
+			sc, err := votes.SampleScenarios(g, p, r, count, seed)
+			if err != nil {
+				return nil, err
+			}
+			return votes.NewAvailObjective(sc, alpha)
+		}
+	}
+	return []weightsCase{
+		{
+			name: "star-100-avail",
+			n:    100,
+			obj:  avail(graph.Star(100), 0.9, 0.7, 0.5, 1000),
+			cfg:  votes.SearchConfig{MaxVotesPerSite: 4, Seed: seed, Steps: 800, Restarts: 2},
+		},
+		{
+			// The moderate-n regime where weighting strictly beats uniform:
+			// on a 20-site star at r=0.7 the annealer finds hub-weighted
+			// assignments worth ~+0.03 availability. (At n=100 the uniform
+			// majority is already near-optimal — the star-100 case documents
+			// that equality honestly rather than hiding it.)
+			name: "star-20-avail",
+			n:    20,
+			obj:  avail(graph.Star(20), 0.9, 0.7, 0.5, 4000),
+			cfg:  votes.SearchConfig{MaxVotesPerSite: 4, Seed: seed, Steps: 1000, Restarts: 2},
+		},
+		{
+			name: "path-40-avail",
+			n:    40,
+			obj:  avail(graph.Path(40), 0.9, 0.8, 0.75, 800),
+			cfg:  votes.SearchConfig{MaxVotesPerSite: 3, Seed: seed, Steps: 600, Restarts: 2},
+		},
+		{
+			name: "tiered-12-capacity",
+			n:    12,
+			obj:  func() (votes.Objective, error) { return capacityObjective(12), nil },
+			cfg:  votes.SearchConfig{MaxVotesPerSite: 3, Seed: seed, Steps: 80, Restarts: 1},
+		},
+	}
+}
+
+// runBenchWeights executes every weights case twice (the determinism check),
+// writes the results to path, and gates against base when given.
+func runBenchWeights(path, base string, seed uint64) int {
+	file := weightsBenchFile{Seed: seed}
+	for _, c := range weightsCases(seed) {
+		obj, err := c.obj()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		uni, err := obj.Eval(quorum.UniformVotes(c.n))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		start := time.Now()
+		res, err := votes.Anneal(c.n, obj, c.cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		elapsed := time.Since(start).Seconds()
+
+		// Rerun on a FRESH objective: same seed must reproduce the entire
+		// SearchResult, trajectory hash included.
+		obj2, err := c.obj()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		res2, err := votes.Anneal(c.n, obj2, c.cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		deterministic := res.Value == res2.Value &&
+			res.TrajectoryHash == res2.TrajectoryHash &&
+			res.Evaluations == res2.Evaluations &&
+			votesEqual(res.Votes, res2.Votes)
+
+		file.Results = append(file.Results, weightsBench{
+			Name:          c.name,
+			Sites:         c.n,
+			Objective:     obj.Name(),
+			Value:         res.Value,
+			UniformValue:  uni.Value,
+			Votes:         res.Votes,
+			QR:            res.Assignment.QR,
+			QW:            res.Assignment.QW,
+			Evaluations:   res.Evaluations,
+			Accepted:      res.Accepted,
+			AllCertified:  res.Accepted == res.CertifiedAccepts && res.Cert.Intersects(),
+			Deterministic: deterministic,
+			Trajectory:    fmt.Sprintf("%016x", res.TrajectoryHash),
+			ElapsedSec:    elapsed,
+		})
+	}
+
+	out, err := json.MarshalIndent(file, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	out = append(out, '\n')
+	if err := os.WriteFile(path, out, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	for _, r := range file.Results {
+		fmt.Printf("%-20s n=%-4d %-8s value %.6f (uniform %.6f)  %d evals  %.2fs  certified=%v deterministic=%v\n",
+			r.Name, r.Sites, r.Objective, r.Value, r.UniformValue, r.Evaluations, r.ElapsedSec, r.AllCertified, r.Deterministic)
+	}
+
+	if base == "" {
+		return 0
+	}
+	return gateBenchWeights(file, base)
+}
+
+// gateBenchWeights enforces the quality contract against the committed
+// baseline.
+func gateBenchWeights(cur weightsBenchFile, base string) int {
+	raw, err := os.ReadFile(base)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	var b weightsBenchFile
+	if err := json.Unmarshal(raw, &b); err != nil {
+		fmt.Fprintf(os.Stderr, "parsing baseline %s: %v\n", base, err)
+		return 2
+	}
+	baseline := make(map[string]weightsBench, len(b.Results))
+	for _, r := range b.Results {
+		baseline[r.Name] = r
+	}
+
+	status := 0
+	fail := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "WEIGHTS GATE FAIL: "+format+"\n", args...)
+		status = 1
+	}
+	totalSec := 0.0
+	for _, r := range cur.Results {
+		totalSec += r.ElapsedSec
+		if !r.AllCertified {
+			fail("%s accepted an uncertified candidate", r.Name)
+		}
+		if !r.Deterministic {
+			fail("%s is not deterministic across same-seed reruns", r.Name)
+		}
+		if r.Value < r.UniformValue {
+			fail("%s weighted value %.9f below uniform %.9f", r.Name, r.Value, r.UniformValue)
+		}
+		bl, ok := baseline[r.Name]
+		if !ok {
+			fail("%s missing from baseline %s", r.Name, base)
+			continue
+		}
+		if relDiff(r.Value, bl.Value) > 1e-9 {
+			fail("%s value %.12f drifted from baseline %.12f", r.Name, r.Value, bl.Value)
+		}
+	}
+	if totalSec > 60 {
+		fail("benchmark took %.1fs, over the 60s budget", totalSec)
+	}
+	if status == 0 {
+		fmt.Printf("weights gate OK against %s\n", base)
+	}
+	return status
+}
+
+func relDiff(a, b float64) float64 {
+	d := math.Abs(a - b)
+	if d == 0 {
+		return 0
+	}
+	return d / math.Max(math.Abs(a), math.Abs(b))
+}
+
+func votesEqual(a, b quorum.VoteAssignment) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,13 +1,25 @@
 // Command voteopt optimizes vote assignments jointly with quorum
-// assignments on small asymmetric topologies — the companion problem of the
-// paper's reference [7]. Availability is computed exactly by enumerating
-// failure configurations, so it is limited to small systems (the literature
-// it reproduces reached seven sites).
+// assignments — the companion problem of the paper's reference [7].
+//
+// Two evaluation paths back the search. Small systems (n ≤ 7) use exact
+// failure-configuration enumeration, as in the literature this reproduces.
+// Larger systems — the annealer is comfortable into the hundreds of sites —
+// are scored against a frozen common-random-numbers scenario sample: the
+// partition structure is sampled once and every candidate weight vector
+// merely re-prices it, so candidate comparisons are noise-free and the whole
+// search is deterministic in -seed.
+//
+// Every candidate the search engines accept carries an O(n log n) pigeonhole
+// certificate of read/write quorum intersection; the engines never accept an
+// uncertified system.
 //
 // Usage:
 //
 //	voteopt -net star -n 6 -p 0.9 -r 0.7 -alpha 0.5 -max 3
 //	voteopt -net path -n 5 -search exhaustive
+//	voteopt -net star -n 100 -search anneal -scenarios 1000 -steps 800
+//	voteopt -objective capacity -n 12 -search anneal
+//	voteopt -benchweights BENCH_weights.json [-weightsbase BENCH_weights.json]
 package main
 
 import (
@@ -16,63 +28,98 @@ import (
 	"os"
 
 	"quorumkit/internal/graph"
+	"quorumkit/internal/quorum"
+	"quorumkit/internal/strategy"
 	"quorumkit/internal/votes"
 )
 
+// exactLimit is the largest system the exact-enumeration objective handles;
+// beyond it the availability objective switches to the scenario engine.
+const exactLimit = 7
+
 func main() {
 	var (
-		net    = flag.String("net", "star", "topology: star | path | ring | complete | grid2x3")
-		n      = flag.Int("n", 6, "number of sites")
-		p      = flag.Float64("p", 0.9, "site reliability")
-		r      = flag.Float64("r", 0.7, "link reliability")
-		alpha  = flag.Float64("alpha", 0.5, "fraction of accesses that are reads")
-		maxV   = flag.Int("max", 3, "maximum votes per site")
-		search = flag.String("search", "hillclimb", "search: hillclimb | exhaustive")
+		net       = flag.String("net", "star", "topology: star | path | ring | complete | grid2x3")
+		n         = flag.Int("n", 6, "number of sites")
+		p         = flag.Float64("p", 0.9, "site reliability")
+		r         = flag.Float64("r", 0.7, "link reliability")
+		alpha     = flag.Float64("alpha", 0.5, "fraction of accesses that are reads")
+		maxV      = flag.Int("max", 3, "maximum votes per site")
+		search    = flag.String("search", "hillclimb", "search: hillclimb | exhaustive | anneal")
+		objective = flag.String("objective", "avail", "objective: avail | capacity")
+		seed      = flag.Uint64("seed", 1, "search and scenario seed")
+		scenarios = flag.Int("scenarios", 1000, "failure scenarios for the large-n availability objective")
+		steps     = flag.Int("steps", 0, "annealing steps per restart (0 = default)")
+		restarts  = flag.Int("restarts", 0, "annealing restarts (0 = default)")
+		budget    = flag.Int("budget", 0, "total vote budget (0 = n·max)")
+		benchOut  = flag.String("benchweights", "", "write BENCH_weights.json to this path and exit")
+		benchBase = flag.String("weightsbase", "", "gate -benchweights against this committed baseline")
 	)
 	flag.Parse()
 
-	var g *graph.Graph
-	switch *net {
-	case "star":
-		g = graph.Star(*n)
-	case "path":
-		g = graph.Path(*n)
-	case "ring":
-		g = graph.Ring(*n)
-	case "complete":
-		g = graph.Complete(*n)
-	case "grid2x3":
-		g = graph.Grid(2, 3)
+	if *benchOut != "" {
+		os.Exit(runBenchWeights(*benchOut, *benchBase, *seed))
+	}
+
+	g, err := buildGraph(*net, *n)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	nn := g.N()
+	scfg := votes.SearchConfig{
+		MaxVotesPerSite: *maxV,
+		TotalBudget:     *budget,
+		Seed:            *seed,
+		Restarts:        *restarts,
+		Steps:           *steps,
+	}
+
+	var obj votes.Objective
+	switch *objective {
+	case "avail":
+		if nn <= exactLimit && *search != "anneal" {
+			obj = votes.ExactObjective{G: g, Cfg: votes.Config{
+				P: *p, R: *r, Alpha: *alpha,
+				MaxVotesPerSite: *maxV, TotalBudget: *budget,
+			}}
+		} else {
+			sc, err := votes.SampleScenarios(g, *p, *r, *scenarios, *seed)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			obj, err = votes.NewAvailObjective(sc, *alpha)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+	case "capacity":
+		obj = capacityObjective(nn)
 	default:
-		fmt.Fprintf(os.Stderr, "unknown -net %q\n", *net)
+		fmt.Fprintf(os.Stderr, "unknown -objective %q\n", *objective)
 		os.Exit(2)
 	}
 
-	cfg := votes.Config{P: *p, R: *r, Alpha: *alpha, MaxVotesPerSite: *maxV}
-	fmt.Printf("topology %s (n=%d, m=%d), p=%g, r=%g, α=%g\n",
-		*net, g.N(), g.M(), *p, *r, *alpha)
+	fmt.Printf("topology %s (n=%d, m=%d), p=%g, r=%g, α=%g, objective %s (%s)\n",
+		*net, nn, g.M(), *p, *r, *alpha, *objective, obj.Name())
 
-	uni, err := votes.Uniform(g, cfg)
+	uni, err := obj.Eval(quorum.UniformVotes(nn))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	fmt.Printf("uniform votes %v: %v  A = %.4f\n", uni.Votes, uni.Assignment, uni.Availability)
+	fmt.Printf("uniform baseline: %v  value = %.6f\n", uni.Assignment, uni.Value)
 
-	deg := votes.DegreeHeuristic(g, *maxV)
-	dev, err := votes.Evaluate(g, deg, cfg)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
-	}
-	fmt.Printf("degree votes  %v: %v  A = %.4f\n", dev.Votes, dev.Assignment, dev.Availability)
-
-	var best votes.Evaluation
+	var res votes.SearchResult
 	switch *search {
 	case "hillclimb":
-		best, err = votes.HillClimb(g, cfg)
+		res, err = votes.HillClimbObjective(nn, obj, quorum.UniformVotes(nn), scfg)
 	case "exhaustive":
-		best, err = votes.Exhaustive(g, cfg)
+		res, err = votes.ExhaustiveObjective(nn, obj, scfg)
+	case "anneal":
+		res, err = votes.Anneal(nn, obj, scfg)
 	default:
 		fmt.Fprintf(os.Stderr, "unknown -search %q\n", *search)
 		os.Exit(2)
@@ -81,8 +128,54 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	fmt.Printf("%s votes %v: %v  A = %.4f\n", *search, best.Votes, best.Assignment, best.Availability)
-	if best.Availability > uni.Availability {
-		fmt.Printf("improvement over uniform: +%.4f\n", best.Availability-uni.Availability)
+
+	fmt.Printf("%s votes %v\n", *search, res.Votes)
+	fmt.Printf("  %v  value = %.6f  (evaluations %d)\n", res.Assignment, res.Value, res.Evaluations)
+	fmt.Printf("  certificate: q_r+q_w=%d > T=%d, 2·q_w=%d > T; survives %d read / %d write failures\n",
+		res.Cert.QR+res.Cert.QW, res.Cert.T, 2*res.Cert.QW, res.Cert.ReadSurvives, res.Cert.WriteSurvives)
+	if *search == "anneal" {
+		fmt.Printf("  accepted %d (all certified: %v), trajectory %016x\n",
+			res.Accepted, res.Accepted == res.CertifiedAccepts, res.TrajectoryHash)
 	}
+	if res.Value > uni.Value {
+		fmt.Printf("improvement over uniform: +%.6f\n", res.Value-uni.Value)
+	}
+}
+
+func buildGraph(net string, n int) (*graph.Graph, error) {
+	switch net {
+	case "star":
+		return graph.Star(n), nil
+	case "path":
+		return graph.Path(n), nil
+	case "ring":
+		return graph.Ring(n), nil
+	case "complete":
+		return graph.Complete(n), nil
+	case "grid2x3":
+		return graph.Grid(2, 3), nil
+	default:
+		return nil, fmt.Errorf("unknown -net %q", net)
+	}
+}
+
+// capacityObjective builds the tiered synthetic capacity model used when no
+// measured capacities are supplied: alternating fast (4000/2000 accesses per
+// unit time) and slow (2000/1000) sites, a 90%-read workload. The capacity
+// LP and its KKT certificate come from internal/strategy.
+func capacityObjective(n int) votes.CapacityObjective {
+	readCap := make([]float64, n)
+	writeCap := make([]float64, n)
+	for i := 0; i < n; i++ {
+		if i%2 == 0 {
+			readCap[i], writeCap[i] = 4000, 2000
+		} else {
+			readCap[i], writeCap[i] = 2000, 1000
+		}
+	}
+	fr, err := strategy.NewFrDist(map[float64]float64{0.9: 1})
+	if err != nil {
+		panic(err) // constant input; unreachable
+	}
+	return votes.CapacityObjective{ReadCap: readCap, WriteCap: writeCap, Dist: fr}
 }

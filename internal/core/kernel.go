@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 
 	"quorumkit/internal/dist"
 )
@@ -55,6 +56,21 @@ func AvailabilityCurveInto(alpha float64, r, w dist.PMF, dst []float64) []float6
 		}
 	}
 	return dst
+}
+
+// OptimizeCurve selects the best read quorum from a family curve produced
+// by AvailabilityCurveInto or CurveInto: the smallest-q_r argmax, the same
+// tie rule as Model.Optimize (entry i corresponds to q_r = i+1). An empty
+// curve (T < 2 leaves no searchable quorum) returns q_r = 1 with -Inf
+// availability, matching Model.Optimize's degenerate answer.
+func OptimizeCurve(curve []float64) (qr int, avail float64) {
+	qr, avail = 1, math.Inf(-1)
+	for i, a := range curve {
+		if a > avail {
+			qr, avail = i+1, a
+		}
+	}
+	return qr, avail
 }
 
 // CurveInto writes A(α, q_r) for every q_r ∈ [1, ⌊T/2⌋] into dst using the

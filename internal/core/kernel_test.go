@@ -151,3 +151,36 @@ func TestKernelValidation(t *testing.T) {
 	mustPanic("too short", func() { AvailabilityCurveInto(0.5, dist.PMF{1}, dist.PMF{1}, nil) })
 	mustPanic("bad alpha", func() { AvailabilityCurveInto(1.5, ok, ok, nil) })
 }
+
+// TestOptimizeCurveMatchesModelOptimize: selecting the argmax from a family
+// curve must reproduce Model.Optimize exactly — same availability, same
+// smallest-q_r tie rule — since the weighted-vote search uses OptimizeCurve
+// where the seed engine used Model.Optimize.
+func TestOptimizeCurveMatchesModelOptimize(t *testing.T) {
+	src := rng.New(11)
+	for trial := 0; trial < 300; trial++ {
+		T := 2 + src.Intn(40)
+		r := randomDensity(src, T)
+		w := randomDensity(src, T)
+		alpha := src.Float64()
+		m, err := ModelFromRW(r, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := m.Optimize(alpha)
+		qr, avail := OptimizeCurve(AvailabilityCurveInto(alpha, r, w, nil))
+		if qr != res.Assignment.QR || avail != res.Availability {
+			t.Fatalf("trial %d: OptimizeCurve (%d, %.17g) vs Model.Optimize (%d, %.17g)",
+				trial, qr, avail, res.Assignment.QR, res.Availability)
+		}
+	}
+	// Ties resolve to the smallest q_r.
+	if qr, _ := OptimizeCurve([]float64{0.5, 0.5, 0.3}); qr != 1 {
+		t.Fatalf("tie resolved to q_r=%d, want 1", qr)
+	}
+	// Degenerate empty curve: q_r=1 at -Inf, Model.Optimize's answer for T<2.
+	qr, avail := OptimizeCurve(nil)
+	if qr != 1 || !math.IsInf(avail, -1) {
+		t.Fatalf("empty curve gave (%d, %g)", qr, avail)
+	}
+}

@@ -78,6 +78,14 @@ func SubSeed(seed, i uint64) uint64 {
 	return splitMix64(&x)
 }
 
+// SubSource returns a fresh Source seeded with SubSeed(seed, i): the O(1)
+// deterministic substream i of base seed, independent of evaluation order.
+// This is the substream constructor for restart schedules and sharded
+// searches — New(SubSeed(seed, i)) spelled as one call.
+func SubSource(seed, i uint64) *Source {
+	return New(SubSeed(seed, i))
+}
+
 // Uint64 returns the next 64 uniformly distributed bits.
 func (r *Source) Uint64() uint64 {
 	s := &r.s

@@ -409,3 +409,21 @@ func mixCheck(state uint64) uint64 {
 	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
 	return z ^ (z >> 31)
 }
+
+// TestSubSource: SubSource(seed, i) is exactly New(SubSeed(seed, i)) — the
+// O(1) order-independent substream constructor the annealing restarts use —
+// and distinct substreams of one base seed diverge immediately.
+func TestSubSource(t *testing.T) {
+	for _, i := range []uint64{0, 1, 2, 1 << 40} {
+		a := SubSource(99, i)
+		b := New(SubSeed(99, i))
+		for k := 0; k < 16; k++ {
+			if x, y := a.Uint64(), b.Uint64(); x != y {
+				t.Fatalf("substream %d diverged from New(SubSeed) at step %d: %x vs %x", i, k, x, y)
+			}
+		}
+	}
+	if SubSource(99, 0).Uint64() == SubSource(99, 1).Uint64() {
+		t.Fatal("substreams 0 and 1 start identically")
+	}
+}

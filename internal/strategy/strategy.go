@@ -87,6 +87,37 @@ type System struct {
 	Latency  []float64
 }
 
+// MajoritySystem builds a System for a weighted vote assignment under the
+// paper's majority pairing q_r = ⌊T/2⌋, q_w = T − q_r + 1 — the threshold
+// pair every vote-weight search candidate is scored and certified at. It
+// validates the assembled system, so a caller holding a non-nil System has
+// intersection (q_r + q_w > T, 2·q_w > T) by construction.
+func MajoritySystem(votes []int, readCap, writeCap, latency []float64) (System, error) {
+	T := 0
+	for _, v := range votes {
+		T += v
+	}
+	if T < 2 {
+		return System{}, fmt.Errorf("strategy: majority pairing needs T ≥ 2, got %d", T)
+	}
+	if latency == nil {
+		// Latency is irrelevant to the capacity objectives; zeros validate.
+		latency = make([]float64, len(votes))
+	}
+	sys := System{
+		Votes:    append([]int(nil), votes...),
+		QR:       T / 2,
+		QW:       T - T/2 + 1,
+		ReadCap:  readCap,
+		WriteCap: writeCap,
+		Latency:  latency,
+	}
+	if err := sys.Validate(); err != nil {
+		return System{}, err
+	}
+	return sys, nil
+}
+
 // N returns the number of sites.
 func (s System) N() int { return len(s.Votes) }
 

@@ -227,3 +227,45 @@ func TestSamplerDistribution(t *testing.T) {
 		}
 	}
 }
+
+// TestMajoritySystem: the weighted-vote search's bridge into the capacity
+// LP — majority pairing thresholds, validated by construction, nil latency
+// defaulted, and the input votes copied rather than aliased.
+func TestMajoritySystem(t *testing.T) {
+	votes := []int{3, 0, 1, 1}
+	sys, err := MajoritySystem(votes, []float64{4, 2, 4, 2}, []float64{2, 1, 2, 1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.QR != 2 || sys.QW != 4 { // T=5: q_r=⌊5/2⌋=2, q_w=5−2+1=4
+		t.Fatalf("thresholds (%d, %d), want (2, 4)", sys.QR, sys.QW)
+	}
+	if len(sys.Latency) != 4 {
+		t.Fatalf("nil latency not defaulted: %v", sys.Latency)
+	}
+	votes[0] = 99
+	if sys.Votes[0] != 3 {
+		t.Fatal("votes aliased, not copied")
+	}
+	// Even T: q_r=2, q_w=3 for T=4.
+	sys, err = MajoritySystem([]int{1, 1, 1, 1}, []float64{1, 1, 1, 1}, []float64{1, 1, 1, 1}, []float64{0, 0, 0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.QR != 2 || sys.QW != 3 {
+		t.Fatalf("thresholds (%d, %d), want (2, 3)", sys.QR, sys.QW)
+	}
+	// Error paths: degenerate totals and malformed capacities.
+	if _, err := MajoritySystem([]int{1}, []float64{1}, []float64{1}, nil); err == nil {
+		t.Fatal("T=1 accepted")
+	}
+	if _, err := MajoritySystem([]int{0, 0}, nil, nil, nil); err == nil {
+		t.Fatal("T=0 accepted")
+	}
+	if _, err := MajoritySystem([]int{1, 1}, []float64{1}, []float64{1, 1}, nil); err == nil {
+		t.Fatal("capacity length mismatch accepted")
+	}
+	if _, err := MajoritySystem([]int{1, 1}, []float64{1, -1}, []float64{1, 1}, nil); err == nil {
+		t.Fatal("negative capacity accepted")
+	}
+}

@@ -1,0 +1,95 @@
+package votes
+
+// Objectives of the weighted-vote search. Two are provided: the paper's ACC
+// availability (exact enumeration for small systems, the scenario engine at
+// scale) and the throughput capacity of the induced threshold quorum system
+// under the majority pairing, solved by the certified LP machinery of
+// internal/strategy. The search engines in search.go are objective-generic.
+
+import (
+	"fmt"
+
+	"quorumkit/internal/graph"
+	"quorumkit/internal/quorum"
+	"quorumkit/internal/strategy"
+)
+
+// ObjValue is one scored candidate: the objective value to maximize and the
+// read/write threshold pair the score was achieved at (what the certifier
+// certifies and the runtime would install).
+type ObjValue struct {
+	Value      float64
+	Assignment quorum.Assignment
+}
+
+// Objective scores weight vectors. Implementations may reuse internal
+// buffers across Eval calls and are not required to be concurrency-safe;
+// they must be deterministic (same vector, same answer).
+type Objective interface {
+	Name() string
+	Eval(v quorum.VoteAssignment) (ObjValue, error)
+}
+
+// ExactObjective is the seed engine's evaluation path — exact failure-
+// configuration enumeration via dist.Exact and Model.Optimize — wrapped as
+// an Objective. Limited to small systems; it is the oracle the scalable
+// engines are tested against.
+type ExactObjective struct {
+	G   *graph.Graph
+	Cfg Config
+}
+
+// Name implements Objective.
+func (o ExactObjective) Name() string { return "avail-exact" }
+
+// Eval implements Objective.
+func (o ExactObjective) Eval(v quorum.VoteAssignment) (ObjValue, error) {
+	ev, err := Evaluate(o.G, v, o.Cfg)
+	if err != nil {
+		return ObjValue{}, err
+	}
+	return ObjValue{Value: ev.Availability, Assignment: ev.Assignment}, nil
+}
+
+// CapacityObjective scores a weight vector by the certified peak throughput
+// of the threshold quorum system it induces under the majority pairing
+// q_r = ⌊T/2⌋, q_w = T − q_r + 1: the weighted quorum pools are fed into
+// internal/strategy's capacity LP, and the optimal randomized strategy's
+// capacity (1 / expected bottleneck load) is the score. Topology-free, like
+// the quorum-system model it optimizes. Every evaluation re-checks the LP's
+// KKT certificate, so an accepted candidate carries a proof of its score.
+type CapacityObjective struct {
+	ReadCap  []float64
+	WriteCap []float64
+	Latency  []float64
+	Dist     strategy.FrDist
+	Opts     strategy.Options
+	// CertTol is the certificate re-check tolerance (default 1e-9).
+	CertTol float64
+}
+
+// Name implements Objective.
+func (o CapacityObjective) Name() string { return "capacity" }
+
+// Eval implements Objective.
+func (o CapacityObjective) Eval(v quorum.VoteAssignment) (ObjValue, error) {
+	sys, err := strategy.MajoritySystem(v, o.ReadCap, o.WriteCap, o.Latency)
+	if err != nil {
+		return ObjValue{}, err
+	}
+	res, err := strategy.OptimizeCapacity(sys, o.Dist, o.Opts)
+	if err != nil {
+		return ObjValue{}, err
+	}
+	tol := o.CertTol
+	if tol <= 0 {
+		tol = 1e-9
+	}
+	if err := res.Certify(tol); err != nil {
+		return ObjValue{}, fmt.Errorf("votes: capacity certificate: %w", err)
+	}
+	return ObjValue{
+		Value:      res.Capacity,
+		Assignment: quorum.Assignment{QR: sys.QR, QW: sys.QW},
+	}, nil
+}

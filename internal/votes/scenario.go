@@ -1,0 +1,218 @@
+package votes
+
+// This file is the large-N evaluation engine of the weighted-vote search:
+// the exact enumeration of dist.Exact stops near seven sites, and running an
+// independent Monte-Carlo estimate per candidate would bury the search
+// signal in sampling noise. Instead, failure scenarios are sampled ONCE and
+// shared by every candidate (common random numbers): a scenario fixes which
+// sites and links are up and therefore the component partition, while a
+// candidate weight vector only re-prices each component. Evaluating a
+// candidate is then one O(S·n) pass re-summing weights over the frozen
+// partitions plus one O(T) availability-curve kernel call — no graph work,
+// no fresh randomness, and bit-identical comparisons between candidates.
+//
+// The sampler consumes its RNG stream exactly like dist.MonteCarlo (per
+// scenario: every site, then every link), so the factored evaluation is
+// provably the same estimator: the metamorphic tests assert that the
+// aggregate density produced here equals the mixture of dist.MonteCarlo's
+// per-site densities under the same seed, for any weight vector.
+
+import (
+	"fmt"
+
+	"quorumkit/internal/core"
+	"quorumkit/internal/dist"
+	"quorumkit/internal/graph"
+	"quorumkit/internal/quorum"
+	"quorumkit/internal/rng"
+)
+
+// Scenarios is a frozen sample of failure configurations of one topology:
+// for every scenario the partition into connected components of up sites,
+// stored flat for cache-friendly re-evaluation.
+type Scenarios struct {
+	n     int
+	count int
+	p, r  float64
+	seed  uint64
+
+	// members holds the up sites of every component, grouped by component,
+	// scenarios concatenated. compEnd[c] is the end offset of component c in
+	// members; scEnd[s] is the end offset of scenario s in compEnd. down[s]
+	// counts the scenario's failed sites (each a zero-vote observation).
+	members []int32
+	compEnd []int32
+	scEnd   []int32
+	down    []int32
+}
+
+// SampleScenarios draws count independent failure configurations of g (site
+// reliability p, link reliability r) from a fresh stream seeded with seed,
+// consuming randomness exactly as dist.MonteCarlo does. The result depends
+// only on (g, p, r, count, seed) — never on the weight vectors later
+// evaluated against it.
+func SampleScenarios(g *graph.Graph, p, r float64, count int, seed uint64) (*Scenarios, error) {
+	if count <= 0 {
+		return nil, fmt.Errorf("votes: scenario count %d", count)
+	}
+	if p < 0 || p > 1 || r < 0 || r > 1 {
+		return nil, fmt.Errorf("votes: reliabilities (%g, %g) out of [0,1]", p, r)
+	}
+	n := g.N()
+	src := rng.New(seed)
+	st := graph.NewState(g, quorum.UniformVotes(n))
+	sc := &Scenarios{
+		n: n, count: count, p: p, r: r, seed: seed,
+		compEnd: make([]int32, 0, count*2),
+		scEnd:   make([]int32, count),
+		down:    make([]int32, count),
+	}
+	pos := make([]int32, n) // per-representative write cursor into members
+	for s := 0; s < count; s++ {
+		for i := 0; i < n; i++ {
+			if src.Bernoulli(p) {
+				st.RepairSite(i)
+			} else {
+				st.FailSite(i)
+			}
+		}
+		for l := 0; l < g.M(); l++ {
+			if src.Bernoulli(r) {
+				st.RepairLink(l)
+			} else {
+				st.FailLink(l)
+			}
+		}
+		// Record the partition: representatives in increasing site order,
+		// members of each component contiguous.
+		base := int32(len(sc.members))
+		off := base
+		down := int32(0)
+		for i := 0; i < n; i++ {
+			rep := st.ComponentOf(i)
+			if rep < 0 {
+				down++
+				continue
+			}
+			if rep == i {
+				pos[i] = off
+				off += int32(st.SizeAt(i))
+				sc.compEnd = append(sc.compEnd, off)
+			}
+		}
+		sc.members = append(sc.members, make([]int32, off-base)...)
+		for i := 0; i < n; i++ {
+			if rep := st.ComponentOf(i); rep >= 0 {
+				sc.members[pos[rep]] = int32(i)
+				pos[rep]++
+			}
+		}
+		sc.down[s] = down
+		sc.scEnd[s] = int32(len(sc.compEnd))
+	}
+	return sc, nil
+}
+
+// N returns the number of sites; Count the number of sampled scenarios.
+func (sc *Scenarios) N() int     { return sc.n }
+func (sc *Scenarios) Count() int { return sc.count }
+
+// HistInto accumulates, over all scenarios and all sites, the empirical
+// count of "site observes component vote total v" into hist (down sites
+// observe 0, the paper's zero convention). hist must have length T+1 where
+// T = Σ v; it is cleared first. The aggregate density r(v) = w(v) of the
+// paper's step 2 (uniform access weights) is hist normalized by count·n.
+func (sc *Scenarios) HistInto(v []int, hist []int64) {
+	if len(v) != sc.n {
+		panic(fmt.Sprintf("votes: %d weights for %d sites", len(v), sc.n))
+	}
+	for i := range hist {
+		hist[i] = 0
+	}
+	ci, mi := 0, int32(0)
+	for s := 0; s < sc.count; s++ {
+		hist[0] += int64(sc.down[s])
+		for ; ci < int(sc.scEnd[s]); ci++ {
+			end := sc.compEnd[ci]
+			sum := 0
+			size := end - mi
+			for ; mi < end; mi++ {
+				sum += v[sc.members[mi]]
+			}
+			hist[sum] += int64(size)
+		}
+	}
+}
+
+// AvailObjective scores weight vectors by the paper's ACC availability under
+// the optimal quorum pair for that vector: the scenario histogram becomes
+// the aggregate density r(v) = w(v), the O(T) availability-curve kernel
+// produces the whole A(α, q_r) family in one pass, and the smallest-q_r
+// argmax is returned — the same objective, tie rule included, as the seed
+// engine's Model.Optimize, just evaluated on frozen common random numbers.
+// Not safe for concurrent use (the buffers are reused across Eval calls).
+type AvailObjective struct {
+	Scen  *Scenarios
+	Alpha float64
+
+	hist  []int64
+	pmf   dist.PMF
+	curve []float64
+}
+
+// NewAvailObjective builds the availability objective for one α.
+func NewAvailObjective(sc *Scenarios, alpha float64) (*AvailObjective, error) {
+	if alpha < 0 || alpha > 1 {
+		return nil, fmt.Errorf("votes: α=%g out of [0,1]", alpha)
+	}
+	return &AvailObjective{Scen: sc, Alpha: alpha}, nil
+}
+
+// Name implements Objective.
+func (o *AvailObjective) Name() string { return "avail" }
+
+// Eval implements Objective. O(S·n + T), allocation-free once warm.
+func (o *AvailObjective) Eval(v quorum.VoteAssignment) (ObjValue, error) {
+	if len(v) != o.Scen.n {
+		return ObjValue{}, fmt.Errorf("votes: %d weights for %d sites", len(v), o.Scen.n)
+	}
+	if err := v.Validate(); err != nil {
+		return ObjValue{}, err
+	}
+	T := v.Total()
+	if cap(o.hist) < T+1 {
+		o.hist = make([]int64, T+1)
+		o.pmf = make(dist.PMF, T+1)
+	}
+	o.hist = o.hist[:T+1]
+	o.pmf = o.pmf[:T+1]
+	o.Scen.HistInto(v, o.hist)
+	total := float64(o.Scen.count * o.Scen.n)
+	for i, c := range o.hist {
+		o.pmf[i] = float64(c) / total
+	}
+	o.curve = core.AvailabilityCurveInto(o.Alpha, o.pmf, o.pmf, o.curve)
+	qr, a := core.OptimizeCurve(o.curve)
+	return ObjValue{
+		Value:      a,
+		Assignment: quorum.Assignment{QR: qr, QW: T - qr + 1},
+	}, nil
+}
+
+// Density returns a copy of the aggregate density r(v) = w(v) the objective
+// evaluates weight vector v against — exposed for the metamorphic tests
+// that pin it to dist.MonteCarlo under a shared stream.
+func (sc *Scenarios) Density(v quorum.VoteAssignment) (dist.PMF, error) {
+	if len(v) != sc.n {
+		return nil, fmt.Errorf("votes: %d weights for %d sites", len(v), sc.n)
+	}
+	T := quorum.VoteAssignment(v).Total()
+	hist := make([]int64, T+1)
+	sc.HistInto(v, hist)
+	pmf := make(dist.PMF, T+1)
+	total := float64(sc.count * sc.n)
+	for i, c := range hist {
+		pmf[i] = float64(c) / total
+	}
+	return pmf, nil
+}

@@ -1,0 +1,219 @@
+package votes
+
+import (
+	"math"
+	"testing"
+
+	"quorumkit/internal/dist"
+	"quorumkit/internal/graph"
+	"quorumkit/internal/quorum"
+	"quorumkit/internal/rng"
+)
+
+// TestScenarioDensityMatchesMonteCarlo is the metamorphic anchor of the
+// common-random-numbers engine: SampleScenarios consumes its stream exactly
+// like dist.MonteCarlo, so for ANY weight vector the aggregate density it
+// produces must equal the uniform mixture of MonteCarlo's per-site densities
+// under the same seed — not statistically, but sample for sample.
+func TestScenarioDensityMatchesMonteCarlo(t *testing.T) {
+	const seed, count = 42, 2000
+	for _, tc := range []struct {
+		name string
+		g    *graph.Graph
+		v    quorum.VoteAssignment
+	}{
+		{"star6-weighted", graph.Star(6), quorum.VoteAssignment{3, 1, 2, 1, 1, 2}},
+		{"star6-uniform", graph.Star(6), quorum.UniformVotes(6)},
+		{"path5-zero-site", graph.Path(5), quorum.VoteAssignment{2, 0, 1, 1, 3}},
+		{"grid2x3", graph.Grid(2, 3), quorum.VoteAssignment{1, 2, 1, 2, 1, 2}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			sc, err := SampleScenarios(tc.g, 0.8, 0.7, count, seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := sc.Density(tc.v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			perSite := dist.MonteCarlo(tc.g, tc.v, 0.8, 0.7, count, rng.New(seed))
+			want := dist.Mixture(dist.Uniform(tc.g.N()), perSite)
+			if len(got) != len(want) {
+				t.Fatalf("density length %d, want %d", len(got), len(want))
+			}
+			for i := range got {
+				if math.Abs(got[i]-want[i]) > 1e-12 {
+					t.Fatalf("density[%d] = %g, MonteCarlo mixture %g", i, got[i], want[i])
+				}
+			}
+			if err := got.Validate(1e-9); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestScenarioDeterminism: same (g, p, r, count, seed) → identical densities;
+// a different seed must actually change the sample.
+func TestScenarioDeterminism(t *testing.T) {
+	g := graph.Star(8)
+	v := quorum.VoteAssignment{4, 1, 1, 2, 1, 1, 1, 1}
+	a, err := SampleScenarios(g, 0.85, 0.6, 500, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SampleScenarios(g, 0.85, 0.6, 500, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	da, _ := a.Density(v)
+	db, _ := b.Density(v)
+	for i := range da {
+		if da[i] != db[i] {
+			t.Fatalf("same seed diverged at %d: %g vs %g", i, da[i], db[i])
+		}
+	}
+	c, err := SampleScenarios(g, 0.85, 0.6, 500, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dc, _ := c.Density(v)
+	same := true
+	for i := range da {
+		if da[i] != dc[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical 500-scenario samples")
+	}
+	if a.N() != 8 || a.Count() != 500 {
+		t.Fatalf("accessors: N=%d Count=%d", a.N(), a.Count())
+	}
+}
+
+// TestAvailObjectiveMatchesExact pins the scenario objective to the seed
+// engine: with enough scenarios the estimated optimal availability must sit
+// within Monte-Carlo noise of dist.Exact + Model.Optimize, and the selected
+// assignment must satisfy the consistency conditions.
+func TestAvailObjectiveMatchesExact(t *testing.T) {
+	g := graph.Star(6)
+	v := quorum.VoteAssignment{3, 1, 1, 1, 1, 1}
+	cfg := Config{P: 0.9, R: 0.7, Alpha: 0.5, MaxVotesPerSite: 3}
+	exact, err := Evaluate(g, v, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := SampleScenarios(g, 0.9, 0.7, 60000, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj, err := NewAvailObjective(sc, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := obj.Eval(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got.Value-exact.Availability) > 0.02 {
+		t.Fatalf("scenario availability %g vs exact %g", got.Value, exact.Availability)
+	}
+	if err := got.Assignment.Validate(v.Total()); err != nil {
+		t.Fatal(err)
+	}
+	if obj.Name() != "avail" {
+		t.Fatalf("name %q", obj.Name())
+	}
+}
+
+// TestAvailObjectiveRepricesWithoutResampling: two evaluations of the same
+// vector against one Scenarios must agree bit-for-bit (frozen sample), and
+// evaluating a different vector must not disturb the first (buffer reuse).
+func TestAvailObjectiveRepricesWithoutResampling(t *testing.T) {
+	sc, err := SampleScenarios(graph.Star(5), 0.9, 0.6, 1000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj, err := NewAvailObjective(sc, 0.75)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1 := quorum.VoteAssignment{3, 1, 1, 1, 1}
+	v2 := quorum.VoteAssignment{1, 1, 1, 1, 1}
+	a1, err := obj.Eval(v1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := obj.Eval(v2); err != nil {
+		t.Fatal(err)
+	}
+	a1again, err := obj.Eval(v1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1 != a1again {
+		t.Fatalf("re-evaluation drifted: %+v vs %+v", a1, a1again)
+	}
+}
+
+func TestAvailObjectiveDegenerateSingleVote(t *testing.T) {
+	// T=1 leaves no searchable quorum pair: the kernel's degenerate answer is
+	// q_r=1 with -Inf availability, which the search engines then discard
+	// (the ObjValue never beats any finite candidate).
+	sc, err := SampleScenarios(graph.Path(3), 0.9, 0.9, 100, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj, err := NewAvailObjective(sc, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ov, err := obj.Eval(quorum.VoteAssignment{1, 0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(ov.Value, -1) || ov.Assignment.QR != 1 {
+		t.Fatalf("degenerate T=1 gave %+v", ov)
+	}
+}
+
+func TestScenarioErrorPaths(t *testing.T) {
+	g := graph.Star(4)
+	if _, err := SampleScenarios(g, 0.9, 0.9, 0, 1); err == nil {
+		t.Fatal("zero count accepted")
+	}
+	if _, err := SampleScenarios(g, 1.5, 0.9, 10, 1); err == nil {
+		t.Fatal("bad p accepted")
+	}
+	if _, err := SampleScenarios(g, 0.9, -0.1, 10, 1); err == nil {
+		t.Fatal("bad r accepted")
+	}
+	sc, err := SampleScenarios(g, 0.9, 0.9, 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewAvailObjective(sc, 2); err == nil {
+		t.Fatal("bad α accepted")
+	}
+	obj, err := NewAvailObjective(sc, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := obj.Eval(quorum.VoteAssignment{1, 1}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, err := obj.Eval(quorum.VoteAssignment{0, 0, 0, 0}); err == nil {
+		t.Fatal("zero total accepted")
+	}
+	if _, err := sc.Density(quorum.VoteAssignment{1}); err == nil {
+		t.Fatal("Density length mismatch accepted")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("HistInto length mismatch should panic")
+		}
+	}()
+	sc.HistInto([]int{1, 1}, make([]int64, 5))
+}

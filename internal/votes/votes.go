@@ -64,6 +64,9 @@ type Evaluation struct {
 	Votes        quorum.VoteAssignment
 	Assignment   quorum.Assignment
 	Availability float64
+	// Evaluations is the number of objective evaluations a search spent to
+	// reach this result (zero for single-candidate evaluations).
+	Evaluations int
 }
 
 // Evaluate computes the exact availability of a vote assignment under its
@@ -126,45 +129,28 @@ func DegreeHeuristic(g *graph.Graph, maxVotes int) quorum.VoteAssignment {
 // HillClimb searches vote assignments by local moves from the uniform
 // start: repeatedly try adding or removing one vote at one site, keeping
 // strict improvements, until a local optimum. Deterministic: sites are
-// scanned in order and the best single move is taken each round.
+// scanned in order and the best single move is taken each round. The climb
+// is memoized — no vector is evaluated twice, and in particular the
+// incumbent is never re-scored when a round revisits it — and the number of
+// objective evaluations actually spent is reported in Evaluations.
 func HillClimb(g *graph.Graph, cfg Config) (Evaluation, error) {
 	if err := cfg.validate(g.N()); err != nil {
 		return Evaluation{}, err
 	}
 	n := g.N()
-	cur, err := Uniform(g, cfg)
+	res, err := HillClimbObjective(n, ExactObjective{G: g, Cfg: cfg}, quorum.UniformVotes(n), SearchConfig{
+		MaxVotesPerSite: cfg.MaxVotesPerSite,
+		TotalBudget:     cfg.TotalBudget,
+	})
 	if err != nil {
 		return Evaluation{}, err
 	}
-	budget := cfg.budget(n)
-	for {
-		best := cur
-		improved := false
-		for site := 0; site < n; site++ {
-			for _, delta := range []int{1, -1} {
-				cand := append(quorum.VoteAssignment(nil), cur.Votes...)
-				cand[site] += delta
-				if cand[site] < 0 || cand[site] > cfg.MaxVotesPerSite {
-					continue
-				}
-				if cand.Total() == 0 || cand.Total() > budget {
-					continue
-				}
-				ev, err := Evaluate(g, cand, cfg)
-				if err != nil {
-					return Evaluation{}, err
-				}
-				if ev.Availability > best.Availability+1e-12 {
-					best = ev
-					improved = true
-				}
-			}
-		}
-		if !improved {
-			return cur, nil
-		}
-		cur = best
-	}
+	return Evaluation{
+		Votes:        res.Votes,
+		Assignment:   res.Assignment,
+		Availability: res.Value,
+		Evaluations:  res.Evaluations,
+	}, nil
 }
 
 // EvaluateMC is Evaluate with the exact enumeration replaced by a
